@@ -1,0 +1,34 @@
+# Convenience targets for the reproduction repository.
+#
+# `make verify` is the fastest way to confirm a checkout still
+# reproduces the paper; `make all` runs everything the CI would.
+
+PYTHON ?= python
+
+.PHONY: install test bench verify examples api-docs experiments all
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+verify:
+	$(PYTHON) -m repro.experiments verify
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f =="; \
+		$(PYTHON) $$f || exit 1; \
+	done
+
+api-docs:
+	$(PYTHON) tools/gen_api_docs.py
+
+experiments:
+	$(PYTHON) -m repro.experiments all
+
+all: test bench verify

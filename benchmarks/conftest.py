@@ -1,0 +1,64 @@
+"""Shared infrastructure for the reproduction benches.
+
+Every bench regenerates one artifact of the paper's evaluation and
+*prints the series* the paper plots, so ``pytest benchmarks/
+--benchmark-only`` doubles as the reproduction report.  Rendered outputs
+are queued and echoed in the terminal summary (pytest captures stdout
+inside tests), and also written to ``benchmarks/out/<name>.txt``.
+
+Scaling knobs (environment variables):
+
+* ``REPRO_BENCH_N``    -- jobs per Figure 2 data point (default 2000)
+* ``REPRO_BENCH_REPS`` -- repetitions per data point (default 1)
+
+Set ``REPRO_BENCH_N=100000`` for the paper's full scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+_OUTPUTS: List[Tuple[str, str]] = []
+_OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def bench_scale() -> ExperimentScale:
+    """Figure 2 scale, controlled by REPRO_BENCH_N / REPRO_BENCH_REPS."""
+    return ExperimentScale(
+        n_jobs=int(os.environ.get("REPRO_BENCH_N", "2000")),
+        reps=int(os.environ.get("REPRO_BENCH_REPS", "1")),
+    )
+
+
+@pytest.fixture
+def report():
+    """Callable recording a rendered artifact for the terminal summary."""
+
+    def _record(name: str, text: str) -> None:
+        _OUTPUTS.append((name, text))
+        _OUT_DIR.mkdir(exist_ok=True)
+        (_OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Echo every recorded reproduction artifact after the bench table."""
+    if not _OUTPUTS:
+        return
+    tr = terminalreporter
+    tr.section("paper reproduction outputs")
+    for name, text in _OUTPUTS:
+        tr.write_line("")
+        tr.write_line(f"### {name}")
+        for line in text.splitlines():
+            tr.write_line(line)
+    tr.write_line("")
+    tr.write_line(f"(artifacts also written to {_OUT_DIR}/)")

@@ -1,0 +1,31 @@
+"""Ablation: arrival burstiness at a fixed long-run rate (beyond the paper).
+
+The paper uses Poisson arrivals; production front-ends batch.  This
+bench sweeps the batch size at constant QPS and checks that the
+Figure 2 scheduler ordering survives burstiness while everyone's max
+flow grows with the batch size.
+"""
+
+from repro.experiments.figures import burstiness_experiment
+
+
+def test_abl_burstiness(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: burstiness_experiment(
+            batch_sizes=(1, 4, 16, 64), n_jobs=1200, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("abl_burstiness", result.render())
+
+    opt = result.series["opt-lb"]
+    sk = result.series["steal-16-first"]
+    af = result.series["admit-first"]
+    # Burstiness hurts everyone, including the lower bound.
+    assert opt[-1] > opt[0]
+    assert sk[-1] > sk[0]
+    # The Figure 2 ordering holds at every batch size.
+    for i in range(len(opt)):
+        assert opt[i] <= sk[i] + 1e-9
+        assert opt[i] <= af[i] + 1e-9

@@ -1,0 +1,31 @@
+"""Ablation: parallel-for decomposition granularity (beyond the paper).
+
+Sweeps how many chunks each job's body splits into.  With one chunk jobs
+are sequential and steal-first has nothing to parallelize; past ~m
+chunks the machine can spread every job and returns flatten.  OPT
+assumes full parallelizability regardless, so its curve isolates the
+workload effect from the scheduling effect.
+"""
+
+from repro.experiments.figures import grain_experiment
+
+
+def test_abl_grain(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: grain_experiment(
+            target_chunks_values=(1, 4, 16, 64), n_jobs=1200, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("abl_grain", result.render())
+
+    sk = result.series["steal-16-first"]
+    spans = result.series["mean-span"]
+    # More chunks -> shorter spans (more exposed parallelism).
+    assert spans[-1] < spans[0]
+    # Sequential jobs (1 chunk) must be the worst case for steal-first.
+    assert sk[0] >= max(sk[1:]) * 0.9
+    # OPT stays below the scheduler throughout.
+    for o, s in zip(result.series["opt-lb"], sk):
+        assert o <= s + 1e-9

@@ -1,0 +1,25 @@
+"""Ablation: the steal-k-first parameter sweep (Section 4 discussion).
+
+The paper argues admit-first (k=0) serializes jobs at load while k >= m
+approximates FIFO; this bench sweeps k at high load on the Bing workload
+and checks that a paper-style k (>= m = 16) improves on k = 0.
+"""
+
+from repro.experiments.figures import k_sweep_experiment
+
+
+def test_abl_k_sweep(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: k_sweep_experiment(
+            k_values=(0, 1, 4, 16, 64), n_jobs=1500, seed=0, reps=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("abl_k_sweep", result.render())
+
+    ws = dict(zip(result.x_values, result.series["steal-k-first"]))
+    assert ws[16.0] <= ws[0.0], "k=16 must improve on admit-first at load"
+    # All variants stay feasible-side of the OPT lower bound.
+    for k, v in zip(result.x_values, result.series["steal-k-first"]):
+        assert v >= result.series["opt-lb"][0] * 0.5

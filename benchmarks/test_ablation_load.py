@@ -1,0 +1,28 @@
+"""Ablation: admit-first degradation with utilization (Figure 2 discussion).
+
+The paper observes "the performance difference increases as load
+increases (for instance, for Bing and log-normal workloads with high
+utilization, admit-first has twice the maximum flow)".  This bench
+sweeps utilization directly and checks the admit-first / steal-16-first
+ratio grows toward ~2x.
+"""
+
+from repro.experiments.figures import load_sweep_experiment
+
+
+def test_abl_load_sweep(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: load_sweep_experiment(
+            utilizations=(0.3, 0.45, 0.6, 0.75), n_jobs=1500, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("abl_load_sweep", result.render())
+
+    ratios = result.series["admit/steal ratio"]
+    assert ratios[-1] > ratios[0], "the gap must grow with load"
+    assert ratios[-1] >= 1.4, "high load must show a pronounced gap"
+    # OPT stays lowest throughout.
+    for i in range(len(result.x_values)):
+        assert result.series["opt-lb"][i] <= result.series["steal-16-first"][i]

@@ -1,0 +1,30 @@
+"""Ablation: policy families on one instance — why the paper uses FIFO.
+
+Contrasts FIFO-ordered policies (FIFO, steal-16-first) with mean-flow
+policies (SRW, LAS), anti-FIFO (LIFO) and a random-priority null on max
+and mean flow.  The expected trade-off — FIFO-ordered policies dominate
+max flow while SRW dominates mean flow — is the motivation for studying
+the max-flow objective with FIFO-style algorithms at all.
+"""
+
+from repro.experiments.figures import scheduler_comparison_experiment
+
+
+def test_abl_scheduler_families(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: scheduler_comparison_experiment(n_jobs=1000, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    report("abl_scheduler_families", result.render())
+
+    # Policy order: opt-lb, fifo, steal-16-first, las, srw, lifo, random.
+    max_flow = result.series["max_flow"]
+    mean_flow = result.series["mean_flow"]
+    opt, fifo, ws, las, srw, lifo, rnd = range(7)
+
+    assert max_flow[opt] <= min(max_flow[1:]) + 1e-9, "opt-lb must be lowest"
+    assert max_flow[fifo] < max_flow[srw], "FIFO must beat SRW on max flow"
+    assert max_flow[fifo] < max_flow[lifo], "FIFO must beat LIFO on max flow"
+    assert max_flow[fifo] < max_flow[rnd], "FIFO must beat random on max flow"
+    assert mean_flow[srw] < mean_flow[fifo], "SRW must beat FIFO on mean flow"

@@ -1,0 +1,27 @@
+"""Ablation: victim-selection and steal-amount policies (beyond the paper).
+
+The paper analyzes uniform-random single-node steals; production
+runtimes also use round-robin sweeps and steal-half.  This bench
+quantifies what those knobs change at high load: max flow and the
+successful-steal count (the communication bill).
+"""
+
+from repro.experiments.figures import steal_policy_experiment
+
+
+def test_abl_steal_policy(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: steal_policy_experiment(n_jobs=1200, seed=0, reps=2),
+        rounds=1,
+        iterations=1,
+    )
+    report("abl_steal_policy", result.render())
+
+    flows = result.series["max_flow"]
+    steals = result.series["successful_steals"]
+    # Variant order: uniform, uniform/half, rr, rr/half, oracle, oracle/half.
+    assert steals[1] < steals[0], "steal-half must cut successful steals"
+    # No variant should catastrophically beat or lose to uniform: victim
+    # selection is a constant-factor knob, not an asymptotic one.
+    base = flows[0]
+    assert all(0.3 * base <= f <= 3.5 * base for f in flows)

@@ -1,0 +1,29 @@
+"""Theorem 7.1: BWF with (1+3eps)-speed vs its (3/eps^2)*OPT_w envelope.
+
+Weighted workload (priority classes 1/4/16 on a high-load Bing trace);
+BWF's max weighted flow must sit below the theorem envelope and below
+weight-blind FIFO's at the same speed.
+"""
+
+from repro.experiments.figures import weighted_experiment
+
+
+def test_thm71_bwf_weighted_envelope(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: weighted_experiment(
+            eps_values=(0.1, 0.2, 0.3), n_jobs=1500, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("thm71_bwf_weighted", result.render())
+
+    bwf = result.series["bwf-measured"]
+    fifo = result.series["fifo-measured"]
+    envelope = result.series["(3/eps^2)*optw-lb"]
+    assert all(b <= e for b, e in zip(bwf, envelope)), (
+        "Theorem 7.1 envelope violated"
+    )
+    assert all(b <= f * 1.05 for b, f in zip(bwf, fifo)), (
+        "BWF must beat (or match) weight-blind FIFO on max weighted flow"
+    )

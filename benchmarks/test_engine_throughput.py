@@ -1,0 +1,57 @@
+"""Engine micro-benchmarks: simulation throughput, not paper artifacts.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+of the two engines and the OPT bound, so regressions in the hot loops
+show up as timing changes rather than only as slower reproduction runs.
+"""
+
+import pytest
+
+from repro.core.fifo import FifoScheduler
+from repro.core.opt import opt_lower_bound
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.workloads.distributions import BingDistribution
+from repro.workloads.generator import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def throughput_jobset():
+    spec = WorkloadSpec(BingDistribution(), qps=1000.0, n_jobs=500, m=16)
+    return spec.build(seed=11)
+
+
+def test_event_engine_throughput(benchmark, throughput_jobset):
+    r = benchmark(lambda: FifoScheduler().run(throughput_jobset, m=16))
+    assert r.stats.busy_steps == throughput_jobset.total_work
+
+
+def test_tick_engine_throughput_admit_first(benchmark, throughput_jobset):
+    r = benchmark(
+        lambda: WorkStealingScheduler(k=0, steals_per_tick=64).run(
+            throughput_jobset, m=16, seed=0
+        )
+    )
+    assert r.stats.busy_steps == throughput_jobset.total_work
+
+
+def test_tick_engine_throughput_steal_first(benchmark, throughput_jobset):
+    r = benchmark(
+        lambda: WorkStealingScheduler(k=16, steals_per_tick=64).run(
+            throughput_jobset, m=16, seed=0
+        )
+    )
+    assert r.stats.busy_steps == throughput_jobset.total_work
+
+
+def test_tick_engine_throughput_theory_mode(benchmark, throughput_jobset):
+    r = benchmark(
+        lambda: WorkStealingScheduler(k=4, steals_per_tick=1).run(
+            throughput_jobset, m=16, seed=0
+        )
+    )
+    assert r.stats.busy_steps == throughput_jobset.total_work
+
+
+def test_opt_bound_throughput(benchmark, throughput_jobset):
+    r = benchmark(lambda: opt_lower_bound(throughput_jobset, m=16))
+    assert r.n_jobs == len(throughput_jobset)

@@ -1,0 +1,30 @@
+"""Extension: the makespan special case (the paper's footnote 1).
+
+With every job arriving at t=0, max flow time equals the makespan.  This
+bench drops a batch on machines of growing size and sandwiches the
+schedulers between the trivial lower bound max(W/m, max P_i) and
+Graham's greedy upper bound.
+"""
+
+from repro.experiments.figures import makespan_experiment
+
+
+def test_ext_makespan_batch(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: makespan_experiment(m_values=(4, 8, 16, 32), n_jobs=200, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    report("ext_makespan", result.render())
+
+    lower = result.series["lower-bound"]
+    fifo = result.series["fifo"]
+    ws = result.series["steal-16-first"]
+    graham = result.series["graham-bound"]
+    for i in range(len(lower)):
+        assert lower[i] <= fifo[i] + 1e-9, "lower bound violated"
+        assert fifo[i] <= graham[i] + 1e-9, (
+            "greedy FIFO exceeded Graham's bound"
+        )
+        # Work stealing is greedy only up to steal latency: allow 10%.
+        assert ws[i] <= fifo[i] * 1.10

@@ -1,0 +1,30 @@
+"""Extension: the lk-norm flow objective family (conclusion's open
+question).
+
+Sweeps the normalized lk norm from k=1 (mean flow) to k=inf (max flow)
+for a mean-flow policy (SRW), the paper's FIFO, and steal-16-first; the
+curves must cross, showing the objectives genuinely conflict.
+"""
+
+import math
+
+from repro.experiments.figures import norm_profile_experiment
+
+
+def test_ext_lk_norms(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: norm_profile_experiment(n_jobs=1000, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    report("ext_lk_norms", result.render())
+
+    fifo = result.series["fifo"]
+    srw = result.series["srw"]
+    # Mean flow (k=1): the SRPT-style policy wins.
+    assert srw[0] < fifo[0]
+    # Max flow (k=inf, last column): the FIFO-ordered policy wins.
+    assert fifo[-1] < srw[-1]
+    # Each curve is non-decreasing in k (power-mean inequality).
+    for series in result.series.values():
+        assert all(a <= b + 1e-6 for a, b in zip(series, series[1:]))

@@ -1,0 +1,29 @@
+"""Extension: the Section 1 implementation-cost motivation, quantified.
+
+The paper calls ideal FIFO impractical ("potentially preempts jobs and
+re-allocates processors at every time step") and work stealing cheap
+("most of the time, workers work off their own queues").  This bench
+traces both on the same workloads and counts what each would pay on
+real hardware.
+"""
+
+from repro.experiments.figures import overheads_experiment
+
+
+def test_ext_implementation_overheads(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: overheads_experiment(n_jobs=600, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    report("ext_overheads", result.render())
+
+    # Work stealing structurally never preempts: stolen nodes are ready,
+    # never in-progress.
+    assert all(v == 0.0 for v in result.series["ws-preemptions"])
+    # FIFO's preemption and migration bills grow with load.
+    fp = result.series["fifo-preemptions"]
+    fm = result.series["fifo-migrations"]
+    assert fp[-1] > fp[0]
+    assert fm[-1] > fm[0]
+    assert all(v > 0 for v in fp), "FIFO must pay preemptions under load"

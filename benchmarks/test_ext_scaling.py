@@ -1,0 +1,34 @@
+"""Extension: the single-job work-stealing guarantees the paper builds on.
+
+Section 1 quotes Blumofe-Leiserson: one job of work W and span P runs in
+O(W/m + P) expected time under work stealing; Lemma 4.4 bounds steal
+attempts by 32 m P in expectation.  This bench measures both on the tick
+engine in the theoretical cost model across machine sizes.
+"""
+
+from repro.experiments.figures import single_job_scaling_experiment
+
+
+def test_ext_single_job_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: single_job_scaling_experiment(
+            m_values=(1, 2, 4, 8, 16, 32), seed=0, reps=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("ext_single_job_scaling", result.render())
+
+    measured = result.series["measured-time"]
+    bound = result.series["W/m+P"]
+    steals = result.series["steal-attempts"]
+    budget = result.series["32*m*P"]
+
+    # Completion within a small constant of the greedy bound everywhere.
+    for t, b in zip(measured, bound):
+        assert t <= 2.0 * b, f"time {t} exceeds 2x (W/m + P) = {2 * b}"
+    # Near-linear speedup in the work-dominated regime (m=1 -> m=8).
+    assert measured[0] / measured[3] > 5.0
+    # Lemma 4.4's steal budget holds with room to spare.
+    for s, b in zip(steals, budget):
+        assert s <= b, f"steal attempts {s} exceed the Lemma 4.4 budget {b}"

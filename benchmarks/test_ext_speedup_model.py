@@ -1,0 +1,34 @@
+"""Extension: the DAG vs speedup-curves model separation (Section 8).
+
+The paper argues no faithful mapping exists between the two
+parallelizability models.  This bench runs FIFO on the same instance in
+both (speedup side via the parallelism-profile conversion) and checks
+the conversion is optimistic on narrow machines and exact on wide ones.
+"""
+
+from repro.experiments.figures import speedup_contrast_experiment
+
+
+def test_ext_speedup_model_separation(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: speedup_contrast_experiment(
+            m_values=(4, 8, 16, 64), n_jobs=400, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("ext_speedup_contrast", result.render())
+
+    ratios = result.series["dag/speedup"]
+    # Some machine size in the constrained regime shows real separation.
+    # (The direction is instance-dependent -- the conversion is
+    # optimistic about integral placement but pessimistic about its
+    # phase barriers; on this parallel-for workload the integrality
+    # effect dominates and ratios sit at or above 1.)
+    assert max(abs(r - 1.0) for r in ratios) > 0.05, (
+        "expected measurable model separation"
+    )
+    # With m covering the maximum profile width the conversion is exact.
+    assert ratios[-1] == 1.0
+    # Divergence stays a constant factor, not an asymptotic blowup.
+    assert all(0.5 <= r <= 2.0 for r in ratios)

@@ -1,0 +1,27 @@
+"""Extension: weighted-admission work stealing (Section 4 x Section 7).
+
+The paper analyzes BWF centrally and work stealing unweighted; this
+bench measures the natural combination -- the global queue admits the
+heaviest waiting job -- against both parents on the weighted objective.
+"""
+
+from repro.experiments.figures import weighted_work_stealing_experiment
+
+
+def test_ext_weighted_work_stealing(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: weighted_work_stealing_experiment(n_jobs=1200, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    report("ext_weighted_ws", result.render())
+
+    bwf = result.series["bwf (centralized)"]
+    wws = result.series["ws/weight-admission"]
+    fws = result.series["ws/fifo-admission"]
+    for i in range(len(bwf)):
+        assert bwf[i] <= wws[i] * 1.05, "centralized BWF must stay best"
+    # Weight-ordered admission must pay off at the highest load.
+    assert wws[-1] < fws[-1], (
+        "weighted admission must beat FIFO admission on max weighted flow"
+    )

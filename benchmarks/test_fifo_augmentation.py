@@ -1,0 +1,26 @@
+"""Theorem 3.1: FIFO with (1+eps)-speed vs its (3/eps)*OPT envelope.
+
+Sweeps eps on a high-load Bing workload; the measured max flow must sit
+below the theorem's envelope at every eps (evaluated against the OPT
+lower bound, which only tightens the check) and decrease as eps grows.
+"""
+
+from repro.experiments.figures import speed_augmentation_experiment
+
+
+def test_thm31_fifo_speed_envelope(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: speed_augmentation_experiment(
+            eps_values=(0.1, 0.25, 0.5, 0.9), n_jobs=1500, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("thm31_fifo_augmentation", result.render())
+
+    measured = result.series["fifo-measured"]
+    envelope = result.series["(3/eps)*opt-lb"]
+    assert all(m <= e for m, e in zip(measured, envelope)), (
+        "Theorem 3.1 envelope violated"
+    )
+    assert measured[-1] <= measured[0], "more speed must help at the extremes"

@@ -1,0 +1,30 @@
+"""Figure 2(a): max flow time vs QPS on the Bing workload.
+
+Paper series (Section 6, Figure 2a): OPT, steal-k-first (k=16),
+admit-first at QPS 800 / 1000 / 1200 on 16 cores.  Shape to reproduce:
+OPT lowest; steal-16-first close to OPT; admit-first worst with the gap
+growing in load (up to ~2x steal-16-first at high utilization).
+"""
+
+from repro.experiments.config import FIG2A
+from repro.experiments.figures import figure2
+
+
+def test_fig2a_bing(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        lambda: figure2(FIG2A, bench_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig2a_bing", result.render())
+
+    opt = result.series["opt-lb"]
+    sk = result.series["steal-16-first"]
+    af = result.series["admit-first"]
+    # Shape assertions (the paper's qualitative conclusions).
+    assert all(o <= s + 1e-9 for o, s in zip(opt, sk)), "OPT must be lowest"
+    assert af[-1] >= sk[-1], "admit-first must be worst at high load"
+    assert af[-1] / sk[-1] >= af[0] / sk[0] * 0.8, (
+        "the admit-first gap must not shrink substantially with load"
+    )
+    benchmark.extra_info["series"] = result.series

@@ -1,0 +1,29 @@
+"""Figure 2(b): max flow time vs QPS on the finance workload.
+
+Paper series (Section 6, Figure 2b): OPT, steal-k-first (k=16),
+admit-first at QPS 800 / 900 / 1000 on 16 cores.  Shape: same ordering
+as Figure 2(a); the finance workload's shorter tail makes the absolute
+values smaller and the admit-first gap milder than Bing's.
+"""
+
+from repro.experiments.config import FIG2B
+from repro.experiments.figures import figure2
+
+
+def test_fig2b_finance(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        lambda: figure2(FIG2B, bench_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig2b_finance", result.render())
+
+    opt = result.series["opt-lb"]
+    sk = result.series["steal-16-first"]
+    af = result.series["admit-first"]
+    assert all(o <= s + 1e-9 for o, s in zip(opt, sk)), "OPT must be lowest"
+    assert all(o <= a + 1e-9 for o, a in zip(opt, af))
+    assert af[-1] >= sk[-1] * 0.95, (
+        "admit-first must not beat steal-16-first at the highest load"
+    )
+    benchmark.extra_info["series"] = result.series

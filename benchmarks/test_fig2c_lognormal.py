@@ -1,0 +1,26 @@
+"""Figure 2(c): max flow time vs QPS on the log-normal workload.
+
+Paper series (Section 6, Figure 2c): OPT, steal-k-first (k=16),
+admit-first at QPS 800 / 1000 / 1200 on 16 cores.  Shape: same ordering
+as 2(a); like Bing, admit-first reaches roughly twice steal-16-first's
+max flow at high utilization.
+"""
+
+from repro.experiments.config import FIG2C
+from repro.experiments.figures import figure2
+
+
+def test_fig2c_lognormal(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        lambda: figure2(FIG2C, bench_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig2c_lognormal", result.render())
+
+    opt = result.series["opt-lb"]
+    sk = result.series["steal-16-first"]
+    af = result.series["admit-first"]
+    assert all(o <= s + 1e-9 for o, s in zip(opt, sk)), "OPT must be lowest"
+    assert af[-1] >= sk[-1], "admit-first must be worst at high load"
+    benchmark.extra_info["series"] = result.series

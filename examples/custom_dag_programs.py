@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Authoring custom DAG programs and inspecting their schedules.
+
+Shows the lower-level API: composing job DAGs with the shape builders
+and ``DagBuilder``, analyzing work/span/parallelism, tracing an actual
+execution, and auditing the trace for feasibility.
+
+Run:  python examples/custom_dag_programs.py
+"""
+
+from repro import (
+    DagBuilder,
+    FifoScheduler,
+    TraceRecorder,
+    WorkStealingScheduler,
+    audit_trace,
+    balanced_tree,
+    jobs_from_dags,
+    map_reduce,
+    parallel_for,
+)
+from repro.dag.analysis import average_parallelism, critical_path_nodes
+from repro.dag.builders import series_compose
+
+
+def build_pipeline_job():
+    """A realistic analytics job: parse -> map-reduce -> fit -> report.
+
+    Built by series-composing shape builders, plus one hand-built stage
+    through DagBuilder to show the raw API.
+    """
+    parse = parallel_for(total_body_work=60, grain=10)
+    aggregate = map_reduce([6] * 8, reduce_fanin=2, reduce_work=2)
+
+    # A hand-built "model fit" stage: two dependent solver sweeps that
+    # each fan out over 4 shards.
+    b = DagBuilder()
+    head = b.add_node(2)
+    first = [b.add_node(5) for _ in range(4)]
+    mid = b.add_node(2)
+    second = [b.add_node(5) for _ in range(4)]
+    tail = b.add_node(2)
+    for v in first:
+        b.add_edge(head, v)
+        b.add_edge(v, mid)
+    for v in second:
+        b.add_edge(mid, v)
+        b.add_edge(v, tail)
+    fit = b.build()
+
+    report = balanced_tree(depth=2, branching=2, node_work=1)
+    return series_compose(series_compose(parse, aggregate), series_compose(fit, report))
+
+
+def main() -> None:
+    job_dag = build_pipeline_job()
+    print("analytics pipeline job:")
+    print(f"  nodes         : {job_dag.n_nodes}")
+    print(f"  work W        : {job_dag.total_work} units")
+    print(f"  span P        : {job_dag.span} units")
+    print(f"  parallelism   : {average_parallelism(job_dag):.1f}")
+    print(f"  critical path : {len(critical_path_nodes(job_dag))} nodes\n")
+
+    # Ten copies arriving every 12 time units on 8 cores.
+    jobs = jobs_from_dags([job_dag] * 10, [12.0 * i for i in range(10)])
+    m = 8
+
+    for sched in (FifoScheduler(), WorkStealingScheduler(k=8)):
+        trace = TraceRecorder()
+        result = sched.run(jobs, m=m, seed=3, trace=trace)
+        audit_trace(trace, jobs, m=m, speed=1.0)  # raises if infeasible
+        print(f"{sched.name:<14} max flow {result.max_flow:7.1f}  "
+              f"mean flow {result.mean_flow:6.1f}  "
+              f"({len(trace.intervals)} execution segments, audit OK)")
+
+    print(
+        "\nreading: both schedulers produce feasible schedules (audited\n"
+        "against precedence, exclusivity and service exactness); FIFO's\n"
+        "centralized reallocation gives it the edge on max flow."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Interactive-server simulation: the paper's Section 6 scenario.
+
+Models a search/finance-style interactive service: requests arrive by a
+Poisson process at a configurable queries-per-second rate, each request
+is a parallel-for job whose total work is drawn from a measured-shape
+distribution, and the platform must keep the *maximum* response latency
+low on a 16-core box.
+
+Sweeps load from relaxed to near-saturation and prints how the three
+schedulers of Figure 2 (simulated OPT, steal-16-first, admit-first)
+hold up -- a miniature, self-contained Figure 2(a).
+
+Run:  python examples/interactive_server.py [n_jobs]
+"""
+
+import sys
+
+from repro import OptLowerBound, WorkStealingScheduler
+from repro.workloads.distributions import BingDistribution
+from repro.workloads.generator import WorkloadSpec
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+    m = 16
+    dist = BingDistribution()  # mean 10 ms, Figure 3(a) shape
+
+    schedulers = [
+        ("opt-lb        ", OptLowerBound()),
+        ("steal-16-first", WorkStealingScheduler(k=16, steals_per_tick=64)),
+        ("admit-first   ", WorkStealingScheduler(k=0, steals_per_tick=64)),
+    ]
+
+    print(f"Bing-like interactive server: m={m} cores, {n_jobs} requests, "
+          f"mean work {dist.mean_ms:g} ms")
+    print(f"{'QPS':>6} {'util':>6}" +
+          "".join(f"{name.strip():>16}" for name, _ in schedulers) +
+          "   (max latency, ms)")
+
+    for qps in (600, 800, 1000, 1200, 1350):
+        spec = WorkloadSpec(dist, qps=qps, n_jobs=n_jobs, m=m)
+        jobset = spec.build(seed=qps)
+        row = f"{qps:>6} {spec.utilization:>6.0%}"
+        for _, sched in schedulers:
+            res = sched.run(jobset, m=m, seed=1)
+            row += f"{res.max_flow * spec.units_per_ms ** -1:>16.2f}"
+        print(row)
+
+    print(
+        "\nreading: steal-16-first stays near OPT while admit-first's max\n"
+        "latency pulls away as utilization grows -- at high load admitted\n"
+        "jobs run nearly sequentially under admit-first, exactly the\n"
+        "degradation the paper reports in Section 6."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""DAG model vs arbitrary speedup curves: the paper's Section 8 contrast.
+
+The paper's related-work section argues the two dominant parallel-job
+models are fundamentally different.  This example makes the argument
+tangible on workflow-shaped jobs:
+
+1. build scientific-workflow DAGs (wide-then-narrow, staged pipeline);
+2. convert each to a phased speedup-curves job via its parallelism
+   profile (the natural, *best possible* conversion);
+3. run FIFO in both models across machine sizes and watch the converted
+   model's optimism appear exactly where processor constraints bite;
+4. contrast FIFO vs EQUI allocation inside the speedup model.
+
+Run:  python examples/model_comparison.py
+"""
+
+from repro import FifoScheduler, jobs_from_dags
+from repro.dag.builders import staged_pipeline, wide_then_narrow
+from repro.speedup.convert import jobset_to_speedup
+from repro.speedup.engine import run_speedup_equi, run_speedup_fifo
+from repro.speedup.model import (
+    LinearCapped,
+    Phase,
+    Sqrt,
+    SpeedupJob,
+    SpeedupJobSet,
+)
+
+
+def main() -> None:
+    # --- part 1: conversion fidelity across machine sizes ---------------
+    dags = [
+        wide_then_narrow(12, 4, 2, 6),
+        staged_pipeline([8, 16, 4], node_work=3),
+        wide_then_narrow(6, 8, 3, 2),
+    ]
+    jobs = jobs_from_dags(dags * 4, [10.0 * i for i in range(12)])
+    converted = jobset_to_speedup(jobs)
+    fifo = FifoScheduler()
+
+    print("workflow jobs: max flow under FIFO, DAG model vs converted "
+          "speedup-curves model")
+    print(f"{'m':>4} {'dag':>10} {'speedup':>10} {'ratio':>7}")
+    for m in (2, 4, 8, 16, 32):
+        d = fifo.run(jobs, m=m).max_flow
+        s = run_speedup_fifo(converted, m=m).max_flow
+        print(f"{m:>4} {d:>10.2f} {s:>10.2f} {d / s:>7.3f}")
+    print(
+        "\nreading: ratio 1.0 where the conversion is faithful (very\n"
+        "narrow or very wide machines); > 1 in between -- the phased\n"
+        "model promises parallelism the DAG's dependencies cannot\n"
+        "deliver under constraint.  No faithful mapping exists (Sec 8).\n"
+    )
+
+    # --- part 2: curves a DAG cannot express -----------------------------
+    # sqrt-speedup jobs (the paper's example): FIFO-greedy lets the head
+    # job absorb the machine; EQUI shares it.
+    sqrt_jobs = SpeedupJobSet(
+        SpeedupJob(job_id=i, phases=(Phase(16.0, Sqrt()),), arrival=0.0)
+        for i in range(4)
+    )
+    cap_jobs = SpeedupJobSet(
+        SpeedupJob(job_id=i, phases=(Phase(16.0, LinearCapped(4)),), arrival=0.0)
+        for i in range(4)
+    )
+    print("allocation policy inside the speedup model (4 jobs, m=16):")
+    print(f"{'curve':<14} {'fifo max/mean':>16} {'equi max/mean':>16}")
+    for name, js in (("sqrt(p)", sqrt_jobs), ("min(p, 4)", cap_jobs)):
+        f = run_speedup_fifo(js, m=16)
+        e = run_speedup_equi(js, m=16)
+        print(f"{name:<14} {f.max_flow:>8.2f}/{f.mean_flow:<7.2f} "
+              f"{e.max_flow:>8.2f}/{e.mean_flow:<7.2f}")
+    print(
+        "\nreading: under sqrt speedup, equal sharing (EQUI) beats\n"
+        "FIFO-greedy on every metric (concavity rewards splitting) --\n"
+        "behaviour with no DAG-model counterpart, since DAG parallelism\n"
+        "is linear up to the ready-node count (Section 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Weighted scheduling: priority classes and Biggest-Weight-First.
+
+Section 7 scenario: jobs carry weights (declared at arrival, independent
+of size) and the platform minimizes the *maximum weighted flow time* --
+so a weight-16 interactive request waiting 1 ms hurts as much as a
+weight-1 batch job waiting 16 ms.
+
+Compares BWF (the paper's scalable algorithm) against weight-blind FIFO
+on a three-class workload, and shows the weight-inverse trick that turns
+the weighted objective into maximum stretch.
+
+Run:  python examples/weighted_priorities.py
+"""
+
+import numpy as np
+
+from repro import BwfScheduler, FifoScheduler
+from repro.metrics.flow import work_stretches
+from repro.workloads.distributions import FinanceDistribution
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.weights import class_weights, reweight, work_inverse_weights
+
+
+def main() -> None:
+    m = 16
+    spec = WorkloadSpec(FinanceDistribution(), qps=1100.0, n_jobs=1200, m=m)
+    base = spec.build(seed=7)
+
+    # --- priority classes: 1 (batch) / 4 (normal) / 16 (interactive) ----
+    weighted = reweight(base, class_weights(0, len(base)))
+    bwf = BwfScheduler().run(weighted, m=m, speed=1.0)
+    fifo = FifoScheduler().run(weighted, m=m, speed=1.0)
+
+    unit_ms = 1.0 / spec.units_per_ms
+    print("three priority classes (1 / 4 / 16), finance workload, "
+          f"util {spec.utilization:.0%} on m={m}:\n")
+    print(f"{'scheduler':<8} {'max w*F (ms)':>14} {'max F (ms)':>12}")
+    for name, r in (("bwf", bwf), ("fifo", fifo)):
+        print(f"{name:<8} {r.max_weighted_flow * unit_ms:>14.2f} "
+              f"{r.max_flow * unit_ms:>12.2f}")
+    print(
+        "\nreading: BWF trades a little unweighted max flow for a much\n"
+        "better weighted objective -- heavy jobs preempt light ones.\n"
+    )
+
+    # --- maximum stretch via inverse-work weights (Section 7 remarks) ---
+    stretch_weighted = reweight(base, work_inverse_weights(base))
+    bwf_s = BwfScheduler().run(stretch_weighted, m=m)
+    fifo_s = FifoScheduler().run(stretch_weighted, m=m)
+    print("maximum work-stretch (flow / (W/m)) via inverse-work weights:")
+    print(f"{'scheduler':<8} {'max stretch':>12}")
+    for name, r in (("bwf", bwf_s), ("fifo", fifo_s)):
+        print(f"{name:<8} {np.max(work_stretches(r, base)):>12.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` succeeds on offline machines where the ``wheel``
+package (required by the PEP 660 editable path) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""repro -- online scheduling of parallelizable DAG jobs for max flow time.
+
+A production-quality reproduction of
+
+    Kunal Agrawal, Jing Li, Kefu Lu, Benjamin Moseley.
+    "Scheduling Parallelizable Jobs Online to Minimize the Maximum Flow
+    Time." SPAA 2016.
+
+The library provides:
+
+* a dynamic-multithreaded (DAG) job model (:mod:`repro.dag`);
+* exact simulation engines for centralized preemptive scheduling and for
+  randomized work stealing with unit-time steal attempts
+  (:mod:`repro.sim`);
+* the paper's schedulers -- FIFO, BWF, admit-first and steal-k-first work
+  stealing -- plus the simulated-OPT lower bound and contrast baselines
+  (:mod:`repro.core`);
+* workload generators for the paper's Bing / finance / log-normal
+  experiments and the Section 5 adversarial lower-bound instance
+  (:mod:`repro.workloads`);
+* flow-time metrics (:mod:`repro.metrics`), the theorems' bound formulas
+  with run-vs-bound validators (:mod:`repro.theory`), and a harness that
+  regenerates every figure of the paper's evaluation
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import (FifoScheduler, WorkStealingScheduler, OptLowerBound,
+...                    parallel_for, jobs_from_dags)
+>>> dags = [parallel_for(total_body_work=64, grain=8) for _ in range(20)]
+>>> jobs = jobs_from_dags(dags, arrivals=[2.0 * i for i in range(20)])
+>>> opt = OptLowerBound().run(jobs, m=4)
+>>> ws = WorkStealingScheduler(k=4).run(jobs, m=4, seed=0)
+>>> opt.max_flow <= ws.max_flow
+True
+"""
+
+from repro.core import (
+    AdmitFirstScheduler,
+    BwfScheduler,
+    FifoScheduler,
+    LifoScheduler,
+    OptLowerBound,
+    RandomPriorityScheduler,
+    Scheduler,
+    SjfScheduler,
+    WorkStealingScheduler,
+    opt_lower_bound,
+)
+from repro.dag import (
+    DagBuilder,
+    Job,
+    JobDag,
+    JobSet,
+    adversarial_fork,
+    balanced_tree,
+    chain,
+    diamond,
+    fork_join,
+    jobs_from_dags,
+    map_reduce,
+    parallel_chains,
+    parallel_for,
+    random_layered_dag,
+    single_node,
+)
+from repro.sim import (
+    ScheduleResult,
+    SimulationStats,
+    TraceRecorder,
+    audit_trace,
+    make_rng,
+    run_centralized,
+    run_work_stealing,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Scheduler",
+    "FifoScheduler",
+    "BwfScheduler",
+    "WorkStealingScheduler",
+    "AdmitFirstScheduler",
+    "OptLowerBound",
+    "opt_lower_bound",
+    "LifoScheduler",
+    "SjfScheduler",
+    "RandomPriorityScheduler",
+    # dag
+    "DagBuilder",
+    "JobDag",
+    "Job",
+    "JobSet",
+    "jobs_from_dags",
+    "single_node",
+    "chain",
+    "diamond",
+    "fork_join",
+    "parallel_for",
+    "parallel_chains",
+    "balanced_tree",
+    "map_reduce",
+    "adversarial_fork",
+    "random_layered_dag",
+    # sim
+    "ScheduleResult",
+    "SimulationStats",
+    "TraceRecorder",
+    "audit_trace",
+    "make_rng",
+    "run_centralized",
+    "run_work_stealing",
+]

@@ -1,0 +1,59 @@
+"""The paper's schedulers: the primary contribution of the reproduction.
+
+Every scheduler implements the :class:`~repro.core.base.Scheduler`
+interface (``run(jobset, m, speed, ...) -> ScheduleResult``):
+
+================================  ======================================
+:class:`FifoScheduler`            Idealized FIFO (Section 3):
+                                  ``(1+eps)``-speed ``O(1/eps)``-
+                                  competitive for max flow time.
+:class:`BwfScheduler`             Biggest-Weight-First (Section 7):
+                                  ``(1+eps)``-speed ``O(1/eps^2)``-
+                                  competitive for max *weighted* flow.
+:class:`WorkStealingScheduler`    steal-k-first / admit-first
+                                  (Section 4): distributed randomized
+                                  work stealing with a global FIFO
+                                  admission queue.
+:class:`OptLowerBound`            The simulated-OPT lower bound of
+                                  Section 6 (fully-parallelizable
+                                  reduction to single-machine FIFO).
+:class:`LifoScheduler`,           Centralized list-scheduling baselines
+:class:`SjfScheduler`,            used by the comparison benches;
+:class:`RandomPriorityScheduler`  SJF is clairvoyant by design.
+================================  ======================================
+"""
+
+from repro.core.base import Scheduler
+from repro.core.fifo import FifoScheduler
+from repro.core.bwf import BwfScheduler
+from repro.core.work_stealing import (
+    AdmitFirstScheduler,
+    WeightedWorkStealingScheduler,
+    WorkStealingScheduler,
+)
+from repro.core.opt import OptLowerBound, opt_lower_bound
+from repro.core.greedy import (
+    LifoScheduler,
+    RandomPriorityScheduler,
+    SjfScheduler,
+)
+from repro.core.dynamic import (
+    LeastAttainedServiceScheduler,
+    ShortestRemainingWorkScheduler,
+)
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "BwfScheduler",
+    "WorkStealingScheduler",
+    "AdmitFirstScheduler",
+    "WeightedWorkStealingScheduler",
+    "OptLowerBound",
+    "opt_lower_bound",
+    "LifoScheduler",
+    "SjfScheduler",
+    "RandomPriorityScheduler",
+    "LeastAttainedServiceScheduler",
+    "ShortestRemainingWorkScheduler",
+]

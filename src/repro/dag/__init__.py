@@ -1,0 +1,116 @@
+"""DAG job model substrate.
+
+This package implements the *dynamic multithreaded job* model from the
+paper (Section 2): each job is a directed acyclic graph whose nodes carry
+integer processing times ("work units").  A node may execute only after all
+of its predecessors have completed; multiple ready nodes of the same job
+may run simultaneously on different processors.
+
+The two defining scalar parameters of a job DAG are
+
+* **work** ``W`` -- the sum of all node processing times (execution time on
+  one processor), and
+* **span** (critical-path length) ``P`` -- the length of the longest
+  weighted path through the DAG (execution time on infinitely many
+  processors).
+
+Public surface
+--------------
+
+:class:`~repro.dag.graph.JobDag`
+    Immutable, validated DAG container.
+:class:`~repro.dag.graph.DagBuilder`
+    Mutable builder used to construct :class:`JobDag` instances.
+:class:`~repro.dag.job.Job`
+    A DAG paired with an arrival time, a weight and an identifier.
+:mod:`~repro.dag.builders`
+    Shape constructors: chains, fork-join, parallel-for, trees, random
+    layered DAGs, series/parallel composition, and the adversarial
+    single-fork job from Section 5 of the paper.
+:mod:`~repro.dag.analysis`
+    Work/span/parallelism analysis helpers.
+"""
+
+from repro.dag.graph import DagBuilder, DagValidationError, JobDag, merge_dags
+from repro.dag.job import Job, JobSet, jobs_from_dags
+from repro.dag.builders import (
+    adversarial_fork,
+    balanced_tree,
+    chain,
+    diamond,
+    fork_join,
+    map_reduce,
+    parallel_chains,
+    parallel_for,
+    random_layered_dag,
+    series_compose,
+    parallel_compose,
+    single_node,
+    staged_pipeline,
+    wide_then_narrow,
+)
+from repro.dag.analysis import (
+    average_parallelism,
+    critical_path_nodes,
+    max_parallelism,
+    node_depths,
+    parallelism_profile,
+    span,
+    total_work,
+    validate_dag,
+)
+from repro.dag.programs import Program, record_program
+from repro.dag.serialization import (
+    dag_from_dict,
+    dag_to_dict,
+    dag_to_dot,
+    job_from_dict,
+    job_to_dict,
+    jobset_from_dict,
+    jobset_to_dict,
+    load_jobset,
+    save_jobset,
+)
+
+__all__ = [
+    "DagBuilder",
+    "DagValidationError",
+    "JobDag",
+    "merge_dags",
+    "Job",
+    "JobSet",
+    "jobs_from_dags",
+    "critical_path_nodes",
+    "max_parallelism",
+    "adversarial_fork",
+    "balanced_tree",
+    "chain",
+    "diamond",
+    "fork_join",
+    "map_reduce",
+    "parallel_chains",
+    "parallel_for",
+    "random_layered_dag",
+    "series_compose",
+    "parallel_compose",
+    "single_node",
+    "staged_pipeline",
+    "wide_then_narrow",
+    "average_parallelism",
+    "node_depths",
+    "parallelism_profile",
+    "span",
+    "total_work",
+    "validate_dag",
+    "dag_to_dict",
+    "dag_from_dict",
+    "dag_to_dot",
+    "job_to_dict",
+    "job_from_dict",
+    "jobset_to_dict",
+    "jobset_from_dict",
+    "save_jobset",
+    "load_jobset",
+    "Program",
+    "record_program",
+]

@@ -1,0 +1,127 @@
+"""Work/span/parallelism analysis of job DAGs.
+
+These helpers compute the structural quantities the paper's theory is
+stated in terms of -- work ``W``, span (critical-path length) ``P``,
+average parallelism ``W/P`` -- plus diagnostic profiles used by tests and
+the experiment reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dag.graph import JobDag
+
+
+def total_work(dag: JobDag) -> int:
+    """Work ``W``: sum of node processing times (time on one processor)."""
+    return dag.total_work
+
+
+def span(dag: JobDag) -> int:
+    """Span ``P``: longest weighted path (time on infinitely many processors)."""
+    return dag.span
+
+
+def average_parallelism(dag: JobDag) -> float:
+    """``W / P`` -- the maximum speedup any scheduler can extract."""
+    return dag.parallelism
+
+
+def node_depths(dag: JobDag) -> List[int]:
+    """Earliest possible start time of each node under infinite processors.
+
+    ``depth[v]`` is the length of the longest path ending just before
+    ``v``; node ``v`` cannot begin before ``depth[v]`` in any speed-1
+    schedule.
+    """
+    depth = [0] * dag.n_nodes
+    for v in dag.topological_order():
+        finish = depth[v] + dag.works[v]
+        for u in dag.successors[v]:
+            if finish > depth[u]:
+                depth[u] = finish
+    return depth
+
+
+def parallelism_profile(dag: JobDag) -> Dict[int, int]:
+    """Work available per unit-depth under a greedy infinite-processor run.
+
+    Returns a mapping ``t -> units`` giving, for each unit time step ``t``
+    of the infinite-processor (earliest-start) schedule, how many work
+    units execute in parallel.  The profile integrates to ``W`` and its
+    domain spans exactly ``P`` steps, which the tests exploit as a
+    consistency check; the experiment reports use it to describe how
+    "bursty" a job's parallelism is.
+    """
+    depths = node_depths(dag)
+    profile: Dict[int, int] = {}
+    for v in range(dag.n_nodes):
+        start = depths[v]
+        for t in range(start, start + dag.works[v]):
+            profile[t] = profile.get(t, 0) + 1
+    return profile
+
+
+def max_parallelism(dag: JobDag) -> int:
+    """Peak number of simultaneously executing work units."""
+    profile = parallelism_profile(dag)
+    return max(profile.values())
+
+
+def validate_dag(dag: JobDag) -> None:
+    """Re-verify the core DAG invariants; raises ``AssertionError`` on failure.
+
+    :class:`JobDag` already validates at construction; this function exists
+    for test suites and for auditing DAGs that crossed a serialization
+    boundary.  Checks: positive works, in-range edges, acyclicity (via a
+    complete topological order), span within ``[max node work, W]``.
+    """
+    n = dag.n_nodes
+    assert n >= 1, "DAG must have at least one node"
+    assert all(w > 0 for w in dag.works), "all node works must be positive"
+    for v in range(n):
+        for u in dag.successors[v]:
+            assert 0 <= u < n and u != v, f"invalid edge {v} -> {u}"
+    order = dag.topological_order()
+    assert len(order) == n and sorted(order) == list(range(n)), (
+        "topological order must be a permutation of the nodes"
+    )
+    position = {v: i for i, v in enumerate(order)}
+    for v in range(n):
+        for u in dag.successors[v]:
+            assert position[v] < position[u], f"edge {v} -> {u} violates topo order"
+    assert max(dag.works) <= dag.span <= dag.total_work, (
+        "span must lie between the largest node work and the total work"
+    )
+
+
+def critical_path_nodes(dag: JobDag) -> List[int]:
+    """One longest path through the DAG, as a list of node ids.
+
+    When several critical paths exist, the lexicographically-first by
+    topological position is returned (deterministic across runs).
+    """
+    depths = node_depths(dag)
+    # Walk backwards from a sink that realizes the span.
+    finish = {v: depths[v] + dag.works[v] for v in range(dag.n_nodes)}
+    predecessors: Dict[int, List[int]] = {v: [] for v in range(dag.n_nodes)}
+    for v in range(dag.n_nodes):
+        for u in dag.successors[v]:
+            predecessors[u].append(v)
+
+    end = min(
+        (v for v in range(dag.n_nodes) if finish[v] == dag.span),
+        key=lambda v: dag.topological_order().index(v),
+    )
+    path = [end]
+    cur = end
+    while depths[cur] > 0:
+        # The critical predecessor is one whose finish equals our start.
+        cur = min(
+            (p for p in predecessors[cur] if finish[p] == depths[path[-1]]),
+            key=lambda v: dag.topological_order().index(v),
+        )
+        path.append(cur)
+    path.reverse()
+    return path

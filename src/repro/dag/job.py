@@ -1,0 +1,168 @@
+"""Jobs and job sets: DAGs annotated with arrival times and weights.
+
+A :class:`Job` couples an immutable :class:`~repro.dag.graph.JobDag` with
+the online-arrival metadata of Section 2 of the paper: an arrival (release)
+time ``r_i`` and a weight ``w_i`` (1.0 in the unweighted setting).  A
+:class:`JobSet` is the unit of input consumed by every scheduler in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.dag.graph import JobDag
+
+
+@dataclass(frozen=True)
+class Job:
+    """One online job: a DAG, an arrival time, a weight and an id.
+
+    Attributes
+    ----------
+    job_id:
+        Dense integer identifier; schedulers index result arrays by it.
+    dag:
+        The job's computation DAG (structure is hidden from
+        non-clairvoyant schedulers until nodes become ready).
+    arrival:
+        Release time ``r_i`` in time units.  The scheduler first learns of
+        the job at this instant.
+    weight:
+        Priority weight ``w_i`` for the weighted max-flow objective;
+        ``1.0`` in the unweighted setting.  Known at arrival, not
+        necessarily correlated with the job's work.
+    """
+
+    job_id: int
+    dag: JobDag
+    arrival: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError(f"job {self.job_id} has negative arrival {self.arrival}")
+        if self.weight <= 0:
+            raise ValueError(f"job {self.job_id} has non-positive weight {self.weight}")
+
+    @property
+    def work(self) -> int:
+        """Total work ``W_i`` of the job's DAG."""
+        return self.dag.total_work
+
+    @property
+    def span(self) -> int:
+        """Critical-path length ``P_i`` of the job's DAG."""
+        return self.dag.span
+
+
+class JobSet:
+    """An ordered collection of jobs forming one scheduling instance.
+
+    Jobs are stored sorted by arrival time (ties broken by ``job_id``),
+    the order in which an online scheduler encounters them.  Construction
+    re-identifies jobs so that ``jobset[i].job_id == i``, which lets every
+    engine use dense arrays indexed by job id.
+    """
+
+    def __init__(self, jobs: Iterable[Job]) -> None:
+        ordered = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+        self._jobs: Tuple[Job, ...] = tuple(
+            Job(job_id=i, dag=j.dag, arrival=j.arrival, weight=j.weight)
+            for i, j in enumerate(ordered)
+        )
+        if not self._jobs:
+            raise ValueError("a JobSet must contain at least one job")
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __getitem__(self, idx: int) -> Job:
+        return self._jobs[idx]
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def jobs(self) -> Tuple[Job, ...]:
+        """The jobs in arrival order."""
+        return self._jobs
+
+    @property
+    def arrivals(self) -> List[float]:
+        """Arrival times in arrival order."""
+        return [j.arrival for j in self._jobs]
+
+    @property
+    def works(self) -> List[int]:
+        """Total works ``W_i`` in arrival order."""
+        return [j.work for j in self._jobs]
+
+    @property
+    def spans(self) -> List[int]:
+        """Critical-path lengths ``P_i`` in arrival order."""
+        return [j.span for j in self._jobs]
+
+    @property
+    def weights(self) -> List[float]:
+        """Weights ``w_i`` in arrival order."""
+        return [j.weight for j in self._jobs]
+
+    @property
+    def total_work(self) -> int:
+        """Sum of all job works."""
+        return sum(j.work for j in self._jobs)
+
+    @property
+    def max_span(self) -> int:
+        """The largest critical-path length over all jobs."""
+        return max(j.span for j in self._jobs)
+
+    @property
+    def time_horizon(self) -> float:
+        """Last arrival time -- the end of the online input."""
+        return self._jobs[-1].arrival
+
+    def utilization(self, m: int) -> float:
+        """Offered load: total work divided by ``m`` times the arrival span.
+
+        A value near 1.0 means the instance keeps ``m`` speed-1 processors
+        saturated over the arrival window.  Values above 1.0 indicate an
+        overloaded (eventually unbounded-backlog) instance.
+        """
+        horizon = self.time_horizon
+        if horizon <= 0:
+            return float("inf")
+        return self.total_work / (m * horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobSet(n={len(self)}, total_work={self.total_work}, "
+            f"horizon={self.time_horizon:.3f})"
+        )
+
+
+def jobs_from_dags(
+    dags: Sequence[JobDag],
+    arrivals: Sequence[float],
+    weights: Optional[Sequence[float]] = None,
+) -> JobSet:
+    """Zip parallel sequences of DAGs, arrivals and weights into a JobSet."""
+    if len(dags) != len(arrivals):
+        raise ValueError(
+            f"{len(dags)} DAGs but {len(arrivals)} arrivals; lengths must match"
+        )
+    if weights is not None and len(weights) != len(dags):
+        raise ValueError(
+            f"{len(dags)} DAGs but {len(weights)} weights; lengths must match"
+        )
+    ws = weights if weights is not None else [1.0] * len(dags)
+    return JobSet(
+        Job(job_id=i, dag=d, arrival=float(a), weight=float(w))
+        for i, (d, a, w) in enumerate(zip(dags, arrivals, ws))
+    )

@@ -1,0 +1,148 @@
+"""A spawn/sync DSL: write dynamic-multithreaded *programs*, get DAGs.
+
+Section 1 of the paper describes how dynamic multithreading is expressed
+"through linguistic constructs such as 'spawn' and 'sync', 'fork' and
+'join', or parallel for loops".  This module provides exactly those
+constructs as a tiny recording DSL: a Python function receives a
+:class:`Program` handle, calls ``work`` / ``spawn`` / ``sync`` /
+``parallel_for``, and the recorder emits the corresponding (validated,
+series-parallel) :class:`~repro.dag.graph.JobDag`.
+
+Example -- the classic recursive Fibonacci skeleton::
+
+    def fib(p: Program, n: int) -> None:
+        if n < 2:
+            p.work(1)
+            return
+        p.spawn(lambda q: fib(q, n - 1))
+        p.spawn(lambda q: fib(q, n - 2))
+        p.sync()
+        p.work(1)          # combine
+
+    dag = record_program(lambda p: fib(p, 6))
+
+Semantics
+---------
+* ``work(w)`` runs ``w`` units serially at the current point;
+* ``spawn(f)`` forks ``f`` to run concurrently with the continuation;
+* ``sync()`` waits for every spawn since the enclosing strand began
+  (fully-strict / Cilk-style semantics: a function's spawns are joined
+  no later than its own end -- ``record_program`` inserts a trailing
+  implicit sync);
+* ``parallel_for(n, w)`` is ``n`` independent ``w``-unit iterations
+  between the current point and an implicit join.
+
+The recorder tracks, per strand, the *current node* (serial work
+accumulates into it) and the outstanding spawned sub-DAG sinks; sync
+creates a join node fed by all of them.  Zero-work strands are handled
+by deferring node creation until work or structure forces one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.dag.graph import DagBuilder, DagValidationError, JobDag
+
+
+class Program:
+    """The recording handle passed to user program functions.
+
+    Users never construct this directly; :func:`record_program` does.
+    """
+
+    def __init__(self, builder: DagBuilder, entry: Optional[int]) -> None:
+        self._b = builder
+        #: node the current strand last executed (None before any work)
+        self._current: Optional[int] = entry
+        #: sinks of outstanding spawned children awaiting the next sync
+        self._pending: List[int] = []
+
+    # -- linguistic constructs -------------------------------------------
+
+    def work(self, units: int) -> None:
+        """Execute ``units`` of serial work at the current point."""
+        if not isinstance(units, int) or isinstance(units, bool) or units <= 0:
+            raise DagValidationError(
+                f"work units must be a positive integer, got {units!r}"
+            )
+        node = self._b.add_node(units)
+        if self._current is not None:
+            self._b.add_edge(self._current, node)
+        self._current = node
+
+    def spawn(self, child: Callable[["Program"], None]) -> None:
+        """Fork ``child`` to run concurrently with this strand.
+
+        The child begins after the work done so far on this strand (its
+        data is ready then) and is joined at the next :meth:`sync`.
+        """
+        sub = Program(self._b, self._current)
+        child(sub)
+        sink = sub._finish()
+        # A child that recorded nothing ends where it started (the
+        # parent's current node); it contributes no sink -- legal no-op.
+        if sink is not None and sink != self._current:
+            self._pending.append(sink)
+
+    def sync(self) -> None:
+        """Join every child spawned on this strand since the last sync.
+
+        A sync with outstanding children materializes a 1-unit join
+        node (the same convention as the fork-join shape builders),
+        except in the degenerate case of a single child on an otherwise
+        empty strand, where the strand simply continues from the child.
+        """
+        if not self._pending:
+            return  # sync with nothing outstanding is a no-op
+        if self._current is None and len(self._pending) == 1:
+            # Nothing ran on this strand: continue from the lone child.
+            self._current = self._pending.pop()
+            return
+        join = self._b.add_node(1)
+        for sink in self._pending:
+            self._b.add_edge(sink, join)
+        if self._current is not None:
+            self._b.add_edge(self._current, join)
+        self._pending.clear()
+        self._current = join
+
+    def parallel_for(self, iterations: int, iteration_work: int) -> None:
+        """``iterations`` independent ``iteration_work``-unit bodies + join."""
+        if iterations < 1:
+            raise DagValidationError(
+                f"parallel_for needs at least one iteration, got {iterations}"
+            )
+        for _ in range(iterations):
+            self.spawn(lambda q: q.work(iteration_work))
+        self.sync()
+
+    # -- internals ---------------------------------------------------------
+
+    def _finish(self) -> Optional[int]:
+        """Implicit trailing sync; returns this strand's sink node id."""
+        self.sync()
+        return self._current
+
+
+def record_program(
+    program: Callable[[Program], None],
+    root_work: int = 1,
+) -> JobDag:
+    """Run ``program`` against a recorder and return its DAG.
+
+    ``root_work`` seeds an explicit entry node so that the resulting DAG
+    always has a single root (the job's admission point in the
+    work-stealing engine); set it to the work your program does before
+    any parallelism, or leave the 1-unit default for pure skeletons.
+    """
+    b = DagBuilder()
+    if not isinstance(root_work, int) or root_work <= 0:
+        raise DagValidationError(
+            f"root_work must be a positive integer, got {root_work!r}"
+        )
+    entry = b.add_node(root_work)
+    p = Program(b, entry)
+    program(p)
+    p._finish()
+    return b.build()

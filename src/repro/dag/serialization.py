@@ -1,0 +1,124 @@
+"""Serialization: DAGs, jobs and job sets <-> JSON-friendly dicts.
+
+Enables saving generated instances (so an interesting run can be
+re-examined later or shared as a bug report), replaying external traces
+through :mod:`repro.workloads.trace`, and exporting DAGs to Graphviz DOT
+for visual inspection.
+
+The wire format is deliberately plain:
+
+.. code-block:: json
+
+    {"works": [1, 4, 4, 1],
+     "edges": [[0, 1], [0, 2], [1, 3], [2, 3]]}
+
+for a DAG, and ``{"dag": ..., "arrival": 3.25, "weight": 1.0}`` for a
+job.  Job sets add a format version for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.dag.graph import DagValidationError, JobDag
+from repro.dag.job import Job, JobSet
+
+#: Format version stamped into serialized job sets.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def dag_to_dict(dag: JobDag) -> Dict[str, Any]:
+    """A JSON-ready dict: node works plus an explicit edge list."""
+    edges: List[List[int]] = []
+    for v, succs in enumerate(dag.successors):
+        for u in succs:
+            edges.append([v, u])
+    return {"works": list(dag.works), "edges": edges}
+
+
+def dag_from_dict(data: Dict[str, Any]) -> JobDag:
+    """Inverse of :func:`dag_to_dict`; validates on construction."""
+    try:
+        works = list(data["works"])
+        edges = data.get("edges", [])
+    except (KeyError, TypeError) as exc:
+        raise DagValidationError(f"malformed DAG dict: {exc}") from exc
+    successors: List[List[int]] = [[] for _ in works]
+    for edge in edges:
+        if len(edge) != 2:
+            raise DagValidationError(f"edge {edge!r} is not a [src, dst] pair")
+        src, dst = edge
+        if not 0 <= src < len(works):
+            raise DagValidationError(f"edge {edge!r} has out-of-range source")
+        successors[src].append(int(dst))
+    return JobDag(works, successors)
+
+
+def job_to_dict(job: Job) -> Dict[str, Any]:
+    """A JSON-ready dict for one job (id is positional, not stored)."""
+    return {
+        "dag": dag_to_dict(job.dag),
+        "arrival": job.arrival,
+        "weight": job.weight,
+    }
+
+
+def job_from_dict(data: Dict[str, Any], job_id: int = 0) -> Job:
+    """Inverse of :func:`job_to_dict`."""
+    return Job(
+        job_id=job_id,
+        dag=dag_from_dict(data["dag"]),
+        arrival=float(data["arrival"]),
+        weight=float(data.get("weight", 1.0)),
+    )
+
+
+def jobset_to_dict(jobset: JobSet) -> Dict[str, Any]:
+    """A JSON-ready dict for a whole instance."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "jobs": [job_to_dict(j) for j in jobset],
+    }
+
+
+def jobset_from_dict(data: Dict[str, Any]) -> JobSet:
+    """Inverse of :func:`jobset_to_dict`; re-sorts and re-ids jobs."""
+    version = data.get("format_version", FORMAT_VERSION)
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"instance was written by format version {version}; this "
+            f"library reads up to {FORMAT_VERSION}"
+        )
+    return JobSet(
+        job_from_dict(jd, job_id=i) for i, jd in enumerate(data["jobs"])
+    )
+
+
+def save_jobset(jobset: JobSet, path: PathLike) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(json.dumps(jobset_to_dict(jobset)))
+
+
+def load_jobset(path: PathLike) -> JobSet:
+    """Read an instance from a JSON file written by :func:`save_jobset`."""
+    return jobset_from_dict(json.loads(Path(path).read_text()))
+
+
+def dag_to_dot(dag: JobDag, name: str = "job") -> str:
+    """Graphviz DOT text for a DAG (node labels show id and work).
+
+    Render with e.g. ``dot -Tpng job.dot -o job.png``; handy when
+    debugging builders or explaining an instance in an issue.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for v in range(dag.n_nodes):
+        lines.append(f'  n{v} [label="{v}\\nw={dag.works[v]}"];')
+    for v, succs in enumerate(dag.successors):
+        for u in succs:
+            lines.append(f"  n{v} -> n{u};")
+    lines.append("}")
+    return "\n".join(lines)

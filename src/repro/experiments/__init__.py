@@ -1,0 +1,100 @@
+"""Reproduction harness for the paper's evaluation (Section 6).
+
+One entry point per paper artifact, each returning structured data and a
+paper-style text rendering:
+
+* :func:`~repro.experiments.figures.figure2` -- max flow vs QPS for the
+  Bing / finance / log-normal workloads (Figures 2a-2c);
+* :func:`~repro.experiments.figures.figure3` -- the work-distribution
+  histograms (Figures 3a-3b);
+* :func:`~repro.experiments.figures.lower_bound_experiment` -- the
+  Lemma 5.1 ``Omega(log n)`` scaling study;
+* :func:`~repro.experiments.figures.speed_augmentation_experiment` --
+  the Theorem 3.1 / 7.1 envelope sweeps;
+* :func:`~repro.experiments.figures.k_sweep_experiment` and
+  :func:`~repro.experiments.figures.load_sweep_experiment` -- the
+  Section 4/6 discussion ablations.
+
+Command line: ``python -m repro.experiments <fig2a|fig2b|fig2c|fig3|lb5|
+thm31|thm71|abl-k|abl-load|all> [--n-jobs N] [--seed S] [--reps R]``.
+"""
+
+from repro.experiments.config import (
+    EXPERIMENTS,
+    ExperimentScale,
+    Figure2Config,
+    FIG2A,
+    FIG2B,
+    FIG2C,
+    SCALE_PAPER,
+    SCALE_QUICK,
+    SCALE_STANDARD,
+)
+from repro.experiments.runner import run_figure2_cell, run_schedulers
+from repro.experiments.figures import (
+    burstiness_experiment,
+    figure2,
+    figure3,
+    grain_experiment,
+    k_sweep_experiment,
+    load_sweep_experiment,
+    lower_bound_experiment,
+    makespan_experiment,
+    overheads_experiment,
+    scheduler_comparison_experiment,
+    single_job_scaling_experiment,
+    speed_augmentation_experiment,
+    steal_policy_experiment,
+    weighted_experiment,
+    weighted_work_stealing_experiment,
+    norm_profile_experiment,
+    speedup_contrast_experiment,
+)
+from repro.experiments.report import render_chart, render_histogram, render_series
+from repro.experiments.sweep import METRICS, SweepCell, SweepResult, grid_sweep
+from repro.experiments.verify import (
+    ShapeCheck,
+    render_verification,
+    verify_reproduction,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentScale",
+    "Figure2Config",
+    "FIG2A",
+    "FIG2B",
+    "FIG2C",
+    "SCALE_PAPER",
+    "SCALE_QUICK",
+    "SCALE_STANDARD",
+    "run_figure2_cell",
+    "run_schedulers",
+    "figure2",
+    "figure3",
+    "lower_bound_experiment",
+    "makespan_experiment",
+    "overheads_experiment",
+    "speed_augmentation_experiment",
+    "burstiness_experiment",
+    "grain_experiment",
+    "k_sweep_experiment",
+    "load_sweep_experiment",
+    "scheduler_comparison_experiment",
+    "single_job_scaling_experiment",
+    "steal_policy_experiment",
+    "weighted_experiment",
+    "weighted_work_stealing_experiment",
+    "norm_profile_experiment",
+    "speedup_contrast_experiment",
+    "render_series",
+    "render_histogram",
+    "render_chart",
+    "ShapeCheck",
+    "grid_sweep",
+    "SweepResult",
+    "SweepCell",
+    "METRICS",
+    "verify_reproduction",
+    "render_verification",
+]

@@ -1,0 +1,180 @@
+"""Command-line entry point for the reproduction harness.
+
+Usage::
+
+    python -m repro.experiments fig2a [--n-jobs N] [--reps R] [--seed S]
+    python -m repro.experiments all --n-jobs 1000
+
+Experiment ids and what they regenerate are listed in
+``repro.experiments.config.EXPERIMENTS`` and in DESIGN.md's
+per-experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import figures
+from repro.experiments.config import (
+    EXPERIMENTS,
+    ExperimentScale,
+    FIG2A,
+    FIG2B,
+    FIG2C,
+    SCALE_STANDARD,
+)
+
+
+#: id -> callable(scale, seed) -> SeriesResult (or rendered text).
+#: Kept as a table so the tests can assert it covers the EXPERIMENTS
+#: registry exactly.
+DISPATCH = {
+    "fig2a": lambda scale, seed: figures.figure2(FIG2A, scale, seed=seed),
+    "fig2b": lambda scale, seed: figures.figure2(FIG2B, scale, seed=seed),
+    "fig2c": lambda scale, seed: figures.figure2(FIG2C, scale, seed=seed),
+    "fig3": lambda scale, seed: figures.render_figure3(seed=seed),
+    "lb5": lambda scale, seed: figures.lower_bound_experiment(seed=seed),
+    "thm31": lambda scale, seed: (
+        figures.speed_augmentation_experiment(seed=seed)
+    ),
+    "thm71": lambda scale, seed: figures.weighted_experiment(seed=seed),
+    "abl-k": lambda scale, seed: figures.k_sweep_experiment(seed=seed),
+    "abl-load": lambda scale, seed: (
+        figures.load_sweep_experiment(seed=seed)
+    ),
+    "abl-steal": lambda scale, seed: (
+        figures.steal_policy_experiment(seed=seed)
+    ),
+    "abl-sched": lambda scale, seed: (
+        figures.scheduler_comparison_experiment(seed=seed)
+    ),
+    "abl-burst": lambda scale, seed: (
+        figures.burstiness_experiment(seed=seed)
+    ),
+    "abl-grain": lambda scale, seed: figures.grain_experiment(seed=seed),
+    "ext-speedup": lambda scale, seed: (
+        figures.speedup_contrast_experiment(seed=seed)
+    ),
+    "ext-wws": lambda scale, seed: (
+        figures.weighted_work_stealing_experiment(seed=seed)
+    ),
+    "ext-norms": lambda scale, seed: (
+        figures.norm_profile_experiment(seed=seed)
+    ),
+    "ext-scaling": lambda scale, seed: (
+        figures.single_job_scaling_experiment(seed=seed)
+    ),
+    "ext-makespan": lambda scale, seed: figures.makespan_experiment(seed=seed),
+    "ext-overheads": lambda scale, seed: figures.overheads_experiment(seed=seed),
+}
+
+
+def _run_one(
+    exp_id: str, scale: ExperimentScale, seed: int, chart: bool = False
+) -> str:
+    """Dispatch one experiment id to its figure function; returns text.
+
+    With ``chart`` the series experiments append an ASCII chart view
+    below the table (fig3's histograms are already graphical).
+    """
+    try:
+        runner = DISPATCH[exp_id]
+    except KeyError:
+        raise ValueError(f"unknown experiment {exp_id!r}") from None
+    result = runner(scale, seed)
+    if isinstance(result, str):
+        return result
+    text = result.render()
+    if chart:
+        text += "\n\n" + result.render_chart()
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures (see DESIGN.md).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "verify"],
+        help="experiment id, 'all', or 'verify' (smoke-check every shape)",
+    )
+    parser.add_argument(
+        "--n-jobs", type=int, default=SCALE_STANDARD.n_jobs,
+        help="jobs per data point (fig2 experiments)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=SCALE_STANDARD.reps,
+        help="repetitions per data point (fig2 experiments)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each series experiment as an ASCII chart",
+    )
+    parser.add_argument(
+        "--json-dir",
+        type=str,
+        default=None,
+        help=(
+            "also write each experiment's structured series as "
+            "<json-dir>/<id>.json (x values, series, title, seed) for "
+            "downstream plotting"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    scale = ExperimentScale(n_jobs=args.n_jobs, reps=args.reps)
+    if args.experiment == "verify":
+        from repro.experiments.verify import render_verification, verify_reproduction
+
+        t0 = time.perf_counter()
+        checks = verify_reproduction(
+            ExperimentScale(n_jobs=min(args.n_jobs, 1000), reps=1), args.seed
+        )
+        print(render_verification(checks))
+        print(f"-- verify done in {time.perf_counter() - t0:.1f}s")
+        return 0 if all(c.passed for c in checks) else 1
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        print(f"== {exp_id}: {EXPERIMENTS[exp_id]} ==")
+        result = DISPATCH[exp_id](scale, args.seed)
+        if isinstance(result, str):
+            print(result)
+        else:
+            print(result.render())
+            if args.chart:
+                print()
+                print(result.render_chart())
+            if args.json_dir is not None:
+                out_dir = Path(args.json_dir)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                payload = {
+                    "experiment": exp_id,
+                    "title": result.title,
+                    "x_label": result.x_label,
+                    "x_values": result.x_values,
+                    "series": result.series,
+                    "notes": result.notes,
+                    "seed": args.seed,
+                    "n_jobs": scale.n_jobs,
+                    "reps": scale.reps,
+                }
+                path = out_dir / f"{exp_id}.json"
+                path.write_text(json.dumps(payload, indent=2))
+                print(f"(series written to {path})")
+        print(f"-- {exp_id} done in {time.perf_counter() - t0:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

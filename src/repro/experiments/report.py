@@ -1,0 +1,149 @@
+"""ASCII rendering of experiment outputs, paper-style.
+
+The paper's figures are bar/line charts; the harness prints the same
+data as aligned text tables (one row per x-value, one column per series)
+plus crude unicode bar strips for the histograms, so results are
+reviewable in a terminal and diffable in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    value_format: str = "{:>12.3f}",
+    x_format: str = "{:>8g}",
+) -> str:
+    """Render ``series`` (name -> y-values aligned with x_values) as a table.
+
+    Example output::
+
+        Figure 2(a): Bing workload -- max flow time (ms) vs QPS
+        QPS          opt-lb  steal-16-first   admit-first
+        800           6.861           9.158        11.213
+        ...
+    """
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} values for "
+                f"{len(x_values)} x-values"
+            )
+    width = max(12, *(len(n) + 2 for n in names))
+    header = f"{x_label:<10}" + "".join(f"{n:>{width}}" for n in names)
+    lines = [title, header, "-" * len(header)]
+    for i, x in enumerate(x_values):
+        row = x_format.format(x).ljust(10)
+        for name in names:
+            row += value_format.format(series[name][i]).rjust(width)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    title: str,
+    edges: np.ndarray,
+    probabilities: np.ndarray,
+    max_bar: int = 40,
+    max_rows: int = 26,
+) -> str:
+    """Render a probability histogram as labeled unicode bars.
+
+    Mirrors the Figure 3 panels: x = work bins (ms), y = probability.
+    Rows beyond ``max_rows`` are pooled into a final ``>=`` bucket so
+    long tails stay readable.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    edges = np.asarray(edges, dtype=np.float64)
+    if probabilities.size != edges.size - 1:
+        raise ValueError(
+            f"{probabilities.size} probabilities need {probabilities.size + 1} "
+            f"edges, got {edges.size}"
+        )
+    rows: List[str] = [title]
+    peak = probabilities.max() if probabilities.size else 1.0
+    n_shown = min(max_rows, probabilities.size)
+    pooled = probabilities[n_shown:].sum() if n_shown < probabilities.size else 0.0
+    for i in range(n_shown):
+        frac = probabilities[i] / peak if peak > 0 else 0.0
+        bar = "#" * max(0, round(frac * max_bar))
+        rows.append(
+            f"{edges[i]:6.0f}-{edges[i+1]:<6.0f} {probabilities[i]:7.4f} {bar}"
+        )
+    if pooled > 0:
+        rows.append(f">={edges[n_shown]:<11.0f} {pooled:7.4f} (pooled tail)")
+    return "\n".join(rows)
+
+
+def render_checks(title: str, checks: Sequence) -> str:
+    """Render a list of :class:`repro.theory.validate.BoundCheck` results."""
+    lines = [title]
+    lines.extend(str(c) for c in checks)
+    n_pass = sum(1 for c in checks if c.passed)
+    lines.append(f"-- {n_pass}/{len(checks)} checks passed")
+    return "\n".join(lines)
+
+
+def render_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    log_y: bool = False,
+) -> str:
+    """Render series as an ASCII scatter/line chart (one symbol per series).
+
+    A terminal-friendly companion to :func:`render_series` for eyeballing
+    *shape* (crossings, knees, divergence); the table remains the source
+    of exact numbers.  With ``log_y`` the y-axis is log-scaled, which the
+    theorem-envelope figures need (bounds dwarf measurements).
+    """
+    if height < 3:
+        raise ValueError(f"chart height must be >= 3, got {height}")
+    names = list(series)
+    if not names or not x_values:
+        return f"{title}\n(no data)"
+    symbols = "*o+x#@%&"
+    values = [v for name in names for v in series[name]]
+    if log_y:
+        if any(v <= 0 for v in values):
+            raise ValueError("log_y requires strictly positive values")
+        transform = math.log10
+    else:
+        transform = float
+    lo = min(transform(v) for v in values)
+    hi = max(transform(v) for v in values)
+    span = (hi - lo) or 1.0
+
+    width = len(x_values)
+    grid = [[" "] * width for _ in range(height)]
+    for si, name in enumerate(names):
+        sym = symbols[si % len(symbols)]
+        for xi, v in enumerate(series[name]):
+            row = round((transform(v) - lo) / span * (height - 1))
+            cell = grid[height - 1 - row][xi]
+            # Overlapping points from different series render as '?'.
+            grid[height - 1 - row][xi] = sym if cell in (" ", sym) else "?"
+
+    axis = "log10" if log_y else "linear"
+    lines = [f"{title}  [y: {axis}]"]
+    for r, row in enumerate(grid):
+        y_val = hi - (hi - lo) * r / (height - 1)
+        label = f"{10 ** y_val:9.3g}" if log_y else f"{y_val:9.3g}"
+        lines.append(f"{label} |" + "  ".join(row))
+    lines.append(" " * 10 + "+" + "-" * (3 * width - 2))
+    x_row = " " * 11 + "".join(f"{x:<3g}"[:3] for x in x_values)
+    lines.append(x_row)
+    lines.append(
+        "legend: " + "  ".join(f"{symbols[i % len(symbols)]}={n}" for i, n in enumerate(names))
+    )
+    return "\n".join(lines)

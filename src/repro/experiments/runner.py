@@ -1,0 +1,109 @@
+"""Generic sweep execution with seed management.
+
+The two building blocks every figure uses:
+
+* :func:`run_schedulers` -- run a set of schedulers on one instance (the
+  same instance: paired comparison) and collect results;
+* :func:`run_figure2_cell` -- one (workload, QPS) cell of Figure 2:
+  build the workload, run OPT / steal-k-first / admit-first (and FIFO,
+  for reference), average over repetitions.
+
+Seed discipline: a cell's seed is derived from the experiment seed and
+the cell coordinates via :func:`repro.sim.rng.derive_seed`, so any single
+cell can be reproduced in isolation and adding QPS points never shifts
+other cells' randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.core.fifo import FifoScheduler
+from repro.core.opt import OptLowerBound
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.dag.job import JobSet
+from repro.experiments.config import ExperimentScale, Figure2Config
+from repro.sim.result import ScheduleResult
+from repro.sim.rng import derive_seed
+from repro.workloads.generator import WorkloadSpec
+
+
+def run_schedulers(
+    jobset: JobSet,
+    schedulers: Iterable[Scheduler],
+    m: int,
+    speed: float = 1.0,
+    seed: Optional[int] = None,
+) -> Dict[str, ScheduleResult]:
+    """Run each scheduler on the same instance; returns name -> result.
+
+    Each scheduler gets its own derived seed so that, e.g., adding a
+    scheduler to the comparison never changes the victim-selection
+    stream of the others.
+    """
+    out: Dict[str, ScheduleResult] = {}
+    for i, sched in enumerate(schedulers):
+        run_seed = derive_seed(seed, 1000 + i)
+        out[sched.name] = sched.run(jobset, m=m, speed=speed, seed=run_seed)
+    return out
+
+
+def figure2_schedulers(cfg: Figure2Config, include_fifo: bool = False) -> List[Scheduler]:
+    """The scheduler lineup of Figure 2 (plus optional FIFO reference)."""
+    lineup: List[Scheduler] = [
+        OptLowerBound(),
+        WorkStealingScheduler(k=cfg.k, steals_per_tick=cfg.steals_per_tick),
+        WorkStealingScheduler(k=0, steals_per_tick=cfg.steals_per_tick),
+    ]
+    if include_fifo:
+        lineup.append(FifoScheduler())
+    return lineup
+
+
+def run_figure2_cell(
+    cfg: Figure2Config,
+    qps: float,
+    scale: ExperimentScale,
+    seed: int = 0,
+    include_fifo: bool = False,
+) -> Dict[str, float]:
+    """One Figure 2 data point: mean max flow (ms) per scheduler.
+
+    Runs ``scale.reps`` independent workload draws and averages the max
+    flow of each scheduler across them, converting to milliseconds with
+    the config's time unit.
+    """
+    sums: Dict[str, float] = {}
+    for rep in range(scale.reps):
+        cell_seed = derive_seed(seed, int(qps), rep)
+        spec = WorkloadSpec(
+            distribution=cfg.distribution_factory(),
+            qps=qps,
+            n_jobs=scale.n_jobs,
+            m=cfg.m,
+            units_per_ms=cfg.units_per_ms,
+            target_chunks=cfg.target_chunks,
+        )
+        jobset = spec.build(seed=cell_seed)
+        results = run_schedulers(
+            jobset,
+            figure2_schedulers(cfg, include_fifo),
+            m=cfg.m,
+            seed=cell_seed,
+        )
+        for name, res in results.items():
+            sums[name] = sums.get(name, 0.0) + res.max_flow * cfg.time_unit_ms
+    return {name: total / scale.reps for name, total in sums.items()}
+
+
+def mean_and_spread(values: List[float]) -> Dict[str, float]:
+    """Mean / min / max summary used when reporting repetitions."""
+    arr = np.asarray(values, dtype=np.float64)
+    return {
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }

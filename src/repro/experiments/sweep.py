@@ -1,0 +1,158 @@
+"""Generic parameter-grid sweeps over schedulers.
+
+The named experiments in :mod:`repro.experiments.figures` are hand-built
+for the paper's artifacts; this module is the *user-facing* counterpart
+for running your own ablations: give it a scheduler factory, a parameter
+grid, and a workload factory, and it runs the full cross product with
+paired workloads and derived seeds, returning a structured table.
+
+Example -- re-deriving the paper's k sweep in three lines::
+
+    sweep = grid_sweep(
+        lambda k: WorkStealingScheduler(k=k, steals_per_tick=64),
+        {"k": [0, 4, 16, 64]},
+        lambda rep_seed: WorkloadSpec(BingDistribution(), 1200, 1500).build(rep_seed),
+        m=16, reps=3, seed=0,
+    )
+    print(sweep.render())
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.dag.job import JobSet
+from repro.sim.result import ScheduleResult
+from repro.sim.rng import derive_seed
+
+#: Metric name -> extractor over a ScheduleResult.
+METRICS: Dict[str, Callable[[ScheduleResult], float]] = {
+    "max_flow": lambda r: r.max_flow,
+    "mean_flow": lambda r: r.mean_flow,
+    "p99_flow": lambda r: r.flow_percentile(99),
+    "max_weighted_flow": lambda r: r.max_weighted_flow,
+    "makespan": lambda r: r.makespan,
+}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point's outcome: parameters plus metric means over reps."""
+
+    params: Dict[str, Any]
+    metrics: Dict[str, float]
+
+
+@dataclass
+class SweepResult:
+    """All cells of a grid sweep, with a paper-style text rendering."""
+
+    param_names: List[str]
+    metric_names: List[str]
+    cells: List[SweepCell]
+
+    def best(self, metric: str = "max_flow") -> SweepCell:
+        """The cell minimizing ``metric``."""
+        return min(self.cells, key=lambda c: c.metrics[metric])
+
+    def column(self, metric: str) -> List[float]:
+        """One metric across cells, in grid order."""
+        return [c.metrics[metric] for c in self.cells]
+
+    def render(self) -> str:
+        """Aligned table: one row per grid point."""
+        header = (
+            "".join(f"{p:>12}" for p in self.param_names)
+            + "".join(f"{m:>16}" for m in self.metric_names)
+        )
+        lines = [header, "-" * len(header)]
+        for cell in self.cells:
+            row = "".join(f"{cell.params[p]!s:>12}" for p in self.param_names)
+            row += "".join(
+                f"{cell.metrics[m]:>16.3f}" for m in self.metric_names
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def grid_sweep(
+    scheduler_factory: Callable[..., Scheduler],
+    grid: Dict[str, Sequence[Any]],
+    jobset_factory: Callable[[int], JobSet],
+    m: int,
+    reps: int = 1,
+    seed: int = 0,
+    speed: float = 1.0,
+    metrics: Sequence[str] = ("max_flow", "mean_flow"),
+) -> SweepResult:
+    """Run the full parameter cross product with paired comparisons.
+
+    Parameters
+    ----------
+    scheduler_factory:
+        Called with one keyword argument per grid dimension; returns the
+        scheduler for that cell.
+    grid:
+        Parameter name -> values to sweep (cross product over all).
+    jobset_factory:
+        Called with a derived rep seed; must return the instance for
+        that repetition.  The same rep seeds are used for every cell,
+        so comparisons across cells are paired.
+    m, speed:
+        Machine configuration shared by every cell.
+    reps:
+        Repetitions per cell; metrics are means across them.
+    seed:
+        Base seed; cell and rep seeds derive from it.
+    metrics:
+        Metric names from :data:`METRICS`.
+
+    Returns
+    -------
+    SweepResult
+        Cells in cross-product order (last grid key varies fastest).
+    """
+    if m < 1:
+        raise ValueError(f"need m >= 1, got {m}")
+    if reps < 1:
+        raise ValueError(f"need reps >= 1, got {reps}")
+    if not grid:
+        raise ValueError("grid must have at least one dimension")
+    unknown = [name for name in metrics if name not in METRICS]
+    if unknown:
+        raise ValueError(
+            f"unknown metrics {unknown}; available: {sorted(METRICS)}"
+        )
+
+    param_names = list(grid)
+    cells: List[SweepCell] = []
+    for cell_idx, combo in enumerate(itertools.product(*grid.values())):
+        params = dict(zip(param_names, combo))
+        scheduler = scheduler_factory(**params)
+        sums = {name: 0.0 for name in metrics}
+        for rep in range(reps):
+            jobset = jobset_factory(derive_seed(seed, 9000, rep))
+            result = scheduler.run(
+                jobset,
+                m=m,
+                speed=speed,
+                seed=derive_seed(seed, cell_idx, rep),
+            )
+            for name in metrics:
+                sums[name] += METRICS[name](result)
+        cells.append(
+            SweepCell(
+                params=params,
+                metrics={name: sums[name] / reps for name in metrics},
+            )
+        )
+    return SweepResult(
+        param_names=param_names,
+        metric_names=list(metrics),
+        cells=cells,
+    )

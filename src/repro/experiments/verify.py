@@ -1,0 +1,137 @@
+"""One-command reproduction verdict.
+
+``python -m repro.experiments verify`` runs a scaled-down version of
+every paper artifact and checks its *shape conclusion* programmatically,
+printing a PASS/FAIL line per claim -- the fastest way to confirm a
+fresh checkout still reproduces the paper (the benches do the same with
+full tables; this is the sixty-second smoke version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentScale, FIG2A, FIG2B, FIG2C
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """Outcome of one reproduced-shape check."""
+
+    claim: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.claim}: {self.detail}"
+
+
+def _check_figure2(cfg, scale: ExperimentScale, seed: int) -> List[ShapeCheck]:
+    res = figures.figure2(cfg, scale, seed=seed)
+    opt = res.series["opt-lb"]
+    sk = res.series["steal-16-first"]
+    af = res.series["admit-first"]
+    ordering = all(
+        o <= s + 1e-9 and o <= a + 1e-9 for o, s, a in zip(opt, sk, af)
+    )
+    gap = af[-1] / sk[-1]
+    return [
+        ShapeCheck(
+            f"{cfg.name}: OPT lowest at every QPS",
+            ordering,
+            f"opt={['%.1f' % v for v in opt]}",
+        ),
+        ShapeCheck(
+            f"{cfg.name}: admit-first worst at high load",
+            af[-1] >= sk[-1] * 0.95,
+            f"admit/steal ratio at top QPS = {gap:.2f}x",
+        ),
+    ]
+
+
+def verify_reproduction(
+    scale: ExperimentScale | None = None, seed: int = 0
+) -> List[ShapeCheck]:
+    """Run every artifact at smoke scale and check its shape conclusion."""
+    if scale is None:
+        scale = ExperimentScale(n_jobs=800, reps=1)
+    checks: List[ShapeCheck] = []
+
+    for cfg in (FIG2A, FIG2B, FIG2C):
+        checks.extend(_check_figure2(cfg, scale, seed))
+
+    # Figure 3 shapes.
+    panels = figures.figure3(size=40_000, seed=seed)
+    (_, _, probs_a), (_, _, probs_b) = panels
+    import numpy as np
+
+    mode_a = int(np.argmax(probs_a))
+    checks.append(
+        ShapeCheck(
+            "fig3a: Bing unimodal, low mode, long tail",
+            mode_a < len(probs_a) / 3 and probs_a[3 * mode_a + 1 :].sum() > 0.01,
+            f"mode bin {mode_a}/{len(probs_a)}",
+        )
+    )
+    mode_b = int(np.argmax(probs_b))
+    after = probs_b[mode_b + 2 :]
+    second = int(np.argmax(after)) + mode_b + 2 if after.size else mode_b
+    checks.append(
+        ShapeCheck(
+            "fig3b: finance bimodal on short support",
+            after.size > 0 and probs_b[second] > probs_b[mode_b + 1 : second].min(),
+            f"modes at bins {mode_b} and {second}",
+        )
+    )
+
+    # Lemma 5.1 growth.
+    lb = figures.lower_bound_experiment(n_values=(256, 4096), seed=seed, reps=2)
+    ws = lb.series["work-stealing"]
+    checks.append(
+        ShapeCheck(
+            "lb5: work stealing grows with log n while OPT stays at 2",
+            ws[-1] > ws[0] * 1.05 and lb.series["opt"] == [2.0, 2.0],
+            f"ws {ws[0]:.1f} -> {ws[-1]:.1f}",
+        )
+    )
+
+    # Theorem envelopes.
+    t31 = figures.speed_augmentation_experiment(
+        eps_values=(0.25, 0.5), n_jobs=scale.n_jobs, seed=seed
+    )
+    ok31 = all(
+        mv <= ev
+        for mv, ev in zip(t31.series["fifo-measured"], t31.series["(3/eps)*opt-lb"])
+    )
+    checks.append(
+        ShapeCheck("thm31: FIFO inside its (3/eps)*OPT envelope", ok31, "both eps")
+    )
+    t71 = figures.weighted_experiment(
+        eps_values=(0.2,), n_jobs=scale.n_jobs, seed=seed
+    )
+    ok71 = (
+        t71.series["bwf-measured"][0] <= t71.series["(3/eps^2)*optw-lb"][0]
+        and t71.series["bwf-measured"][0] <= t71.series["fifo-measured"][0] * 1.05
+    )
+    checks.append(
+        ShapeCheck(
+            "thm71: BWF inside its envelope and <= weight-blind FIFO",
+            ok71,
+            f"bwf={t71.series['bwf-measured'][0]:.0f} "
+            f"fifo={t71.series['fifo-measured'][0]:.0f}",
+        )
+    )
+
+    return checks
+
+
+def render_verification(checks: List[ShapeCheck]) -> str:
+    """PASS/FAIL report plus the overall verdict line."""
+    lines = [str(c) for c in checks]
+    n_pass = sum(c.passed for c in checks)
+    verdict = "REPRODUCED" if n_pass == len(checks) else "DEVIATIONS FOUND"
+    lines.append(f"== {n_pass}/{len(checks)} shape checks passed: {verdict} ==")
+    return "\n".join(lines)

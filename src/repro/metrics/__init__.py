@@ -1,0 +1,78 @@
+"""Evaluation metrics over schedule results.
+
+Free-function counterparts (and extensions) of the properties on
+:class:`~repro.sim.result.ScheduleResult`, plus cross-scheduler
+aggregation:
+
+* :mod:`~repro.metrics.flow` -- flow-time statistics, the weighted
+  objective, both DAG readings of stretch, and empirical competitive
+  ratios against the OPT lower bound;
+* :mod:`~repro.metrics.utilization` -- busy/steal/idle accounting and
+  offered-load bookkeeping;
+* :mod:`~repro.metrics.summary` -- side-by-side comparison tables
+  rendered the way the experiment reports print them.
+"""
+
+from repro.metrics.flow import (
+    competitive_ratio,
+    flow_statistics,
+    max_flow,
+    max_weighted_flow,
+    mean_flow,
+    span_stretches,
+    work_stretches,
+)
+from repro.metrics.utilization import (
+    busy_fraction,
+    offered_load,
+    steal_fraction,
+    utilization_report,
+)
+from repro.metrics.summary import ComparisonTable
+from repro.metrics.overheads import (
+    dispatch_count,
+    migration_count,
+    overhead_report,
+    preemption_count,
+    reallocation_event_count,
+)
+from repro.metrics.norms import (
+    lk_norm,
+    lk_norm_flow,
+    norm_profile,
+    normalized_lk_norm_flow,
+)
+from repro.metrics.timeseries import (
+    backlog_over_time,
+    completion_throughput,
+    peak_backlog,
+    windowed_max_flow,
+)
+
+__all__ = [
+    "competitive_ratio",
+    "flow_statistics",
+    "max_flow",
+    "max_weighted_flow",
+    "mean_flow",
+    "span_stretches",
+    "work_stretches",
+    "busy_fraction",
+    "offered_load",
+    "steal_fraction",
+    "utilization_report",
+    "ComparisonTable",
+    "dispatch_count",
+    "preemption_count",
+    "migration_count",
+    "reallocation_event_count",
+    "overhead_report",
+    "lk_norm",
+    "lk_norm_flow",
+    "normalized_lk_norm_flow",
+    "norm_profile",
+    "backlog_over_time",
+    "peak_backlog",
+    "windowed_max_flow",
+    "completion_throughput",
+]

@@ -1,0 +1,111 @@
+"""Flow-time metrics.
+
+The paper's objective landscape (Sections 2 and 7):
+
+* **flow time** ``F_i = c_i - r_i`` -- job latency;
+* **maximum flow time** ``max_i F_i`` -- the primary objective;
+* **maximum weighted flow time** ``max_i w_i F_i`` -- the Section 7
+  objective;
+* **maximum stretch** -- flow normalized by job size.  For DAG jobs the
+  paper notes two natural normalizers (Section 7 remarks): total work
+  (``F_i / (W_i / m)``: how much worse than a dedicated machine) and
+  critical path (``F_i / P_i``: how much worse than infinite
+  processors).  Both are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.dag.job import JobSet
+from repro.sim.result import ScheduleResult
+
+
+def max_flow(result: ScheduleResult) -> float:
+    """``max_i F_i`` -- the paper's primary objective."""
+    return result.max_flow
+
+
+def mean_flow(result: ScheduleResult) -> float:
+    """Average flow time."""
+    return result.mean_flow
+
+
+def max_weighted_flow(result: ScheduleResult) -> float:
+    """``max_i w_i F_i`` -- the Section 7 objective."""
+    return result.max_weighted_flow
+
+
+def flow_statistics(result: ScheduleResult) -> Dict[str, float]:
+    """A fuller flow-time profile than the headline max.
+
+    Returns min/mean/median/p90/p99/max plus the standard deviation; the
+    experiment reports print these so readers can see whether a max-flow
+    difference reflects the whole distribution or a single outlier.
+    """
+    flows = result.flows
+    return {
+        "min": float(flows.min()),
+        "mean": float(flows.mean()),
+        "median": float(np.median(flows)),
+        "p90": float(np.percentile(flows, 90)),
+        "p99": float(np.percentile(flows, 99)),
+        "max": float(flows.max()),
+        "std": float(flows.std()),
+    }
+
+
+def work_stretches(result: ScheduleResult, jobset: JobSet) -> np.ndarray:
+    """Per-job stretch normalized by work: ``F_i / (W_i / m)``.
+
+    The denominator is the job's execution time given the whole machine
+    and perfect parallelism -- the fully-parallelizable reading of "job
+    size" from the Section 7 stretch remarks.
+    """
+    works = np.asarray(jobset.works, dtype=np.float64)
+    return result.flows / (works / result.m)
+
+
+def span_stretches(result: ScheduleResult, jobset: JobSet) -> np.ndarray:
+    """Per-job stretch normalized by span: ``F_i / P_i``.
+
+    The denominator is the job's execution time on infinitely many
+    processors -- the critical-path reading of "job size".
+    """
+    spans = np.asarray(jobset.spans, dtype=np.float64)
+    return result.flows / spans
+
+
+def competitive_ratio(
+    result: ScheduleResult,
+    opt_result: ScheduleResult,
+    weighted: bool = False,
+) -> float:
+    """Empirical competitive ratio against the OPT *lower bound*.
+
+    Because the denominator lower-bounds the true optimum, the returned
+    value **upper-bounds** the scheduler's true empirical competitive
+    ratio on this instance -- the conservative direction for reporting.
+
+    Parameters
+    ----------
+    result:
+        The scheduler's outcome.
+    opt_result:
+        Output of :func:`repro.core.opt.opt_lower_bound` (or any valid
+        lower bound) on the same instance.
+    weighted:
+        Compare ``max w_i F_i`` instead of ``max F_i``.
+    """
+    if result.n_jobs != opt_result.n_jobs:
+        raise ValueError(
+            f"results cover {result.n_jobs} vs {opt_result.n_jobs} jobs; "
+            "they must be for the same instance"
+        )
+    num = result.max_weighted_flow if weighted else result.max_flow
+    den = opt_result.max_weighted_flow if weighted else opt_result.max_flow
+    if den <= 0:
+        raise ValueError("OPT lower bound is zero; ratio undefined")
+    return num / den

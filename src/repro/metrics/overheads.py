@@ -1,0 +1,92 @@
+"""Scheduling-overhead accounting: preemptions, migrations, dispatches.
+
+The paper motivates work stealing by the *implementation cost* of the
+idealized FIFO: "an implementation of the ideal FIFO scheduler is likely
+to have high overhead since it is centralized and potentially preempts
+jobs and re-allocates processors at every time step" (Section 1).  The
+simulator charges none of those costs -- so this module *counts* them
+from execution traces, letting the ``ext-overheads`` bench put numbers
+on the paper's motivation: how many preemptions and cross-worker
+migrations FIFO's ideal schedule implies, against the steal count work
+stealing actually pays.
+
+Definitions (all derived from :class:`~repro.sim.trace.TraceRecorder`):
+
+* **dispatch** -- one contiguous execution segment (a node being placed
+  on a processor);
+* **preemption** -- a node suspended before completion (it has more than
+  one segment; each extra segment is one preemption);
+* **migration** -- a node resuming on a *different* processor than its
+  previous segment ran on (a cache-state loss on real hardware);
+* **reallocation events** -- instants where the set of (worker, node)
+  assignments changes; the centralized scheduler needs a coordination
+  round at each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.trace import TraceRecorder
+
+
+def dispatch_count(trace: TraceRecorder) -> int:
+    """Total execution segments (node placements on processors)."""
+    return len(trace.intervals)
+
+
+def _segments_by_node(
+    trace: TraceRecorder,
+) -> Dict[Tuple[int, int], List]:
+    by_node: Dict[Tuple[int, int], List] = {}
+    for iv in trace.intervals:
+        by_node.setdefault((iv.job_id, iv.node), []).append(iv)
+    for segs in by_node.values():
+        segs.sort(key=lambda iv: iv.start)
+    return by_node
+
+
+def preemption_count(trace: TraceRecorder) -> int:
+    """Suspensions of in-progress nodes (extra segments per node).
+
+    Zero for any work-stealing run: stolen nodes are *ready*, never
+    in-progress, so each node runs as one uninterrupted segment -- the
+    structural reason the paper calls work stealing practical.
+    """
+    return sum(
+        len(segs) - 1 for segs in _segments_by_node(trace).values()
+    )
+
+
+def migration_count(trace: TraceRecorder) -> int:
+    """Node resumptions on a different processor than their last segment."""
+    migrations = 0
+    for segs in _segments_by_node(trace).values():
+        for a, b in zip(segs, segs[1:]):
+            if a.worker != b.worker:
+                migrations += 1
+    return migrations
+
+
+def reallocation_event_count(trace: TraceRecorder) -> int:
+    """Distinct instants at which some assignment starts or ends.
+
+    The centralized scheduler must run a coordination round at each;
+    a distributed runtime pays nothing here (its coordination is the
+    steal attempts, counted by the engine's statistics).
+    """
+    events = set()
+    for iv in trace.intervals:
+        events.add(round(iv.start, 9))
+        events.add(round(iv.end, 9))
+    return len(events)
+
+
+def overhead_report(trace: TraceRecorder) -> Dict[str, int]:
+    """All overhead counters as a flat dict (keys stable for reports)."""
+    return {
+        "dispatches": dispatch_count(trace),
+        "preemptions": preemption_count(trace),
+        "migrations": migration_count(trace),
+        "reallocation_events": reallocation_event_count(trace),
+    }

@@ -1,0 +1,113 @@
+"""Side-by-side scheduler comparison tables.
+
+:class:`ComparisonTable` collects :class:`~repro.sim.result.ScheduleResult`
+objects for the *same instance* and renders the rows the way the
+experiment harness prints them -- scheduler name, max flow, mean flow,
+tail percentiles, and the ratio to a designated baseline (normally the
+OPT lower bound), mirroring how Figure 2 of the paper compares OPT /
+steal-k-first / admit-first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.result import ScheduleResult
+
+
+class ComparisonTable:
+    """Accumulates results on one instance and renders a comparison.
+
+    Parameters
+    ----------
+    baseline:
+        Name of the result to normalize ratios against (added later via
+        :meth:`add`); usually ``"opt-lb"``.
+    time_unit:
+        Multiplier applied to all time columns for display (e.g.
+        ``0.25`` to print milliseconds when one time unit is 0.25 ms).
+    time_label:
+        Unit suffix used in the header.
+    """
+
+    def __init__(
+        self,
+        baseline: Optional[str] = "opt-lb",
+        time_unit: float = 1.0,
+        time_label: str = "units",
+    ) -> None:
+        if time_unit <= 0:
+            raise ValueError(f"time_unit must be positive, got {time_unit}")
+        self.baseline = baseline
+        self.time_unit = float(time_unit)
+        self.time_label = time_label
+        self._results: "Dict[str, ScheduleResult]" = {}
+
+    def add(self, result: ScheduleResult, name: Optional[str] = None) -> None:
+        """Add a result under ``name`` (defaults to the scheduler's label)."""
+        key = name if name is not None else result.scheduler
+        if key in self._results:
+            raise ValueError(f"duplicate result name {key!r}")
+        first = next(iter(self._results.values()), None)
+        if first is not None and first.n_jobs != result.n_jobs:
+            raise ValueError(
+                "all results in a comparison must cover the same instance "
+                f"({first.n_jobs} vs {result.n_jobs} jobs)"
+            )
+        self._results[key] = result
+
+    @property
+    def names(self) -> List[str]:
+        """Result names in insertion order."""
+        return list(self._results)
+
+    def __getitem__(self, name: str) -> ScheduleResult:
+        return self._results[name]
+
+    def rows(self) -> List[Dict[str, float]]:
+        """Structured rows (dicts) for programmatic consumption."""
+        base = None
+        if self.baseline is not None and self.baseline in self._results:
+            base = self._results[self.baseline].max_flow
+        out = []
+        for name, r in self._results.items():
+            row: Dict[str, float] = {
+                "name": name,  # type: ignore[dict-item]
+                "max_flow": r.max_flow * self.time_unit,
+                "mean_flow": r.mean_flow * self.time_unit,
+                "p99_flow": r.flow_percentile(99) * self.time_unit,
+                "max_weighted_flow": r.max_weighted_flow * self.time_unit,
+            }
+            if base:
+                row["vs_baseline"] = r.max_flow / base
+            out.append(row)
+        return out
+
+    def render(self) -> str:
+        """ASCII table, one scheduler per row."""
+        if not self._results:
+            return "(no results)"
+        has_ratio = self.baseline in self._results if self.baseline else False
+        header = (
+            f"{'scheduler':<18} {'max_flow':>12} {'mean_flow':>12} "
+            f"{'p99_flow':>12}"
+        )
+        if has_ratio:
+            header += f" {'vs ' + str(self.baseline):>12}"
+        lines = [
+            f"(times in {self.time_label})",
+            header,
+            "-" * len(header),
+        ]
+        for row in self.rows():
+            line = (
+                f"{row['name']:<18} {row['max_flow']:>12.3f} "
+                f"{row['mean_flow']:>12.3f} {row['p99_flow']:>12.3f}"
+            )
+            if has_ratio:
+                line += f" {row.get('vs_baseline', float('nan')):>11.2f}x"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComparisonTable(n_results={len(self._results)})"

@@ -1,0 +1,80 @@
+"""Multiprocessor execution substrate.
+
+Two exact simulation engines drive every scheduler in :mod:`repro.core`:
+
+* :func:`~repro.sim.events.run_centralized` -- an event-driven engine for
+  centralized preemptive schedulers (FIFO, BWF, the list-scheduling
+  baselines).  Processor assignment can only change at job arrivals and
+  node completions, so the engine jumps between those events; this is
+  exact and far faster than stepping time.
+
+* :func:`~repro.sim.engine.run_work_stealing` -- a discrete-time engine
+  for the randomized work-stealing schedulers (admit-first and
+  steal-k-first, Section 4 of the paper).  The paper defines one *time
+  step* as the time an ``s``-speed processor needs for one unit of work
+  and charges one time step per steal attempt; the engine simulates in
+  exactly those integer ticks, so runs are bit-reproducible for a given
+  seed.
+
+Shared pieces: :class:`~repro.sim.result.ScheduleResult` (the output of
+every engine), :class:`~repro.sim.jobstate.JobExecution` (mutable per-job
+execution state), :class:`~repro.sim.deque.WorkStealingDeque`,
+:class:`~repro.sim.queue.GlobalAdmissionQueue`, and
+:class:`~repro.sim.trace.TraceRecorder` (optional execution tracing with
+invariant audits).
+"""
+
+from repro.sim.result import (
+    ScheduleResult,
+    SimulationStats,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.sim.rng import make_rng, spawn_rngs
+from repro.sim.deque import WorkStealingDeque
+from repro.sim.queue import GlobalAdmissionQueue, WeightedAdmissionQueue
+from repro.sim.jobstate import JobExecution
+from repro.sim.events import run_centralized
+from repro.sim.engine import run_work_stealing
+from repro.sim.trace import TraceRecorder, TraceInterval, audit_trace
+from repro.sim.policies import (
+    MaxDequeVictim,
+    RoundRobinVictim,
+    UniformVictim,
+    VictimPolicy,
+    make_victim_policy,
+)
+from repro.sim.sampling import SystemSample, SystemSampler
+from repro.sim.timeline import job_symbol, render_timeline, worker_utilization
+
+__all__ = [
+    "VictimPolicy",
+    "UniformVictim",
+    "RoundRobinVictim",
+    "MaxDequeVictim",
+    "make_victim_policy",
+    "render_timeline",
+    "worker_utilization",
+    "job_symbol",
+    "SystemSample",
+    "SystemSampler",
+    "ScheduleResult",
+    "SimulationStats",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+    "make_rng",
+    "spawn_rngs",
+    "WorkStealingDeque",
+    "GlobalAdmissionQueue",
+    "WeightedAdmissionQueue",
+    "JobExecution",
+    "run_centralized",
+    "run_work_stealing",
+    "TraceRecorder",
+    "TraceInterval",
+    "audit_trace",
+]

@@ -1,0 +1,76 @@
+"""The work-stealing deque.
+
+Each worker owns one double-ended queue of ready-node entries (Section 4
+of the paper, following Blumofe & Leiserson).  The owner pushes newly
+enabled nodes onto the *bottom* and pops from the *bottom* (LIFO order,
+which keeps the owner on its own job's depth-first frontier); thieves
+steal from the *top* (the entry closest to the job's root, i.e. the one
+with the most work hanging under it).
+
+The simulator is single-threaded, so no synchronization is needed; the
+class exists to pin down the end semantics (an easy thing to silently
+flip) and to count owner/thief traffic for the utilization reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class WorkStealingDeque(Generic[T]):
+    """A deque with explicitly named work-stealing end semantics.
+
+    ``push_bottom``/``pop_bottom`` are the owner's operations;
+    ``steal_top`` is the thief's.  ``peek_*`` variants exist for tests.
+    """
+
+    __slots__ = ("_items", "owner_pushes", "owner_pops", "steals")
+
+    def __init__(self) -> None:
+        self._items: Deque[T] = deque()
+        #: number of owner pushes over the deque's lifetime
+        self.owner_pushes = 0
+        #: number of owner pops over the deque's lifetime
+        self.owner_pops = 0
+        #: number of successful steals suffered over the deque's lifetime
+        self.steals = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def push_bottom(self, item: T) -> None:
+        """Owner pushes a newly enabled node onto the bottom."""
+        self._items.append(item)
+        self.owner_pushes += 1
+
+    def pop_bottom(self) -> Optional[T]:
+        """Owner pops the most recently pushed entry; ``None`` if empty."""
+        if not self._items:
+            return None
+        self.owner_pops += 1
+        return self._items.pop()
+
+    def steal_top(self) -> Optional[T]:
+        """Thief steals the oldest entry (top); ``None`` if empty."""
+        if not self._items:
+            return None
+        self.steals += 1
+        return self._items.popleft()
+
+    def peek_bottom(self) -> Optional[T]:
+        """Non-destructive view of the bottom entry; ``None`` if empty."""
+        return self._items[-1] if self._items else None
+
+    def peek_top(self) -> Optional[T]:
+        """Non-destructive view of the top entry; ``None`` if empty."""
+        return self._items[0] if self._items else None
+
+    def snapshot(self) -> Tuple[T, ...]:
+        """Top-to-bottom copy of the contents (for tests and traces)."""
+        return tuple(self._items)

@@ -1,0 +1,426 @@
+"""Discrete-time engine for the steal-k-first work-stealing schedulers.
+
+The paper's model (Sections 4--5): ``m`` workers of speed ``s``; one *time
+step* (tick) is the time an ``s``-speed worker needs for one unit of work,
+so a tick spans ``1/s`` time units; each steal attempt costs exactly one
+tick.  New jobs join a global FIFO queue; a worker with an empty deque
+either steals from a random victim or admits the head-of-line job,
+according to the steal-k-first policy:
+
+* try random steals first, and
+* admit from the global queue only after ``k`` *consecutive* failed steal
+  attempts (``k = 0`` is admit-first: admit whenever the queue is
+  non-empty, steal only when it is empty).
+
+Within a tick the engine runs two phases: all busy workers execute one
+work unit (phase A), then every worker that was idle at the start of the
+tick performs one acquisition action (phase B).  Thieves therefore see
+work pushed earlier in the same tick, matching the racy behaviour of a
+real runtime while staying deterministic for a fixed seed.
+
+Exactness and speed
+-------------------
+All state is integral (ticks, work units), so runs are bit-reproducible.
+Two lossless fast-forward modes keep pure-Python cost acceptable:
+
+* **all-busy**: when every worker is executing, no steal or admission can
+  occur, so the engine advances ``min(remaining)`` ticks at once;
+* **nothing stealable**: when every deque and the global queue are empty
+  but some workers are busy, idle workers can only fail steals, so the
+  engine advances to the next completion or arrival, charging the skipped
+  failed-steal ticks to the statistics in bulk.
+
+Both modes change no observable scheduling decision; they only skip ticks
+in which no decision is possible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dag.job import JobSet
+from repro.sim.jobstate import JobExecution
+from repro.sim.policies import make_victim_policy
+from repro.sim.queue import GlobalAdmissionQueue, WeightedAdmissionQueue
+from repro.sim.result import ScheduleResult, SimulationStats
+from repro.sim.rng import SeedLike, make_rng
+from repro.sim.sampling import SystemSampler
+from repro.sim.trace import TraceRecorder
+from repro.sim.worker import NodeRef, WorkerState
+
+
+def run_work_stealing(
+    jobset: JobSet,
+    m: int,
+    speed: float = 1.0,
+    k: int = 0,
+    seed: SeedLike = None,
+    trace: Optional[TraceRecorder] = None,
+    max_ticks: Optional[int] = None,
+    steals_per_tick: int = 1,
+    victim_policy: str = "uniform",
+    steal_half: bool = False,
+    admission: str = "fifo",
+    sampler: Optional[SystemSampler] = None,
+) -> ScheduleResult:
+    """Simulate steal-k-first work stealing exactly, tick by tick.
+
+    Parameters
+    ----------
+    jobset:
+        The instance.  Node works are integers (work units); a job
+        arriving at time ``r`` becomes admissible at the first tick
+        boundary at or after ``r * speed``.
+    m:
+        Number of workers.
+    speed:
+        Worker speed ``s``; a tick spans ``1/s`` time units.
+    k:
+        Steal-k-first parameter; ``k = 0`` is admit-first.
+    seed:
+        Seed or generator for victim selection (the only randomness).
+    trace:
+        Optional :class:`TraceRecorder` for feasibility audits.  Nodes
+        execute without preemption under work stealing, so each node
+        yields exactly one trace interval.
+    max_ticks:
+        Safety valve: abort (with ``RuntimeError``) if the run exceeds
+        this many ticks.  Defaults to a generous bound derived from the
+        instance (total work, span, arrival horizon and steal overhead).
+    steals_per_tick:
+        Cost model for acquisition actions.  ``1`` (default) is the
+        paper's *theoretical* model: every steal attempt costs a full
+        unit-of-work time step (Sections 4--5 charge exactly that, and
+        the ``(k+1)``-speed requirement of Theorem 4.1 comes from it).
+        Larger values model the paper's *experimental* reality, where a
+        TBB steal attempt costs microseconds against millisecond jobs
+        ("the constant k steal attempts for admitting a job is
+        negligible in practice", Section 4): an idle worker may perform
+        up to this many acquisition actions per tick, i.e. one steal
+        costs ``1/steals_per_tick`` of a work unit.  A worker still
+        acquires at most one node per tick.  The Figure 2 reproduction
+        uses a large value; the theorem and lower-bound benches use 1.
+    victim_policy:
+        Victim selection for steal attempts: ``"uniform"`` (the paper's
+        analyzed policy, default), ``"round-robin"`` (deterministic
+        sweep), or ``"max-deque"`` (an oracle upper bound).  See
+        :mod:`repro.sim.policies`.
+    steal_half:
+        When True, a successful steal transfers the top *half* (rounded
+        up) of the victim's deque instead of a single entry: the thief
+        executes the first stolen node and queues the rest on its own
+        deque.  A classic runtime optimization that spreads a wide job
+        in O(log width) steals instead of O(width); not part of the
+        paper's analysis, exposed for the steal-policy ablation.
+    admission:
+        ``"fifo"`` (the paper's global queue) or ``"weight"`` --
+        admission pops the biggest-weight waiting job, the distributed
+        analogue of BWF for the Section 7 weighted objective (this
+        repository's extension; see
+        :class:`repro.sim.queue.WeightedAdmissionQueue`).
+    sampler:
+        Optional :class:`repro.sim.sampling.SystemSampler` recording
+        periodic snapshots of (busy workers, queue length, stealable
+        deques, completions) for time-series diagnostics.
+
+    Returns
+    -------
+    ScheduleResult
+        With work-stealing statistics: ``busy_steps`` (== total work),
+        ``steal_attempts``, ``failed_steals``, ``admissions`` (== n),
+        ``idle_steps`` (ticks idled while the whole system was empty) and
+        ``elapsed_ticks``.
+    """
+    if m < 1:
+        raise ValueError(f"need at least one worker, got m={m}")
+    if speed <= 0:
+        raise ValueError(f"speed must be positive, got {speed}")
+    if k < 0:
+        raise ValueError(f"steal-k-first requires k >= 0, got {k}")
+    if steals_per_tick < 1:
+        raise ValueError(
+            f"steals_per_tick must be >= 1, got {steals_per_tick}"
+        )
+    sigma = int(steals_per_tick)
+
+    rng = make_rng(seed)
+    n = len(jobset)
+    arrivals = np.asarray(jobset.arrivals, dtype=np.float64)
+    weights = np.asarray(jobset.weights, dtype=np.float64)
+    completions = np.zeros(n, dtype=np.float64)
+
+    # Tick at whose start each job is present in the global queue.
+    arrival_ticks = np.ceil(arrivals * speed - 1e-9).astype(np.int64)
+
+    if max_ticks is None:
+        # Loose feasibility bound: all work serialized + per-job overhead
+        # (admission + k failed steals each) + the arrival horizon itself.
+        max_ticks = int(
+            jobset.total_work + (k + 2) * n + arrival_ticks[-1] + 64 * m + 64
+        ) * 4
+
+    workers = [WorkerState(i) for i in range(m)]
+    if admission == "fifo":
+        queue: GlobalAdmissionQueue[JobExecution] = GlobalAdmissionQueue()
+    elif admission == "weight":
+        queue = WeightedAdmissionQueue()  # type: ignore[assignment]
+    else:
+        raise ValueError(
+            f"unknown admission policy {admission!r}; expected 'fifo' or 'weight'"
+        )
+    victims = make_victim_policy(victim_policy, rng, m) if m > 1 else None
+    stats = SimulationStats()
+
+    pending = list(jobset.jobs)
+    next_arr = 0
+    completed = 0
+    t = int(arrival_ticks[0])  # nothing can happen before the first arrival
+
+    # Hot-loop locals (attribute lookups dominate otherwise).
+    n_busy = 0  # number of workers with a current node
+    stealable = 0  # number of non-empty deques
+
+    def _complete_current(w: WorkerState, end_tick: int) -> None:
+        """Finish the worker's current node at the end of ``end_tick``.
+
+        Enables successors, continues depth-first with the first enabled
+        child (pushing the rest), else pops the worker's own deque; these
+        transitions are free, as only steals cost time in the model.
+        """
+        nonlocal completed, n_busy, stealable
+        je, node = w.current[0], w.current[1]  # type: ignore[index]
+        if trace is not None:
+            trace.record(
+                w.index, je.job_id, node, w.start_tick / speed, (end_tick + 1) / speed
+            )
+        enabled = je.finish_node(node)
+        if je.done:
+            je.completion = (end_tick + 1) / speed
+            completions[je.job_id] = je.completion
+            completed += 1
+        if enabled:
+            # Children become legal to execute from tick end_tick + 1.
+            w.assign((je, enabled[0], end_tick + 1), end_tick + 1)
+            if len(enabled) > 1:
+                was_empty = not w.deque
+                for u in enabled[1:]:
+                    w.deque.push_bottom((je, u, end_tick + 1))
+                if was_empty:
+                    stealable += 1
+        else:
+            entry = w.deque.pop_bottom()
+            if entry is not None:
+                if not w.deque:
+                    stealable -= 1
+                w.assign(entry, end_tick + 1)
+            else:
+                w.current = None
+                n_busy -= 1
+
+    def _work_one_unit(w: WorkerState, tick: int) -> None:
+        """Execute one unit of the just-acquired node within ``tick``.
+
+        Only used in the practical cost model (``sigma > 1``), where an
+        acquisition is a sub-tick action rather than a full time step.
+        """
+        w.start_tick = tick  # execution begins this tick, not the next
+        w.remaining -= 1
+        w.busy_steps += 1
+        stats.busy_steps += 1
+        if w.remaining == 0:
+            _complete_current(w, tick)
+
+    def _admit(w: WorkerState, tick: int) -> None:
+        """Pop the head-of-line job and take its first root (push the rest)."""
+        nonlocal n_busy, stealable
+        je = queue.admit()
+        assert je is not None
+        roots = je.job.dag.roots
+        # Roots were ready from the job's arrival tick, which is <= tick.
+        w.assign((je, roots[0], tick), tick + 1)
+        if len(roots) > 1:
+            was_empty = not w.deque
+            for r in roots[1:]:
+                w.deque.push_bottom((je, r, tick))
+            if was_empty:
+                stealable += 1
+        n_busy += 1
+        w.admit_steps += 1
+        stats.admissions += 1
+
+    while completed < n:
+        # ---- release arrivals due at or before the current tick ---------
+        while next_arr < n and arrival_ticks[next_arr] <= t:
+            queue.release(JobExecution(pending[next_arr]))
+            next_arr += 1
+
+        if t >= max_ticks:
+            raise RuntimeError(
+                f"work-stealing run exceeded max_ticks={max_ticks} "
+                f"({completed}/{n} jobs complete) -- instance may be overloaded"
+            )
+
+        if sampler is not None:
+            sampler.maybe_record(t, n_busy, len(queue), stealable, completed)
+
+        # ---- fast-forward: whole system empty ---------------------------
+        if n_busy == 0 and not queue:
+            # No work anywhere; jump to the next arrival.  Idle workers
+            # would spend the gap failing steals, so saturate their
+            # admission counters and account the gap as idle time.
+            gap = int(arrival_ticks[next_arr]) - t
+            for w in workers:
+                w.failed_steals = min(k, w.failed_steals + gap * sigma)
+            stats.idle_steps += gap * m
+            t += gap
+            continue
+
+        # ---- fast-forward: every worker busy -----------------------------
+        if n_busy == m:
+            delta = min(w.remaining for w in workers)
+            # No cap at arrivals: arrivals only join the queue, and no
+            # worker can react to the queue while all are busy.
+            for w in workers:
+                w.remaining -= delta
+                w.busy_steps += delta
+            stats.busy_steps += delta * m
+            t += delta
+            end_tick = t - 1
+            for w in workers:
+                if w.remaining == 0:
+                    _complete_current(w, end_tick)
+            continue
+
+        # ---- fast-forward: nothing stealable, nothing admissible ---------
+        # While every deque and the queue are empty, idle workers can only
+        # fail steals -- but the *final* tick before the next completion
+        # (or arrival) must run through the general path, because a
+        # completion in phase A publishes stealable work that phase B
+        # thieves may take within the same tick.  So we blind-skip only
+        # delta - 1 ticks, during which provably nothing completes.
+        if stealable == 0 and not queue and n_busy > 0:
+            delta = min(w.remaining for w in workers if w.current is not None)
+            if next_arr < n:
+                delta = min(delta, int(arrival_ticks[next_arr]) - t)
+            blind = delta - 1
+            if blind >= 1:
+                n_idle = m - n_busy
+                for w in workers:
+                    if w.current is not None:
+                        w.remaining -= blind
+                        w.busy_steps += blind
+                    else:
+                        w.failed_steals = min(
+                            k, w.failed_steals + blind * sigma
+                        )
+                        w.steal_steps += blind
+                stats.busy_steps += blind * n_busy
+                stats.steal_attempts += blind * n_idle * sigma
+                stats.failed_steals += blind * n_idle * sigma
+                t += blind
+                continue
+            # delta == 1: fall through to the general tick.
+
+        # ---- general tick -------------------------------------------------
+        # Phase A: workers busy at the start of the tick execute one unit.
+        idle_at_start: List[WorkerState] = []
+        for w in workers:
+            if w.current is not None:
+                w.remaining -= 1
+                w.busy_steps += 1
+                stats.busy_steps += 1
+                if w.remaining == 0:
+                    _complete_current(w, t)
+            else:
+                idle_at_start.append(w)
+
+        # Phase B: workers idle at the start of the tick acquire.  Each
+        # performs up to `sigma` acquisition actions and starts at most
+        # one node.  In the theoretical model (sigma == 1) the
+        # acquisition consumes the whole tick and work begins next tick;
+        # in the practical model (sigma > 1) acquisitions are sub-tick
+        # actions, so the acquired node executes its first unit within
+        # the same tick.
+        for w in idle_at_start:
+            budget = sigma
+            admitted = False
+            while budget > 0:
+                if w.failed_steals >= k and queue:
+                    _admit(w, t)
+                    admitted = True
+                    if sigma > 1:
+                        _work_one_unit(w, t)
+                    break  # admission consumes the rest of the tick
+                if stealable == 0:
+                    # No deque can satisfy a steal, and later workers in
+                    # this phase can only *remove* stealable entries, so
+                    # every remaining attempt this tick fails.  When the
+                    # queue is non-empty, burn just enough failures to
+                    # unlock admission; otherwise burn the whole budget.
+                    if queue and k - w.failed_steals <= budget:
+                        burned = k - w.failed_steals
+                    else:
+                        burned = budget
+                    w.failed_steals = min(k, w.failed_steals + burned)
+                    stats.steal_attempts += burned
+                    stats.failed_steals += burned
+                    budget -= burned
+                    if budget > 0:
+                        continue  # unlocked admission; loop admits next
+                    break
+                # A live steal attempt against a chosen victim.
+                stats.steal_attempts += 1
+                budget -= 1
+                victim = workers[victims.choose(w.index, workers)]
+                entry: Optional[NodeRef] = victim.deque.steal_top()
+                if entry is not None:
+                    if steal_half:
+                        # Take the rest of the top half: the victim held
+                        # L0 entries, the thief takes ceil(L0/2) total --
+                        # the first is `entry`, leaving len//2 extras to
+                        # move (oldest first) onto the thief's own deque.
+                        extra = len(victim.deque) // 2
+                        if extra > 0:
+                            for _ in range(extra):
+                                moved = victim.deque.steal_top()
+                                w.deque.push_bottom(moved)  # type: ignore[arg-type]
+                            stealable += 1  # thief's deque was empty
+                    if not victim.deque:
+                        stealable -= 1
+                    w.assign(entry, t + 1)
+                    n_busy += 1
+                    # Same-tick execution only if the node was already
+                    # ready at the start of this tick (entry[2] <= t);
+                    # otherwise its predecessor finished within this very
+                    # tick and starting now would violate precedence at
+                    # trace granularity.
+                    if sigma > 1 and entry[2] <= t:
+                        _work_one_unit(w, t)
+                    break  # the steal consumes the rest of the tick
+                w.failed_steals += 1
+                stats.failed_steals += 1
+            if not admitted:
+                w.steal_steps += 1  # the tick went to (possibly failed) steals
+
+        t += 1
+
+    stats.elapsed_ticks = t
+    label = f"steal-{k}-first" if k > 0 else "admit-first"
+    if victim_policy != "uniform":
+        label += f"/{victim_policy}"
+    if steal_half:
+        label += "/half"
+    if admission != "fifo":
+        label += f"/{admission}-admission"
+    return ScheduleResult(
+        scheduler=label,
+        m=m,
+        speed=speed,
+        arrivals=arrivals,
+        completions=completions,
+        weights=weights,
+        stats=stats,
+        seed=None if isinstance(seed, np.random.Generator) else seed,
+    )

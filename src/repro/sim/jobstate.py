@@ -1,0 +1,116 @@
+"""Mutable per-job execution state.
+
+:class:`JobExecution` is the engines' working copy of a job: which nodes
+are ready, how much of each in-flight node remains, how many nodes are
+still unfinished.  The immutable :class:`~repro.dag.graph.JobDag` is never
+modified, so one DAG can back many simultaneous simulations.
+
+This class is also the **non-clairvoyance boundary**: scheduling policies
+receive only the interface below -- the currently ready frontier and
+arrival metadata -- and the engines never let a policy peek at unreleased
+structure, remaining work, total work or span (the clairvoyant baselines
+in :mod:`repro.core.greedy` are explicitly documented exceptions that read
+``job.dag`` directly).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dag.job import Job
+
+
+class JobExecution:
+    """Execution state of one job inside an engine.
+
+    Attributes
+    ----------
+    job:
+        The immutable job (dag, arrival, weight, id).
+    remaining_preds:
+        Per-node count of not-yet-finished predecessors; a node is *ready*
+        when its count reaches zero and it has not completed.
+    remaining_work:
+        Per-node remaining processing in work units.  The event engine
+        stores fractional progress here (floats); the tick engine keeps
+        integers.
+    ready:
+        Node ids that are ready and not currently finished.  The event
+        engine maintains this list directly; the tick engine instead
+        routes ready nodes through worker deques, so it leaves this empty.
+    unfinished:
+        Count of nodes not yet completed; the job is done at zero.
+    completion:
+        Completion time in time units, set exactly once by the engine.
+    """
+
+    __slots__ = (
+        "job",
+        "remaining_preds",
+        "remaining_work",
+        "ready",
+        "unfinished",
+        "completion",
+        "attained",
+    )
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        dag = job.dag
+        self.remaining_preds: List[int] = list(dag.predecessor_counts)
+        self.remaining_work: List[float] = [float(w) for w in dag.works]
+        self.ready: List[int] = list(dag.roots)
+        self.unfinished: int = dag.n_nodes
+        self.completion: Optional[float] = None
+        #: Work units executed so far, maintained by the event engine;
+        #: dynamic policies (least-attained-service) read it.
+        self.attained: float = 0.0
+
+    # -- identity / metadata --------------------------------------------
+
+    @property
+    def job_id(self) -> int:
+        """Dense id of the underlying job."""
+        return self.job.job_id
+
+    @property
+    def arrival(self) -> float:
+        """Release time of the underlying job."""
+        return self.job.arrival
+
+    @property
+    def weight(self) -> float:
+        """Weight of the underlying job."""
+        return self.job.weight
+
+    @property
+    def done(self) -> bool:
+        """True when every node of the job has finished."""
+        return self.unfinished == 0
+
+    # -- engine operations ------------------------------------------------
+
+    def finish_node(self, node: int) -> List[int]:
+        """Mark ``node`` complete; return the node ids it newly enables.
+
+        The caller is responsible for having driven the node's remaining
+        work to zero and for removing it from whatever ready structure
+        (this object's ``ready`` list or a worker deque) held it.
+        """
+        if self.unfinished <= 0:
+            raise RuntimeError(
+                f"job {self.job_id}: finish_node({node}) called after completion"
+            )
+        self.unfinished -= 1
+        enabled: List[int] = []
+        for succ in self.job.dag.successors[node]:
+            self.remaining_preds[succ] -= 1
+            if self.remaining_preds[succ] == 0:
+                enabled.append(succ)
+        return enabled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobExecution(job={self.job_id}, unfinished={self.unfinished}/"
+            f"{self.job.dag.n_nodes}, completion={self.completion})"
+        )

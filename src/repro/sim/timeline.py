@@ -1,0 +1,134 @@
+"""Text timeline (Gantt) rendering of execution traces.
+
+Turns a :class:`~repro.sim.trace.TraceRecorder` into a terminal Gantt
+chart -- one row per worker, one column per time slice, one symbol per
+job -- plus per-worker utilization summaries.  Useful for eyeballing
+*why* a schedule behaved as it did: admission delays, steal storms and
+sequential phases are all visible at a glance (see
+``examples/custom_dag_programs.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.trace import TraceRecorder
+
+#: Symbols assigned to jobs round-robin; 62 distinct before cycling.
+_SYMBOLS = (
+    "0123456789"
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+)
+
+
+def job_symbol(job_id: int) -> str:
+    """The timeline symbol for a job id (cycles after 62 jobs)."""
+    return _SYMBOLS[job_id % len(_SYMBOLS)]
+
+
+def render_timeline(
+    trace: TraceRecorder,
+    m: int,
+    width: int = 80,
+    t_start: Optional[float] = None,
+    t_end: Optional[float] = None,
+    show_legend: bool = True,
+) -> str:
+    """Render the trace as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    trace:
+        A recorder filled by an engine run.
+    m:
+        Number of workers (rows); workers that never executed still get
+        a row of idle marks.
+    width:
+        Number of time columns; each column covers
+        ``(t_end - t_start) / width`` time units.
+    t_start, t_end:
+        Window to render; defaults to the trace's extent.
+    show_legend:
+        Append a job-id -> symbol legend (first 20 jobs).
+
+    Notes
+    -----
+    A column shows the job occupying the *majority* of that worker's
+    column span, or ``.`` when the worker is idle for most of it --
+    coarse on purpose; use the raw trace for exact forensics.
+    """
+    ivs = trace.intervals
+    if not ivs:
+        return "(empty trace)"
+    if t_start is None:
+        t_start = min(iv.start for iv in ivs)
+    if t_end is None:
+        t_end = max(iv.end for iv in ivs)
+    if t_end <= t_start:
+        raise ValueError(f"need t_end > t_start, got [{t_start}, {t_end}]")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+
+    col_span = (t_end - t_start) / width
+    # busy[worker][col] accumulates (job_id -> covered time).
+    busy: List[List[Dict[int, float]]] = [
+        [dict() for _ in range(width)] for _ in range(m)
+    ]
+    for iv in ivs:
+        if iv.worker >= m or iv.end <= t_start or iv.start >= t_end:
+            continue
+        first = max(0, int((iv.start - t_start) / col_span))
+        last = min(width - 1, int((iv.end - t_start) / col_span))
+        for col in range(first, last + 1):
+            col_lo = t_start + col * col_span
+            col_hi = col_lo + col_span
+            overlap = min(iv.end, col_hi) - max(iv.start, col_lo)
+            if overlap > 0:
+                cell = busy[iv.worker][col]
+                cell[iv.job_id] = cell.get(iv.job_id, 0.0) + overlap
+
+    lines = [
+        f"timeline [{t_start:g}, {t_end:g}] "
+        f"({col_span:g} time units per column)"
+    ]
+    for w in range(m):
+        row_chars = []
+        for col in range(width):
+            cell = busy[w][col]
+            total = sum(cell.values())
+            if total < col_span / 2:
+                row_chars.append(".")
+            else:
+                winner = max(cell.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+                row_chars.append(job_symbol(winner))
+        lines.append(f"w{w:<3d} |{''.join(row_chars)}|")
+
+    if show_legend:
+        jobs = sorted({iv.job_id for iv in ivs})[:20]
+        legend = "  ".join(f"{job_symbol(j)}=job{j}" for j in jobs)
+        lines.append(f"legend: {legend}" + ("  ..." if len(jobs) == 20 else ""))
+    return "\n".join(lines)
+
+
+def worker_utilization(
+    trace: TraceRecorder,
+    m: int,
+    t_end: Optional[float] = None,
+) -> List[float]:
+    """Per-worker busy fraction over ``[0, t_end]`` from the trace.
+
+    ``t_end`` defaults to the last interval end (the traced makespan).
+    """
+    ivs = trace.intervals
+    if not ivs:
+        return [0.0] * m
+    if t_end is None:
+        t_end = max(iv.end for iv in ivs)
+    if t_end <= 0:
+        raise ValueError(f"t_end must be positive, got {t_end}")
+    busy = [0.0] * m
+    for iv in ivs:
+        if iv.worker < m:
+            busy[iv.worker] += min(iv.end, t_end) - iv.start
+    return [b / t_end for b in busy]

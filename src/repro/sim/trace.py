@@ -1,0 +1,158 @@
+"""Execution tracing and schedule-validity audits.
+
+A :class:`TraceRecorder` collects every contiguous execution segment of a
+run as ``(worker, job, node, start, end)`` intervals.  The
+:func:`audit_trace` function then re-derives, from the trace alone, that
+the schedule was *feasible*:
+
+1. no processor runs two nodes at once,
+2. at most ``m`` processors run at any instant,
+3. a node runs on at most one processor at a time,
+4. every node receives exactly its processing time (scaled by speed),
+5. no node starts before all its predecessors finish,
+6. no node starts before its job arrives.
+
+Tests run audits on small instances of every scheduler; the engines
+themselves never rely on the trace, so auditing is a genuinely
+independent check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.dag.job import JobSet
+
+#: Tolerance for interval arithmetic in time units.
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One contiguous execution segment of one node on one processor."""
+
+    worker: int
+    job_id: int
+    node: int
+    start: float
+    end: float
+
+
+class TraceRecorder:
+    """Accumulates execution intervals during a simulated run.
+
+    Recording is append-only; engines call :meth:`record` once per
+    contiguous segment.  Zero-length segments are ignored.
+    """
+
+    def __init__(self) -> None:
+        self._intervals: List[TraceInterval] = []
+
+    def record(
+        self, worker: int, job_id: int, node: int, start: float, end: float
+    ) -> None:
+        """Record that ``worker`` ran ``(job_id, node)`` over ``[start, end)``."""
+        if end - start <= 0.0:
+            return
+        self._intervals.append(TraceInterval(worker, job_id, node, start, end))
+
+    @property
+    def intervals(self) -> List[TraceInterval]:
+        """All recorded segments, in recording order."""
+        return self._intervals
+
+    def intervals_of(self, job_id: int, node: int) -> List[TraceInterval]:
+        """Segments of a particular node, sorted by start time."""
+        return sorted(
+            (iv for iv in self._intervals if iv.job_id == job_id and iv.node == node),
+            key=lambda iv: iv.start,
+        )
+
+    def busy_time(self) -> float:
+        """Total processor-time spent executing (sum of segment lengths)."""
+        return sum(iv.end - iv.start for iv in self._intervals)
+
+
+def _check_disjoint(
+    intervals: List[Tuple[float, float]], label: str
+) -> None:
+    """Assert a set of intervals is pairwise non-overlapping."""
+    intervals.sort()
+    for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1 - _EPS, (
+            f"{label}: interval starting {s2} overlaps one ending {e1}"
+        )
+
+
+def audit_trace(
+    trace: TraceRecorder,
+    jobset: JobSet,
+    m: int,
+    speed: float,
+) -> None:
+    """Verify feasibility of a traced schedule; raises ``AssertionError``.
+
+    See the module docstring for the list of checks.  The audit assumes
+    the run completed (every node of every job appears in the trace).
+    """
+    ivs = trace.intervals
+
+    # (1) per-processor exclusivity
+    by_worker: Dict[int, List[Tuple[float, float]]] = {}
+    for iv in ivs:
+        by_worker.setdefault(iv.worker, []).append((iv.start, iv.end))
+    for w, spans in by_worker.items():
+        _check_disjoint(spans, f"worker {w}")
+
+    # (2) global concurrency bound: sweep over start/end events
+    events: List[Tuple[float, int]] = []
+    for iv in ivs:
+        events.append((iv.start, 1))
+        events.append((iv.end, -1))
+    events.sort(key=lambda e: (e[0], e[1]))  # ends before starts at ties
+    running = 0
+    for _t, delta in events:
+        running += delta
+        assert running <= m, f"more than m={m} processors busy simultaneously"
+
+    # (3)+(4) per-node: exclusivity and exact service
+    per_node: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
+    for iv in ivs:
+        per_node.setdefault((iv.job_id, iv.node), []).append((iv.start, iv.end))
+
+    node_first_start: Dict[Tuple[int, int], float] = {}
+    node_last_end: Dict[Tuple[int, int], float] = {}
+    for key, spans in per_node.items():
+        _check_disjoint(spans, f"node {key}")
+        node_first_start[key] = min(s for s, _ in spans)
+        node_last_end[key] = max(e for _, e in spans)
+        job_id, node = key
+        want = jobset[job_id].dag.works[node] / speed
+        got = sum(e - s for s, e in spans)
+        assert abs(got - want) <= _EPS * max(1.0, want), (
+            f"node {key} received {got} time units of service, expected {want}"
+        )
+
+    # completeness: every node of every job must appear
+    for job in jobset:
+        for v in range(job.dag.n_nodes):
+            assert (job.job_id, v) in per_node, (
+                f"node ({job.job_id}, {v}) never executed"
+            )
+
+    # (5) precedence and (6) release times
+    for job in jobset:
+        for v in range(job.dag.n_nodes):
+            start = node_first_start[(job.job_id, v)]
+            assert start >= job.arrival - _EPS, (
+                f"node ({job.job_id}, {v}) started at {start} before "
+                f"arrival {job.arrival}"
+            )
+            for u in job.dag.successors[v]:
+                pred_end = node_last_end[(job.job_id, v)]
+                succ_start = node_first_start[(job.job_id, u)]
+                assert succ_start >= pred_end - _EPS, (
+                    f"node ({job.job_id}, {u}) started at {succ_start} "
+                    f"before predecessor {v} finished at {pred_end}"
+                )

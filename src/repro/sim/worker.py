@@ -1,0 +1,99 @@
+"""Per-worker state for the work-stealing engine.
+
+Each of the ``m`` workers owns a :class:`~repro.sim.deque.WorkStealingDeque`
+and executes at most one node at a time.  A worker is in exactly one of
+two modes each tick:
+
+* **working** -- it has a current node and consumes one work unit of it;
+* **acquiring** -- it has no current node and spends the tick on one
+  acquisition action (a random steal attempt, or an admission from the
+  global FIFO queue, per the steal-k-first policy).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sim.deque import WorkStealingDeque
+from repro.sim.jobstate import JobExecution
+
+#: A deque/steal entry: (job execution state, node id, ready tick).
+#: ``ready tick`` is the first tick at whose start the node may legally
+#: execute (its enabling predecessor finished at that tick boundary); the
+#: engine's practical cost model consults it to decide whether a freshly
+#: stolen node may run a unit within the acquisition tick.
+NodeRef = Tuple[JobExecution, int, int]
+
+
+class WorkerState:
+    """Mutable state of one simulated worker thread.
+
+    Attributes
+    ----------
+    index:
+        Worker id in ``[0, m)``.
+    current:
+        The node being executed, or ``None`` while acquiring.
+    remaining:
+        Integer work units left on the current node (meaningless when
+        ``current is None``).
+    start_tick:
+        Tick index at which the current node began executing, kept for
+        trace recording.
+    deque:
+        The worker's own work-stealing deque of ready nodes.
+    failed_steals:
+        Consecutive failed steal attempts since the last successful
+        acquisition; steal-k-first admits from the global queue once this
+        reaches ``k``.
+    busy_steps / steal_steps / admit_steps:
+        Lifetime accounting (ticks spent working / stealing / admitting).
+    """
+
+    __slots__ = (
+        "index",
+        "current",
+        "remaining",
+        "start_tick",
+        "deque",
+        "failed_steals",
+        "busy_steps",
+        "steal_steps",
+        "admit_steps",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.current: Optional[NodeRef] = None
+        self.remaining: int = 0
+        self.start_tick: int = 0
+        self.deque: WorkStealingDeque[NodeRef] = WorkStealingDeque()
+        self.failed_steals: int = 0
+        self.busy_steps: int = 0
+        self.steal_steps: int = 0
+        self.admit_steps: int = 0
+
+    @property
+    def busy(self) -> bool:
+        """True when the worker is executing a node."""
+        return self.current is not None
+
+    def assign(self, entry: NodeRef, next_tick: int) -> None:
+        """Make ``entry`` the current node, starting at ``next_tick``.
+
+        Resets the failed-steal counter: any successful acquisition ends
+        the consecutive-failure streak that gates admission.
+        """
+        je, node = entry[0], entry[1]
+        self.current = entry
+        self.remaining = je.job.dag.works[node]
+        self.start_tick = next_tick
+        self.failed_steals = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cur = (
+            f"job{self.current[0].job_id}/n{self.current[1]}(rem={self.remaining})"
+            if self.current
+            else "idle"
+        )
+        return f"WorkerState(#{self.index}, {cur}, deque={len(self.deque)})"

@@ -1,0 +1,64 @@
+"""The paper's theorems as checkable formulas.
+
+:mod:`~repro.theory.bounds` transcribes every quantitative statement of
+the paper into a function (speeds, competitive ratios, flow bounds,
+lower-bound magnitudes); :mod:`~repro.theory.validate` pairs those
+formulas with simulated runs, producing sound checks the test suite and
+the theorem benches consume.
+"""
+
+from repro.theory.bounds import (
+    bwf_competitive_ratio,
+    bwf_speed,
+    fifo_competitive_ratio,
+    fifo_speed,
+    graham_makespan_bound,
+    sequential_fifo_competitive_ratio,
+    steal_k_first_flow_bound,
+    steal_k_first_speed,
+    work_stealing_lower_bound,
+    weighted_lower_bound_exponent,
+)
+from repro.theory.queueing import (
+    mg1_mean_flow,
+    mg1_mean_wait,
+    predicted_opt_mean_flow,
+    service_moments,
+    squared_cv,
+    utilization,
+)
+from repro.theory.validate import (
+    BoundCheck,
+    check_fifo_theorem,
+    check_bwf_theorem,
+    check_lower_bound_soundness,
+    check_span_lower_bounds,
+    check_steal_k_first_theorem,
+    check_work_conservation,
+)
+
+__all__ = [
+    "fifo_speed",
+    "fifo_competitive_ratio",
+    "steal_k_first_speed",
+    "steal_k_first_flow_bound",
+    "bwf_speed",
+    "bwf_competitive_ratio",
+    "work_stealing_lower_bound",
+    "graham_makespan_bound",
+    "sequential_fifo_competitive_ratio",
+    "weighted_lower_bound_exponent",
+    "BoundCheck",
+    "check_fifo_theorem",
+    "check_bwf_theorem",
+    "check_steal_k_first_theorem",
+    "check_lower_bound_soundness",
+    "check_span_lower_bounds",
+    "check_work_conservation",
+    "mg1_mean_wait",
+    "mg1_mean_flow",
+    "predicted_opt_mean_flow",
+    "service_moments",
+    "squared_cv",
+    "utilization",
+]

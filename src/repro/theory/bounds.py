@@ -1,0 +1,162 @@
+"""Quantitative statements of the paper's theorems, as plain functions.
+
+Each function transcribes one theorem/lemma with its exact constants (the
+constants the proofs establish, not just the O-notation), so that tests
+and benches can evaluate "is this run consistent with the theory?"
+numerically.
+
+===========================  ===========================================
+Theorem 3.1                  :func:`fifo_speed`,
+                             :func:`fifo_competitive_ratio`
+Theorem 4.1 / Cor. 4.2-4.3   :func:`steal_k_first_speed`,
+                             :func:`steal_k_first_flow_bound`
+Lemma 5.1                    :func:`work_stealing_lower_bound`
+Theorem 7.1                  :func:`bwf_speed`,
+                             :func:`bwf_competitive_ratio`
+Related work (Sec. 1)        :func:`sequential_fifo_competitive_ratio`,
+                             :func:`weighted_lower_bound_exponent`
+===========================  ===========================================
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def fifo_speed(eps: float) -> float:
+    """Speed FIFO needs for Theorem 3.1: ``1 + eps``."""
+    _require_eps(eps)
+    return 1.0 + eps
+
+
+def fifo_competitive_ratio(eps: float) -> float:
+    """Theorem 3.1's proved constant: FIFO at ``(1+eps)``-speed is
+    ``3/eps``-competitive for maximum unweighted flow time (0 < eps < 1).
+    """
+    _require_eps(eps, upper=1.0)
+    return 3.0 / eps
+
+
+def steal_k_first_speed(k: int, eps: float) -> float:
+    """Speed steal-k-first needs for Theorem 4.1: ``k + 1 + (k+2) eps``.
+
+    Requires ``0 < eps < 1/(k+2)``.  For ``k = 0`` (admit-first) this is
+    ``1 + 2 eps``; Corollary 4.3 rescales it to the ``1 + eps`` form.
+    """
+    _require_k(k)
+    if not 0.0 < eps < 1.0 / (k + 2):
+        raise ValueError(
+            f"Theorem 4.1 requires 0 < eps < 1/(k+2) = {1.0/(k+2):.4f}, "
+            f"got eps={eps}"
+        )
+    return k + 1 + (k + 2) * eps
+
+
+def steal_k_first_flow_bound(eps: float, k: int, opt: float, n: int) -> float:
+    """Theorem 4.1's proved max-flow bound: ``(65/eps^2)(OPT + ln n + k)``.
+
+    The proof shows that, with probability at least ``1 - 1/n``,
+    steal-k-first at :func:`steal_k_first_speed` has maximum flow at most
+    this value.  Note this is a bound on the *flow time itself*, not a
+    ratio -- the ``max{OPT, ln n}`` in the theorem statement is the
+    rewritten form.
+    """
+    _require_k(k)
+    if not 0.0 < eps < 1.0 / (k + 2):
+        raise ValueError(
+            f"Theorem 4.1 requires 0 < eps < 1/(k+2) = {1.0/(k+2):.4f}, "
+            f"got eps={eps}"
+        )
+    if opt <= 0:
+        raise ValueError(f"OPT must be positive, got {opt}")
+    if n < 1:
+        raise ValueError(f"need at least one job, got n={n}")
+    return (65.0 / eps**2) * (opt + math.log(n) + k)
+
+
+def bwf_speed(eps: float) -> float:
+    """Speed BWF needs for Theorem 7.1's proof form: ``1 + 3 eps``.
+
+    The proof assumes speed ``1 + 3 eps`` with ``0 < eps < 1/3`` and
+    shows ``3/eps^2``-competitiveness; the theorem statement rescales to
+    ``(1 + eps)``-speed ``O(1/eps^2)``.
+    """
+    _require_eps(eps, upper=1.0 / 3.0)
+    return 1.0 + 3.0 * eps
+
+
+def bwf_competitive_ratio(eps: float) -> float:
+    """Theorem 7.1's proved constant: BWF at ``(1+3 eps)``-speed is
+    ``3/eps^2``-competitive for maximum weighted flow time.
+    """
+    _require_eps(eps, upper=1.0 / 3.0)
+    return 3.0 / eps**2
+
+
+def work_stealing_lower_bound(n: int, speed: float = 1.0) -> float:
+    """Lemma 5.1: expected max flow ``>= log2(n)/(10 s)`` on the instance.
+
+    On the adversarial instance with ``m = log2 n`` machines, some job
+    runs (nearly) sequentially in expectation, giving expected max flow
+    ``(m/10 + 1)/s`` against OPT's 2 -- i.e. ``Omega(log n)``
+    competitiveness for any constant speed ``s``.
+    """
+    if n < 2:
+        raise ValueError(f"the construction needs n >= 2, got {n}")
+    if speed <= 0:
+        raise ValueError(f"speed must be positive, got {speed}")
+    m = math.log2(n)
+    return (m / 10.0 + 1.0) / speed
+
+
+def sequential_fifo_competitive_ratio(m: int) -> float:
+    """FIFO's ratio for *sequential* jobs: ``3/2 - 1/m`` (Section 1).
+
+    Quoted from the related-work baseline (Ambuehl & Mastrolilli;
+    Bender et al.); used by tests that cross-check the engines on
+    single-node DAGs against the sequential literature.
+    """
+    if m < 1:
+        raise ValueError(f"need m >= 1, got {m}")
+    return 1.5 - 1.0 / m
+
+
+def weighted_lower_bound_exponent() -> float:
+    """Without augmentation, weighted max flow is ``Omega(W^0.4)``-hard.
+
+    ``W`` is the max/min weight ratio (Chekuri-Im-Moseley, cited in
+    Section 1) -- the reason BWF is analyzed with resource augmentation
+    at all.  Returned as the exponent ``0.4``.
+    """
+    return 0.4
+
+
+def _require_eps(eps: float, upper: float = math.inf) -> None:
+    if not 0.0 < eps < upper:
+        bound = "" if upper == math.inf else f" and < {upper:g}"
+        raise ValueError(f"eps must be > 0{bound}, got {eps}")
+
+
+def _require_k(k: int) -> None:
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+
+
+def graham_makespan_bound(work: float, span: float, m: int) -> float:
+    """Graham's list-scheduling bound: ``W/m + (m-1)/m * P``.
+
+    The paper's footnote 1 notes makespan is the all-arrive-together
+    special case of max flow.  Any *greedy* schedule of a single DAG
+    (never idling a processor while a ready node exists) finishes by
+    this bound -- the centralized engine's FIFO is greedy on a lone job,
+    so the property tests assert it; the work-stealing engine is only
+    greedy up to steal latency, so its bench compares against the bound
+    plus the measured steal overhead.
+    """
+    if m < 1:
+        raise ValueError(f"need m >= 1, got {m}")
+    if work <= 0 or span <= 0:
+        raise ValueError("work and span must be positive")
+    if span > work:
+        raise ValueError(f"span {span} cannot exceed work {work}")
+    return work / m + (m - 1) / m * span

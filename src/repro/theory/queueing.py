@@ -1,0 +1,102 @@
+"""Analytical queueing cross-checks for the simulated OPT bound.
+
+The paper's simulated OPT reduces the parallel instance to a
+single-server FIFO queue (service ``W_i / m`` at one aggregate machine),
+which for Poisson arrivals is exactly an **M/G/1-FIFO** system.  Classic
+queueing theory then predicts its steady-state behaviour in closed form,
+giving an *independent* check on the whole simulation pipeline -- if the
+generator's arrival process, the work distribution's moments, and the
+OPT computation are all right, the simulated mean flow must match
+Pollaczek-Khinchine.  The test suite runs exactly that comparison.
+
+Formulas (service time S, arrival rate lam, utilization rho = lam E[S]):
+
+* Pollaczek-Khinchine mean wait:
+  ``E[Wq] = lam E[S^2] / (2 (1 - rho))``;
+* mean flow (sojourn): ``E[F] = E[Wq] + E[S]``;
+* squared coefficient of variation: ``cs2 = Var[S] / E[S]^2``.
+
+These model the *aggregate-machine relaxation*, not the real
+m-processor DAG system; they are exact for the OPT bound's queue and a
+lower-bound approximation for feasible schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def service_moments(
+    works: np.ndarray, m: int, speed: float = 1.0
+) -> Tuple[float, float]:
+    """(E[S], E[S^2]) of the aggregate-machine service times ``W/(m s)``."""
+    if m < 1:
+        raise ValueError(f"need m >= 1, got {m}")
+    if speed <= 0:
+        raise ValueError(f"speed must be positive, got {speed}")
+    s = np.asarray(works, dtype=np.float64) / (m * speed)
+    return float(s.mean()), float((s**2).mean())
+
+
+def utilization(rate: float, mean_service: float) -> float:
+    """``rho = lam E[S]``; >= 1 means an unstable queue."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if mean_service <= 0:
+        raise ValueError(f"mean service must be positive, got {mean_service}")
+    return rate * mean_service
+
+
+def mg1_mean_wait(rate: float, mean_service: float, second_moment: float) -> float:
+    """Pollaczek-Khinchine: mean queueing delay of M/G/1-FIFO.
+
+    Raises if the queue is unstable (``rho >= 1``): the steady-state
+    mean does not exist there, matching the simulation's unbounded
+    backlog in overload.
+    """
+    rho = utilization(rate, mean_service)
+    if rho >= 1.0:
+        raise ValueError(
+            f"M/G/1 is unstable at rho={rho:.3f} >= 1; no steady-state mean"
+        )
+    if second_moment < mean_service**2:
+        raise ValueError(
+            "E[S^2] must be at least E[S]^2 "
+            f"(got {second_moment} < {mean_service**2})"
+        )
+    return rate * second_moment / (2.0 * (1.0 - rho))
+
+
+def mg1_mean_flow(rate: float, mean_service: float, second_moment: float) -> float:
+    """Mean sojourn (flow) time of M/G/1-FIFO: wait plus service."""
+    return mg1_mean_wait(rate, mean_service, second_moment) + mean_service
+
+
+def squared_cv(works: np.ndarray) -> float:
+    """Squared coefficient of variation of the work distribution.
+
+    1.0 for exponential work; >> 1 for the heavy-tailed distributions
+    where the paper's max-flow story gets interesting.
+    """
+    w = np.asarray(works, dtype=np.float64)
+    mean = w.mean()
+    if mean <= 0:
+        raise ValueError("works must have positive mean")
+    return float(w.var() / mean**2)
+
+
+def predicted_opt_mean_flow(
+    works: np.ndarray, rate: float, m: int, speed: float = 1.0
+) -> float:
+    """PK prediction for the simulated-OPT bound's mean flow.
+
+    ``works`` should be the *realized* job works of the instance (using
+    realized moments removes sampling error from the comparison); with
+    Poisson arrivals at ``rate`` this is the exact steady-state mean of
+    the queue that :func:`repro.core.opt.opt_lower_bound` simulates --
+    up to finite-horizon effects, which shrink as n grows.
+    """
+    mean_s, second = service_moments(works, m, speed)
+    return mg1_mean_flow(rate, mean_s, second)

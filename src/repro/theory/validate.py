@@ -1,0 +1,233 @@
+"""Run-vs-theory validators.
+
+Each checker runs (or accepts) simulated results and evaluates one of the
+paper's quantitative claims on them, returning a :class:`BoundCheck`.
+
+Soundness note (also in DESIGN.md): the theorems compare against the true
+optimum, which we can only *lower-bound* via
+:func:`repro.core.opt.opt_lower_bound`.  Substituting the lower bound for
+OPT only makes the inequality under test **harder to satisfy** (it can
+only shrink the right side of ``F_max <= c * OPT``), so:
+
+* a PASS is a genuine confirmation;
+* a FAIL is *suggestive*, not a proof of violation -- the benches report
+  FAILs with the measured slack rather than asserting.
+
+The checks that are unconditional invariants (lower-bound soundness, span
+bounds, work conservation) are safe to assert, and the test suite does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.opt import opt_lower_bound
+from repro.dag.job import JobSet
+from repro.sim.result import ScheduleResult
+from repro.theory import bounds
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """Outcome of one theory check.
+
+    Attributes
+    ----------
+    name:
+        Which claim was checked.
+    passed:
+        Whether the measured value respected the bound.
+    measured:
+        The run's value (e.g. its max flow, or a ratio).
+    bound:
+        The theoretical value it was compared against.
+    sound_to_assert:
+        True for unconditional invariants; False where the OPT lower
+        bound stands in for the true OPT (see module docstring).
+    """
+
+    name: str
+    passed: bool
+    measured: float
+    bound: float
+    sound_to_assert: bool
+
+    @property
+    def slack(self) -> float:
+        """``bound / measured`` -- how much headroom the run left (>1 = pass)."""
+        if self.measured == 0:
+            return float("inf")
+        return self.bound / self.measured
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.name}: measured={self.measured:.4f} "
+            f"bound={self.bound:.4f} (slack {self.slack:.2f}x)"
+        )
+
+
+def check_lower_bound_soundness(
+    result: ScheduleResult, jobset: JobSet
+) -> BoundCheck:
+    """OPT-lb soundness: ``opt_lb.max_flow <= result.max_flow`` at equal speed.
+
+    Valid for any *feasible* schedule produced at the same speed as the
+    lower bound is evaluated at.  This is the master invariant of the
+    whole evaluation methodology (Section 6's "at least as good as any
+    feasible scheduler") and is safe to assert.
+    """
+    lb = opt_lower_bound(jobset, m=result.m, speed=result.speed)
+    return BoundCheck(
+        name="opt-lower-bound-soundness",
+        passed=lb.max_flow <= result.max_flow + 1e-6,
+        measured=result.max_flow,
+        bound=lb.max_flow,
+        sound_to_assert=True,
+    )
+
+
+def check_span_lower_bounds(result: ScheduleResult, jobset: JobSet) -> BoundCheck:
+    """Per-job physics: ``F_i >= P_i / speed`` for every job.
+
+    No scheduler can beat a job's critical path (Proposition 2.1's
+    contrapositive); safe to assert for any engine output.
+    """
+    spans = np.asarray(jobset.spans, dtype=np.float64)
+    min_flows = spans / result.speed
+    deficits = min_flows - result.flows
+    worst = float(deficits.max())
+    return BoundCheck(
+        name="span-lower-bounds",
+        passed=worst <= 1e-6,
+        measured=float((result.flows / min_flows).min()),
+        bound=1.0,
+        sound_to_assert=True,
+    )
+
+
+def check_work_conservation(result: ScheduleResult, jobset: JobSet) -> BoundCheck:
+    """Every work unit executed exactly once: ``busy_steps == total work``.
+
+    Holds for both engines on complete runs; safe to assert.  (The OPT
+    lower bound also reports its instance's total work for uniformity.)
+    """
+    return BoundCheck(
+        name="work-conservation",
+        passed=abs(result.stats.busy_steps - jobset.total_work) <= 1,
+        measured=float(result.stats.busy_steps),
+        bound=float(jobset.total_work),
+        sound_to_assert=True,
+    )
+
+
+def check_fifo_theorem(
+    fifo_result: ScheduleResult,
+    jobset: JobSet,
+    eps: float,
+) -> BoundCheck:
+    """Theorem 3.1: FIFO at ``(1+eps)``-speed has ``F_max <= (3/eps) OPT``.
+
+    ``fifo_result`` must have been produced at speed
+    :func:`repro.theory.bounds.fifo_speed`; OPT is evaluated at speed 1.
+    Uses the OPT lower bound in place of OPT, so a FAIL is suggestive
+    only (see module docstring) -- but in practice the slack is large.
+    """
+    expected_speed = bounds.fifo_speed(eps)
+    if abs(fifo_result.speed - expected_speed) > 1e-9:
+        raise ValueError(
+            f"FIFO result was run at speed {fifo_result.speed}, but "
+            f"Theorem 3.1 with eps={eps} requires speed {expected_speed}"
+        )
+    lb = opt_lower_bound(jobset, m=fifo_result.m, speed=1.0)
+    bound_value = bounds.fifo_competitive_ratio(eps) * lb.max_flow
+    return BoundCheck(
+        name=f"fifo-theorem-3.1(eps={eps:g})",
+        passed=fifo_result.max_flow <= bound_value + 1e-6,
+        measured=fifo_result.max_flow,
+        bound=bound_value,
+        sound_to_assert=False,
+    )
+
+
+def check_steal_k_first_theorem(
+    ws_result: ScheduleResult,
+    jobset: JobSet,
+    eps: float,
+    k: int,
+) -> BoundCheck:
+    """Theorem 4.1: steal-k-first's max flow vs ``(65/eps^2)(OPT + ln n + k)``.
+
+    ``ws_result`` must have been produced at speed
+    :func:`repro.theory.bounds.steal_k_first_speed` with the theoretical
+    cost model (``steals_per_tick=1``).  The claim is probabilistic
+    (holds w.h.p.), and OPT is replaced by its lower bound, so treat
+    FAILs as signals.
+    """
+    expected_speed = bounds.steal_k_first_speed(k, eps)
+    if abs(ws_result.speed - expected_speed) > 1e-9:
+        raise ValueError(
+            f"result was run at speed {ws_result.speed}, but Theorem 4.1 "
+            f"with k={k}, eps={eps} requires speed {expected_speed}"
+        )
+    lb = opt_lower_bound(jobset, m=ws_result.m, speed=1.0)
+    bound_value = bounds.steal_k_first_flow_bound(
+        eps, k, lb.max_flow, len(jobset)
+    )
+    return BoundCheck(
+        name=f"steal-k-first-theorem-4.1(k={k}, eps={eps:g})",
+        passed=ws_result.max_flow <= bound_value + 1e-6,
+        measured=ws_result.max_flow,
+        bound=bound_value,
+        sound_to_assert=False,
+    )
+
+
+def check_bwf_theorem(
+    bwf_result: ScheduleResult,
+    jobset: JobSet,
+    eps: float,
+) -> BoundCheck:
+    """Theorem 7.1: BWF at ``(1+3eps)``-speed has
+    ``max w_i F_i <= (3/eps^2) OPT_w``.
+
+    ``OPT_w`` (optimal max weighted flow) is lower-bounded by
+    ``max_i w_i * lb_flow_i`` where ``lb_flow_i`` comes from both
+    relaxations: the aggregate-machine FIFO queue *restricted to jobs of
+    weight >= w_i* (lighter jobs cannot delay heavier ones under any
+    priority-respecting optimum -- and more strongly, ANY schedule must
+    fit the heavy jobs' work on the machine), and the per-job span.
+
+    For simplicity and strict soundness we use the weaker universal
+    bound ``OPT_w >= max_i w_i * P_i`` combined with the unweighted
+    aggregate bound scaled by the minimum weight; see the bench for the
+    empirical-slack discussion.
+    """
+    expected_speed = bounds.bwf_speed(eps)
+    if abs(bwf_result.speed - expected_speed) > 1e-9:
+        raise ValueError(
+            f"BWF result was run at speed {bwf_result.speed}, but "
+            f"Theorem 7.1 with eps={eps} requires speed {expected_speed}"
+        )
+    weights = np.asarray(jobset.weights, dtype=np.float64)
+    spans = np.asarray(jobset.spans, dtype=np.float64)
+    # Sound lower bounds on the optimal max weighted flow:
+    #   (a) every job's flow is at least its span: OPT_w >= max w_i P_i;
+    #   (b) the unweighted aggregate-machine bound F says some job has
+    #       flow >= F in any schedule; the cheapest way to pay it is on
+    #       a min-weight job: OPT_w >= min_w * F.
+    lb_unweighted = opt_lower_bound(jobset, m=bwf_result.m, speed=1.0)
+    opt_w_lb = max(
+        float((weights * spans).max()),
+        float(weights.min()) * lb_unweighted.max_flow,
+    )
+    bound_value = bounds.bwf_competitive_ratio(eps) * opt_w_lb
+    return BoundCheck(
+        name=f"bwf-theorem-7.1(eps={eps:g})",
+        passed=bwf_result.max_weighted_flow <= bound_value + 1e-6,
+        measured=bwf_result.max_weighted_flow,
+        bound=bound_value,
+        sound_to_assert=False,
+    )

@@ -1,0 +1,99 @@
+"""Workload generation substrate.
+
+Everything the paper's evaluation (Section 6) consumes:
+
+* :mod:`~repro.workloads.distributions` -- per-job total-work
+  distributions: synthetic stand-ins for the Bing web-search and finance
+  (option-pricing) server measurements of Figure 3, the log-normal
+  distribution of Figure 2(c), and stock distributions for tests;
+* :mod:`~repro.workloads.arrivals` -- arrival processes (Poisson, as in
+  the paper, plus uniform / bursty / periodic for ablations);
+* :mod:`~repro.workloads.generator` -- :class:`WorkloadSpec`, which zips a
+  distribution, an arrival process and a job shape into a
+  :class:`~repro.dag.job.JobSet`, with QPS <-> utilization accounting;
+* :mod:`~repro.workloads.adversarial` -- the Section 5 lower-bound
+  instance on which randomized work stealing is ``Omega(log n)``
+  competitive;
+* :mod:`~repro.workloads.weights` -- weight assignment schemes for the
+  Section 7 weighted experiments.
+"""
+
+from repro.workloads.distributions import (
+    BingDistribution,
+    BoundedParetoDistribution,
+    ConstantDistribution,
+    ExponentialDistribution,
+    FinanceDistribution,
+    LogNormalDistribution,
+    MixtureDistribution,
+    UniformDistribution,
+    WorkDistribution,
+)
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    MarkovModulatedProcess,
+    PeriodicProcess,
+    PoissonProcess,
+    UniformProcess,
+)
+from repro.workloads.generator import (
+    WorkloadSpec,
+    expected_utilization,
+    qps_to_rate,
+)
+from repro.workloads.adversarial import (
+    adversarial_instance,
+    adversarial_machine_size,
+    adversarial_opt_max_flow,
+    sequential_execution_flow,
+)
+from repro.workloads.weights import (
+    class_weights,
+    constant_weights,
+    reweight,
+    span_inverse_weights,
+    uniform_weights,
+    work_inverse_weights,
+    work_proportional_weights,
+)
+from repro.workloads.trace import (
+    jobset_from_trace,
+    load_trace_csv,
+    save_trace_csv,
+)
+
+__all__ = [
+    "WorkDistribution",
+    "BingDistribution",
+    "FinanceDistribution",
+    "LogNormalDistribution",
+    "MixtureDistribution",
+    "UniformDistribution",
+    "ConstantDistribution",
+    "ExponentialDistribution",
+    "BoundedParetoDistribution",
+    "ArrivalProcess",
+    "PoissonProcess",
+    "UniformProcess",
+    "BurstyProcess",
+    "PeriodicProcess",
+    "MarkovModulatedProcess",
+    "WorkloadSpec",
+    "expected_utilization",
+    "qps_to_rate",
+    "adversarial_instance",
+    "adversarial_machine_size",
+    "adversarial_opt_max_flow",
+    "sequential_execution_flow",
+    "class_weights",
+    "constant_weights",
+    "reweight",
+    "span_inverse_weights",
+    "uniform_weights",
+    "work_inverse_weights",
+    "work_proportional_weights",
+    "jobset_from_trace",
+    "load_trace_csv",
+    "save_trace_csv",
+]

@@ -1,0 +1,151 @@
+"""Workload assembly: distribution + arrivals + job shape -> JobSet.
+
+This module reproduces the paper's Section 6 setup: jobs whose total work
+is drawn from a distribution, whose bodies are "parallelized using
+parallel for loops", arriving by a Poisson process at a queries-per-second
+(QPS) rate chosen to hit a target machine utilization.
+
+Units
+-----
+* Work is sampled in **milliseconds** (the unit of Figure 3) and
+  converted to integer simulation *work units* via ``units_per_ms``.
+* One simulation time unit is the time a speed-1 processor needs for one
+  work unit, so 1 ms of real time equals ``units_per_ms`` time units.
+* A QPS of ``q`` therefore corresponds to an arrival rate of
+  ``q / (1000 * units_per_ms)`` jobs per time unit
+  (:func:`qps_to_rate`).
+
+Utilization accounting (how the paper's QPS labels map to load):
+``utilization = qps * mean_work_seconds / m``.  With the default
+``mean_ms = 10`` and ``m = 16``, QPS 800 / 1000 / 1200 give 50% / 62.5% /
+75% -- the paper's low / medium / high load points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dag.builders import parallel_for
+from repro.dag.job import Job, JobSet
+from repro.sim.rng import SeedLike, spawn_rngs
+from repro.workloads.arrivals import ArrivalProcess, PoissonProcess
+from repro.workloads.distributions import WorkDistribution
+
+
+def qps_to_rate(qps: float, units_per_ms: float = 4.0) -> float:
+    """Convert queries-per-second to arrivals per simulation time unit."""
+    if qps <= 0:
+        raise ValueError(f"qps must be positive, got {qps}")
+    if units_per_ms <= 0:
+        raise ValueError(f"units_per_ms must be positive, got {units_per_ms}")
+    return qps / (1000.0 * units_per_ms)
+
+
+def expected_utilization(qps: float, mean_work_ms: float, m: int) -> float:
+    """Offered load of a (qps, mean work, machine size) combination.
+
+    ``qps * mean_work_ms / 1000`` is the offered work in
+    processor-seconds per second; dividing by ``m`` normalizes to the
+    machine.  Values >= 1 mean an overloaded system whose backlog (and
+    max flow time) grows without bound.
+    """
+    if m < 1:
+        raise ValueError(f"need at least one processor, got m={m}")
+    return qps * (mean_work_ms / 1000.0) / m
+
+
+@dataclass
+class WorkloadSpec:
+    """Declarative description of one experimental workload.
+
+    Attributes
+    ----------
+    distribution:
+        Per-job total-work distribution (milliseconds).
+    qps:
+        Arrival rate in queries per second -- the x-axis of Figure 2.
+    n_jobs:
+        Number of jobs to generate (the paper uses 100,000 per point;
+        the default harness scales this down -- see DESIGN.md).
+    m:
+        Machine size the workload targets (used only for utilization
+        accounting, not generation).
+    units_per_ms:
+        Simulation resolution (work units per millisecond).
+    target_chunks:
+        Parallel-for decomposition: each job's body is split into about
+        this many independent chunks, emulating TBB's auto-partitioning.
+        Must be >= 1; chunk grain is ``max(1, body_work // target_chunks)``.
+    setup_units / finalize_units:
+        Serial prologue/epilogue work of each job, in units.
+    arrival_process:
+        Override the arrival process; defaults to Poisson at
+        ``qps_to_rate(qps, units_per_ms)`` as in the paper.
+    """
+
+    distribution: WorkDistribution
+    qps: float
+    n_jobs: int
+    m: int = 16
+    units_per_ms: float = 4.0
+    target_chunks: int = 32
+    setup_units: int = 1
+    finalize_units: int = 1
+    arrival_process: Optional[ArrivalProcess] = None
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.target_chunks < 1:
+            raise ValueError(f"target_chunks must be >= 1, got {self.target_chunks}")
+        if self.qps <= 0:
+            raise ValueError(f"qps must be positive, got {self.qps}")
+
+    @property
+    def rate(self) -> float:
+        """Arrival rate in jobs per simulation time unit."""
+        return qps_to_rate(self.qps, self.units_per_ms)
+
+    @property
+    def utilization(self) -> float:
+        """Expected offered load of this spec on its ``m`` processors."""
+        return expected_utilization(self.qps, self.distribution.mean_ms, self.m)
+
+    def build(self, seed: SeedLike = None) -> JobSet:
+        """Materialize the workload into a :class:`JobSet`.
+
+        The seed fans out into independent streams for work sampling and
+        arrival generation, so changing one never perturbs the other
+        (paired-comparison hygiene across sweeps).
+        """
+        work_rng, arrival_rng = spawn_rngs(seed, 2)
+
+        works = self.distribution.sample_units(
+            work_rng, self.n_jobs, units_per_ms=self.units_per_ms
+        )
+        process = self.arrival_process or PoissonProcess(self.rate)
+        arrivals = process.generate(arrival_rng, self.n_jobs)
+
+        jobs = []
+        for i in range(self.n_jobs):
+            body = int(works[i])
+            grain = max(1, body // self.target_chunks)
+            dag = parallel_for(
+                total_body_work=body,
+                grain=grain,
+                setup_work=self.setup_units,
+                finalize_work=self.finalize_units,
+            )
+            jobs.append(
+                Job(job_id=i, dag=dag, arrival=float(arrivals[i]), weight=1.0)
+            )
+        return JobSet(jobs)
+
+    def describe(self) -> str:
+        """One-line human-readable summary for experiment logs."""
+        return (
+            f"{self.distribution.name} qps={self.qps:g} n={self.n_jobs} "
+            f"m={self.m} util~{self.utilization:.0%} "
+            f"mean={self.distribution.mean_ms:g}ms"
+        )

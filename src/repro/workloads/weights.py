@@ -1,0 +1,111 @@
+"""Weight assignment schemes for the weighted max-flow experiments.
+
+Section 7 of the paper studies ``max_i w_i F_i`` where the weight ``w_i``
+"is known to the scheduler when the job arrives and may not be correlated
+to the work of the job".  The remarks also note that weighted flow
+captures *maximum stretch* by setting weights to the inverse of job size
+-- with two natural DAG readings (inverse work, inverse span), both
+expressible here.
+
+Every scheme returns a plain ``np.ndarray`` of positive weights aligned
+with a job count or a :class:`~repro.dag.job.JobSet`; apply them by
+rebuilding the job set via :func:`reweight`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dag.job import Job, JobSet
+from repro.sim.rng import SeedLike, make_rng
+
+
+def constant_weights(n: int, value: float = 1.0) -> np.ndarray:
+    """All jobs share one weight -- the unweighted setting."""
+    if value <= 0:
+        raise ValueError(f"weights must be positive, got {value}")
+    return np.full(n, float(value))
+
+
+def uniform_weights(
+    rng: SeedLike, n: int, low: float = 1.0, high: float = 10.0
+) -> np.ndarray:
+    """I.i.d. uniform weights on ``[low, high]`` -- uncorrelated with work."""
+    if not 0 < low <= high:
+        raise ValueError(f"need 0 < low <= high, got [{low}, {high}]")
+    return make_rng(rng).uniform(low, high, size=n)
+
+
+def class_weights(
+    rng: SeedLike,
+    n: int,
+    classes: Sequence[float] = (1.0, 4.0, 16.0),
+    probabilities: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Discrete priority classes (e.g. background / normal / interactive).
+
+    The common production pattern: a small number of priority tiers with
+    most traffic in the lowest.  Default probabilities weight the classes
+    inversely (0.6 / 0.3 / 0.1 for three classes).
+    """
+    classes = np.asarray(classes, dtype=np.float64)
+    if np.any(classes <= 0):
+        raise ValueError("all class weights must be positive")
+    if probabilities is None:
+        raw = 1.0 / np.arange(1, len(classes) + 1)
+        probabilities = raw / raw.sum()
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if len(probabilities) != len(classes):
+        raise ValueError("probabilities must parallel classes")
+    return make_rng(rng).choice(classes, size=n, p=probabilities)
+
+
+def work_inverse_weights(jobset: JobSet, scale: float | None = None) -> np.ndarray:
+    """``w_i = scale / W_i`` -- max weighted flow becomes max work-stretch.
+
+    ``scale`` defaults to the mean work, making the weights O(1).
+    """
+    works = np.asarray(jobset.works, dtype=np.float64)
+    if scale is None:
+        scale = float(works.mean())
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return scale / works
+
+
+def span_inverse_weights(jobset: JobSet, scale: float | None = None) -> np.ndarray:
+    """``w_i = scale / P_i`` -- the span reading of maximum stretch."""
+    spans = np.asarray(jobset.spans, dtype=np.float64)
+    if scale is None:
+        scale = float(spans.mean())
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return scale / spans
+
+
+def work_proportional_weights(jobset: JobSet, scale: float | None = None) -> np.ndarray:
+    """``w_i ~ W_i`` -- the correlated control case for ablations."""
+    works = np.asarray(jobset.works, dtype=np.float64)
+    if scale is None:
+        scale = 1.0 / float(works.mean())
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return works * scale
+
+
+def reweight(jobset: JobSet, weights: np.ndarray) -> JobSet:
+    """A copy of ``jobset`` with the given weights (same DAGs and arrivals)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (len(jobset),):
+        raise ValueError(
+            f"got {weights.shape[0] if weights.ndim else 0} weights "
+            f"for {len(jobset)} jobs"
+        )
+    if np.any(weights <= 0):
+        raise ValueError("all weights must be positive")
+    return JobSet(
+        Job(job_id=j.job_id, dag=j.dag, arrival=j.arrival, weight=float(w))
+        for j, w in zip(jobset, weights)
+    )

@@ -1,0 +1,77 @@
+"""Unit tests for the FIFO scheduler (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fifo import FifoScheduler
+from repro.core.opt import opt_lower_bound
+from repro.dag.builders import single_node
+from repro.dag.job import jobs_from_dags
+from repro.theory.bounds import sequential_fifo_competitive_ratio
+
+
+class TestBasics:
+    def test_name_and_flags(self):
+        s = FifoScheduler()
+        assert s.name == "fifo"
+        assert not s.clairvoyant
+
+    def test_seed_is_ignored(self, small_forkjoin_set):
+        r1 = FifoScheduler().run(small_forkjoin_set, m=2, seed=1)
+        r2 = FifoScheduler().run(small_forkjoin_set, m=2, seed=999)
+        assert np.array_equal(r1.completions, r2.completions)
+
+    def test_serves_in_arrival_order(self):
+        js = jobs_from_dags(
+            [single_node(5), single_node(1)], [0.0, 0.5]
+        )
+        r = FifoScheduler().run(js, m=1)
+        assert r.completions[0] < r.completions[1]
+
+    def test_result_labels(self, small_forkjoin_set):
+        r = FifoScheduler().run(small_forkjoin_set, m=2, speed=1.25)
+        assert r.scheduler == "fifo"
+        assert r.m == 2
+        assert r.speed == 1.25
+
+
+class TestAgainstOpt:
+    def test_never_beats_opt_lower_bound(self, medium_random_jobset):
+        r = FifoScheduler().run(medium_random_jobset, m=8)
+        lb = opt_lower_bound(medium_random_jobset, m=8)
+        assert lb.max_flow <= r.max_flow + 1e-9
+
+    def test_sequential_jobs_near_literature_ratio(self, rng):
+        """On single-node jobs FIFO is (3/2 - 1/m)-competitive (Sec. 1).
+
+        Our OPT is a lower bound, so the measured ratio can only
+        overestimate; it must still stay within the literature ratio on
+        moderate instances plus slack for the bound's looseness.
+        """
+        m = 4
+        n = 200
+        works = rng.integers(1, 50, size=n)
+        arrivals = np.cumsum(rng.exponential(works.mean() / (m * 0.7), size=n))
+        js = jobs_from_dags(
+            [single_node(int(w)) for w in works], arrivals.tolist()
+        )
+        r = FifoScheduler().run(js, m=m)
+        lb = opt_lower_bound(js, m=m)
+        ratio = r.max_flow / lb.max_flow
+        # Generous envelope: literature ratio + lower-bound looseness.
+        assert ratio <= sequential_fifo_competitive_ratio(m) + 1.5
+
+
+class TestSpeedAugmentation:
+    def test_more_speed_never_much_worse(self, medium_random_jobset):
+        base = FifoScheduler().run(medium_random_jobset, m=8, speed=1.0)
+        fast = FifoScheduler().run(medium_random_jobset, m=8, speed=1.5)
+        # FIFO has no scheduling anomalies on these instances: faster
+        # processors finish the max-flow job no later.
+        assert fast.max_flow <= base.max_flow + 1e-9
+
+    def test_theorem_envelope_holds(self, medium_random_jobset):
+        eps = 0.5
+        r = FifoScheduler().run(medium_random_jobset, m=8, speed=1 + eps)
+        lb = opt_lower_bound(medium_random_jobset, m=8, speed=1.0)
+        assert r.max_flow <= (3.0 / eps) * lb.max_flow + 1e-9

@@ -1,0 +1,73 @@
+"""Unit tests for the list-scheduling baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.fifo import FifoScheduler
+from repro.core.greedy import (
+    LifoScheduler,
+    RandomPriorityScheduler,
+    SjfScheduler,
+)
+from repro.dag.builders import single_node
+from repro.dag.job import jobs_from_dags
+
+
+@pytest.fixture
+def loaded_sequence():
+    """A long job then short jobs -- separates the policies sharply."""
+    dags = [single_node(20)] + [single_node(2)] * 4
+    arrivals = [0.0, 1.0, 2.0, 3.0, 4.0]
+    return jobs_from_dags(dags, arrivals)
+
+
+class TestLifo:
+    def test_name(self):
+        assert LifoScheduler().name == "lifo"
+
+    def test_newest_first(self, loaded_sequence):
+        r = LifoScheduler().run(loaded_sequence, m=1)
+        # The long first job is starved until all short ones finish.
+        assert r.completions[0] == max(r.completions)
+
+    def test_worse_max_flow_than_fifo_under_load(self, loaded_sequence):
+        lifo = LifoScheduler().run(loaded_sequence, m=1)
+        fifo = FifoScheduler().run(loaded_sequence, m=1)
+        assert lifo.max_flow >= fifo.max_flow
+
+
+class TestSjf:
+    def test_name_and_clairvoyance(self):
+        s = SjfScheduler()
+        assert s.name == "sjf"
+        assert s.clairvoyant
+
+    def test_smallest_work_first(self):
+        js = jobs_from_dags(
+            [single_node(10), single_node(1)], [0.0, 0.0]
+        )
+        r = SjfScheduler().run(js, m=1)
+        assert r.completions[1] < r.completions[0]
+
+    def test_better_mean_flow_than_fifo(self, loaded_sequence):
+        sjf = SjfScheduler().run(loaded_sequence, m=1)
+        fifo = FifoScheduler().run(loaded_sequence, m=1)
+        assert sjf.mean_flow <= fifo.mean_flow + 1e-9
+
+
+class TestRandomPriority:
+    def test_name(self):
+        assert RandomPriorityScheduler().name == "random-priority"
+
+    def test_seeded_determinism(self, loaded_sequence):
+        s = RandomPriorityScheduler()
+        r1 = s.run(loaded_sequence, m=1, seed=3)
+        r2 = s.run(loaded_sequence, m=1, seed=3)
+        assert np.array_equal(r1.completions, r2.completions)
+
+    def test_different_seeds_vary(self, loaded_sequence):
+        s = RandomPriorityScheduler()
+        r1 = s.run(loaded_sequence, m=1, seed=0)
+        r2 = s.run(loaded_sequence, m=1, seed=1)
+        # Five jobs: 120 orderings; seeds virtually never collide.
+        assert not np.array_equal(r1.completions, r2.completions)

@@ -1,0 +1,81 @@
+"""Unit tests for the work-stealing scheduler wrappers (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.opt import opt_lower_bound
+from repro.core.work_stealing import AdmitFirstScheduler, WorkStealingScheduler
+from repro.dag.builders import single_node
+from repro.dag.job import jobs_from_dags
+
+
+class TestConstruction:
+    def test_names(self):
+        assert WorkStealingScheduler(k=0).name == "admit-first"
+        assert WorkStealingScheduler(k=16).name == "steal-16-first"
+        assert AdmitFirstScheduler().name == "admit-first"
+
+    def test_admit_first_is_k_zero(self):
+        assert AdmitFirstScheduler().k == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            WorkStealingScheduler(k=-1)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            WorkStealingScheduler(k=0, steals_per_tick=0)
+
+    def test_not_clairvoyant(self):
+        assert not WorkStealingScheduler().clairvoyant
+
+
+class TestRunBehaviour:
+    def test_result_metadata(self, medium_random_jobset):
+        r = WorkStealingScheduler(k=4).run(medium_random_jobset, m=8, seed=11)
+        assert r.scheduler == "steal-4-first"
+        assert r.seed == 11
+        assert r.m == 8
+
+    def test_deterministic_given_seed(self, medium_random_jobset):
+        s = WorkStealingScheduler(k=4)
+        r1 = s.run(medium_random_jobset, m=8, seed=1)
+        r2 = s.run(medium_random_jobset, m=8, seed=1)
+        assert np.array_equal(r1.completions, r2.completions)
+
+    def test_never_beats_opt(self, medium_random_jobset):
+        lb = opt_lower_bound(medium_random_jobset, m=8)
+        for k in (0, 8):
+            r = WorkStealingScheduler(k=k).run(medium_random_jobset, m=8, seed=2)
+            assert lb.max_flow <= r.max_flow + 1e-9
+
+    def test_sigma_plumbs_through(self):
+        # Practical cost model collapses the admission tick (see engine
+        # tests): flow 1 instead of 2 on a unit job.
+        js = jobs_from_dags([single_node(1)], [0.0])
+        slow = WorkStealingScheduler(k=0, steals_per_tick=1).run(js, m=1, seed=0)
+        fast = WorkStealingScheduler(k=0, steals_per_tick=8).run(js, m=1, seed=0)
+        assert slow.completions[0] == pytest.approx(2.0)
+        assert fast.completions[0] == pytest.approx(1.0)
+
+    def test_generator_seed_not_recorded_as_int(self, medium_random_jobset):
+        rng = np.random.default_rng(5)
+        r = WorkStealingScheduler(k=0).run(medium_random_jobset, m=8, seed=rng)
+        assert r.seed is None
+
+
+class TestPolicyContrast:
+    def test_steal_first_beats_admit_first_under_load(self):
+        """The paper's central empirical claim (Figure 2, high load)."""
+        from repro.workloads.distributions import BingDistribution
+        from repro.workloads.generator import WorkloadSpec
+
+        spec = WorkloadSpec(
+            BingDistribution(), qps=1200.0, n_jobs=800, m=16
+        )
+        js = spec.build(seed=21)
+        sk = WorkStealingScheduler(k=16, steals_per_tick=64)
+        s0 = WorkStealingScheduler(k=0, steals_per_tick=64)
+        r_sk = sk.run(js, m=16, seed=5)
+        r_s0 = s0.run(js, m=16, seed=5)
+        assert r_sk.max_flow < r_s0.max_flow

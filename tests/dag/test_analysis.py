@@ -1,0 +1,95 @@
+"""Unit tests for the DAG analysis helpers."""
+
+import pytest
+
+from repro.dag.analysis import (
+    average_parallelism,
+    critical_path_nodes,
+    max_parallelism,
+    node_depths,
+    parallelism_profile,
+    span,
+    total_work,
+    validate_dag,
+)
+from repro.dag.builders import chain, fork_join, parallel_for, single_node
+from repro.dag.graph import JobDag
+
+
+class TestScalars:
+    def test_work_span_free_functions(self):
+        dag = fork_join(1, [4, 2], 1)
+        assert total_work(dag) == 8
+        assert span(dag) == 6
+        assert average_parallelism(dag) == pytest.approx(8 / 6)
+
+
+class TestNodeDepths:
+    def test_chain_depths_accumulate(self):
+        dag = chain([2, 3, 4])
+        assert node_depths(dag) == [0, 2, 5]
+
+    def test_diamond_join_waits_for_longest(self):
+        dag = JobDag([1, 2, 5, 1], [[1, 2], [3], [3], []])
+        assert node_depths(dag) == [0, 1, 1, 6]
+
+    def test_independent_nodes_all_start_at_zero(self):
+        dag = JobDag([3, 4], [[], []])
+        assert node_depths(dag) == [0, 0]
+
+
+class TestParallelismProfile:
+    def test_profile_integrates_to_work(self):
+        dag = fork_join(1, [3, 2, 2], 1)
+        profile = parallelism_profile(dag)
+        assert sum(profile.values()) == dag.total_work
+
+    def test_profile_domain_is_span(self):
+        dag = fork_join(1, [3, 2, 2], 1)
+        profile = parallelism_profile(dag)
+        assert max(profile) + 1 == dag.span
+        assert min(profile) == 0
+
+    def test_chain_profile_is_flat_one(self):
+        dag = chain([2, 2])
+        assert set(parallelism_profile(dag).values()) == {1}
+
+    def test_max_parallelism_of_fork(self):
+        dag = fork_join(1, [2, 2, 2, 2], 1)
+        assert max_parallelism(dag) == 4
+
+    def test_max_parallelism_of_single_node(self):
+        assert max_parallelism(single_node(9)) == 1
+
+
+class TestValidateDag:
+    def test_accepts_valid_shapes(self):
+        for dag in (
+            single_node(3),
+            chain([1, 2, 3]),
+            fork_join(1, [2, 2], 1),
+            parallel_for(20, 4),
+        ):
+            validate_dag(dag)
+
+
+class TestCriticalPath:
+    def test_chain_critical_path_is_whole_chain(self):
+        dag = chain([1, 2, 3])
+        assert critical_path_nodes(dag) == [0, 1, 2]
+
+    def test_diamond_takes_heavier_branch(self):
+        dag = JobDag([1, 2, 5, 1], [[1, 2], [3], [3], []])
+        path = critical_path_nodes(dag)
+        assert path == [0, 2, 3]
+
+    def test_path_length_equals_span(self):
+        dag = fork_join(2, [4, 1, 3], 2)
+        path = critical_path_nodes(dag)
+        assert sum(dag.works[v] for v in path) == dag.span
+
+    def test_path_is_connected(self):
+        dag = parallel_for(17, 5, setup_work=2, finalize_work=3)
+        path = critical_path_nodes(dag)
+        for a, b in zip(path, path[1:]):
+            assert b in dag.successors[a]

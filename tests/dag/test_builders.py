@@ -1,0 +1,312 @@
+"""Unit tests for the DAG shape builders: exact work/span per shape."""
+
+import numpy as np
+import pytest
+
+from repro.dag.builders import (
+    adversarial_fork,
+    balanced_tree,
+    chain,
+    diamond,
+    fork_join,
+    map_reduce,
+    parallel_chains,
+    parallel_compose,
+    parallel_for,
+    random_layered_dag,
+    series_compose,
+    single_node,
+    staged_pipeline,
+    wide_then_narrow,
+)
+from repro.dag.graph import DagValidationError
+from repro.dag.analysis import validate_dag
+
+
+class TestSingleNodeAndChain:
+    def test_single_node(self):
+        dag = single_node(5)
+        assert (dag.total_work, dag.span, dag.n_nodes) == (5, 5, 1)
+
+    def test_chain_work_equals_span(self):
+        dag = chain([1, 2, 3, 4])
+        assert dag.total_work == 10
+        assert dag.span == 10
+        assert dag.parallelism == 1.0
+
+    def test_chain_single_element(self):
+        assert chain([3]).n_nodes == 1
+
+    def test_chain_empty_rejected(self):
+        with pytest.raises(DagValidationError):
+            chain([])
+
+
+class TestForkJoin:
+    def test_work_and_span(self):
+        dag = fork_join(2, [5, 3, 1], 4)
+        assert dag.total_work == 2 + 9 + 4
+        assert dag.span == 2 + 5 + 4  # through the longest child
+
+    def test_structure(self):
+        dag = fork_join(1, [1, 1], 1)
+        assert dag.roots == (0,)
+        assert dag.predecessor_counts[-1] == 2  # join waits on both children
+
+    def test_requires_children(self):
+        with pytest.raises(DagValidationError):
+            fork_join(1, [], 1)
+
+    def test_diamond_is_two_child_forkjoin(self):
+        dag = diamond(2)
+        assert dag.n_nodes == 4
+        assert dag.total_work == 8
+        assert dag.span == 6
+
+
+class TestParallelFor:
+    def test_exact_chunking(self):
+        dag = parallel_for(total_body_work=10, grain=3)
+        # chunks: 3, 3, 3, 1 plus setup and finalize
+        assert dag.n_nodes == 4 + 2
+        assert dag.total_work == 10 + 2
+        assert dag.span == 1 + 3 + 1
+
+    def test_exact_division(self):
+        dag = parallel_for(total_body_work=9, grain=3)
+        assert dag.n_nodes == 3 + 2
+
+    def test_grain_larger_than_body(self):
+        dag = parallel_for(total_body_work=2, grain=100)
+        assert dag.n_nodes == 3  # setup, one chunk, finalize
+        assert dag.span == 1 + 2 + 1
+
+    def test_invalid_args(self):
+        with pytest.raises(DagValidationError):
+            parallel_for(0, 1)
+        with pytest.raises(DagValidationError):
+            parallel_for(5, 0)
+
+    def test_conserves_body_work(self):
+        for body in (1, 7, 31, 64):
+            for grain in (1, 2, 5, 64):
+                dag = parallel_for(body, grain, setup_work=2, finalize_work=3)
+                assert dag.total_work == body + 5
+
+
+class TestParallelChains:
+    def test_span_through_longest_chain(self):
+        dag = parallel_chains([2, 5, 1], node_work=2, fork_work=1, join_work=1)
+        assert dag.span == 1 + 5 * 2 + 1
+        assert dag.total_work == 1 + (2 + 5 + 1) * 2 + 1
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(DagValidationError):
+            parallel_chains([])
+        with pytest.raises(DagValidationError):
+            parallel_chains([2, 0])
+
+
+class TestBalancedTree:
+    def test_depth_zero_is_single_node(self):
+        dag = balanced_tree(0, 2)
+        assert dag.n_nodes == 1
+
+    def test_divide_only_node_count(self):
+        dag = balanced_tree(2, 2, with_reduction=False)
+        assert dag.n_nodes == 1 + 2 + 4
+
+    def test_with_reduction_mirrors(self):
+        dag = balanced_tree(2, 2, with_reduction=True)
+        # divide: 7 nodes; combine: mirrors internal+root levels = 3 + ... :
+        # one combiner per divide node except leaves reuse: levels 1 and 0
+        # get combiners (2 + 1), so 7 + 3.
+        assert dag.n_nodes == 10
+        # span: root->child->leaf->combine(child)->combine(root) = 5 nodes
+        assert dag.span == 5
+
+    def test_validates(self):
+        validate_dag(balanced_tree(3, 2))
+        validate_dag(balanced_tree(2, 3, node_work=4))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DagValidationError):
+            balanced_tree(-1, 2)
+        with pytest.raises(DagValidationError):
+            balanced_tree(2, 0)
+
+
+class TestMapReduce:
+    def test_single_map_task(self):
+        dag = map_reduce([5], 2)
+        assert dag.n_nodes == 2  # source + map; no reduction needed
+        assert dag.span == 1 + 5
+
+    def test_reduction_tree_node_count(self):
+        dag = map_reduce([1] * 4, 2, reduce_work=1, source_work=1)
+        # source + 4 maps + 2 first-level reducers + 1 final = 8
+        assert dag.n_nodes == 8
+        assert dag.span == 1 + 1 + 1 + 1
+
+    def test_fanin_three(self):
+        dag = map_reduce([1] * 9, 3)
+        # source + 9 maps + 3 reducers + 1 final
+        assert dag.n_nodes == 14
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DagValidationError):
+            map_reduce([], 2)
+        with pytest.raises(DagValidationError):
+            map_reduce([1], 1)
+
+
+class TestAdversarialFork:
+    def test_paper_fanout(self):
+        dag = adversarial_fork(30)
+        assert dag.n_nodes == 1 + 3
+        assert dag.total_work == 4
+        assert dag.span == 2
+
+    def test_small_m_fanout_floor(self):
+        dag = adversarial_fork(5)
+        assert dag.n_nodes == 2  # fanout floors at 1
+
+    def test_fanout_override(self):
+        dag = adversarial_fork(10, fanout=5)
+        assert dag.n_nodes == 6
+
+    def test_fanout_bounds(self):
+        with pytest.raises(DagValidationError):
+            adversarial_fork(10, fanout=11)
+        with pytest.raises(DagValidationError):
+            adversarial_fork(0)
+
+
+class TestRandomLayeredDag:
+    def test_basic_structure(self, rng):
+        dag = random_layered_dag(rng, n_nodes=50, n_layers=5)
+        assert dag.n_nodes == 50
+        validate_dag(dag)
+
+    def test_single_layer_has_no_edges(self, rng):
+        dag = random_layered_dag(rng, n_nodes=10, n_layers=1)
+        assert dag.n_edges == 0
+
+    def test_every_non_first_layer_node_has_a_parent(self, rng):
+        dag = random_layered_dag(rng, 40, 4, edge_probability=0.0)
+        # With p=0 each node still gets one forced parent, so exactly
+        # (n_nodes - len(layer 0)) edges exist.
+        assert dag.n_edges == 40 - len(dag.roots)
+
+    def test_work_bounds_respected(self, rng):
+        dag = random_layered_dag(rng, 30, 3, min_work=5, max_work=9)
+        assert all(5 <= w <= 9 for w in dag.works)
+
+    def test_determinism_per_seed(self):
+        d1 = random_layered_dag(np.random.default_rng(7), 30, 4)
+        d2 = random_layered_dag(np.random.default_rng(7), 30, 4)
+        assert d1.works == d2.works
+        assert d1.successors == d2.successors
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(DagValidationError):
+            random_layered_dag(rng, 0, 1)
+        with pytest.raises(DagValidationError):
+            random_layered_dag(rng, 5, 9)
+        with pytest.raises(DagValidationError):
+            random_layered_dag(rng, 5, 2, edge_probability=1.5)
+        with pytest.raises(DagValidationError):
+            random_layered_dag(rng, 5, 2, min_work=3, max_work=2)
+
+
+class TestComposition:
+    def test_series_adds_work_and_span(self):
+        a = fork_join(1, [3, 3], 1)  # W=8, P=5
+        b = chain([2, 2])  # W=4, P=4
+        s = series_compose(a, b)
+        assert s.total_work == 12
+        assert s.span == 9
+        validate_dag(s)
+
+    def test_series_bridges_all_sinks_to_all_roots(self):
+        a = JobDagFactory.two_sinks()
+        b = single_node(1)
+        s = series_compose(a, b)
+        # both sinks of `a` must precede the single node of `b`
+        assert s.predecessor_counts[-1] == 2
+
+    def test_parallel_union_has_max_span(self):
+        a, b = chain([4]), chain([2, 2, 2])
+        p = parallel_compose(a, b)
+        assert p.total_work == 10
+        assert p.span == 6
+        assert len(p.roots) == 2
+
+    def test_parallel_with_fork_join_wraps(self):
+        a, b = single_node(3), single_node(5)
+        p = parallel_compose(a, b, fork_work=1, join_work=1)
+        assert p.total_work == 10
+        assert p.span == 1 + 5 + 1
+        assert len(p.roots) == 1
+        validate_dag(p)
+
+
+class JobDagFactory:
+    """Helpers for shapes not worth a public builder."""
+
+    @staticmethod
+    def two_sinks():
+        from repro.dag.graph import DagBuilder
+
+        b = DagBuilder()
+        root, s1, s2 = b.add_node(1), b.add_node(1), b.add_node(1)
+        b.add_edge(root, s1)
+        b.add_edge(root, s2)
+        return b.build()
+
+
+class TestWideThenNarrow:
+    def test_work_and_span(self):
+        dag = wide_then_narrow(8, 4, 2, 6)
+        assert dag.total_work == 1 + 8 * 4 + 2 * 6
+        assert dag.span == 1 + 4 + 6
+
+    def test_bipartite_dependency(self):
+        dag = wide_then_narrow(3, 1, 2, 1)
+        # Each narrow task waits on all 3 wide tasks.
+        for v in range(dag.n_nodes):
+            if dag.predecessor_counts[v] == 3:
+                break
+        else:
+            raise AssertionError("no narrow task with full fan-in found")
+        validate_dag(dag)
+
+    def test_validation(self):
+        with pytest.raises(DagValidationError):
+            wide_then_narrow(0, 1, 1, 1)
+        with pytest.raises(DagValidationError):
+            wide_then_narrow(1, 1, 0, 1)
+
+
+class TestStagedPipeline:
+    def test_work_and_span(self):
+        dag = staged_pipeline([4, 8, 2], node_work=3)
+        assert dag.total_work == 1 + (4 + 8 + 2) * 3
+        assert dag.span == 1 + 3 * 3  # source + one node per stage
+
+    def test_barriers_between_stages(self):
+        dag = staged_pipeline([2, 3], node_work=1)
+        # Every stage-2 node has in-degree 2 (the whole previous stage).
+        stage2 = [v for v in range(dag.n_nodes) if dag.predecessor_counts[v] == 2]
+        assert len(stage2) == 3
+        validate_dag(dag)
+
+    def test_single_stage(self):
+        dag = staged_pipeline([5])
+        assert dag.n_nodes == 6
+
+    def test_validation(self):
+        with pytest.raises(DagValidationError):
+            staged_pipeline([])
+        with pytest.raises(DagValidationError):
+            staged_pipeline([2, 0])

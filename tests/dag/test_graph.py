@@ -1,0 +1,165 @@
+"""Unit tests for JobDag / DagBuilder: construction, validation, analysis."""
+
+import pytest
+
+from repro.dag.graph import DagBuilder, DagValidationError, JobDag, merge_dags
+
+
+class TestDagBuilder:
+    def test_add_node_returns_sequential_ids(self):
+        b = DagBuilder()
+        assert b.add_node(1) == 0
+        assert b.add_node(2) == 1
+        assert b.add_node(3) == 2
+        assert b.n_nodes == 3
+
+    def test_add_nodes_bulk(self):
+        b = DagBuilder()
+        ids = b.add_nodes([1, 2, 3])
+        assert ids == [0, 1, 2]
+
+    def test_rejects_zero_work(self):
+        b = DagBuilder()
+        with pytest.raises(DagValidationError, match="positive integer"):
+            b.add_node(0)
+
+    def test_rejects_negative_work(self):
+        b = DagBuilder()
+        with pytest.raises(DagValidationError):
+            b.add_node(-3)
+
+    def test_rejects_float_work(self):
+        b = DagBuilder()
+        with pytest.raises(DagValidationError):
+            b.add_node(2.5)
+
+    def test_rejects_bool_work(self):
+        b = DagBuilder()
+        with pytest.raises(DagValidationError):
+            b.add_node(True)
+
+    def test_rejects_edge_to_unknown_node(self):
+        b = DagBuilder()
+        b.add_node(1)
+        with pytest.raises(DagValidationError, match="unknown node"):
+            b.add_edge(0, 5)
+
+    def test_add_edges_bulk(self):
+        b = DagBuilder()
+        b.add_nodes([1, 1, 1])
+        b.add_edges([(0, 1), (1, 2)])
+        dag = b.build()
+        assert dag.successors == ((1,), (2,), ())
+
+    def test_build_simple_chain(self):
+        b = DagBuilder()
+        a, c = b.add_node(2), b.add_node(3)
+        b.add_edge(a, c)
+        dag = b.build()
+        assert dag.total_work == 5
+        assert dag.span == 5
+
+
+class TestJobDagValidation:
+    def test_empty_dag_rejected(self):
+        with pytest.raises(DagValidationError, match="at least one node"):
+            JobDag([], [])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(DagValidationError, match="parallel arrays"):
+            JobDag([1, 2], [[]])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DagValidationError, match="self-loop"):
+            JobDag([1], [[0]])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(DagValidationError, match="duplicate edge"):
+            JobDag([1, 1], [[1, 1], []])
+
+    def test_two_cycle_rejected(self):
+        # A pure cycle has no root, so it trips the no-root check first;
+        # either way construction must fail with a cycle-related error.
+        with pytest.raises(DagValidationError, match="cycl"):
+            JobDag([1, 1], [[1], [0]])
+
+    def test_three_cycle_rejected(self):
+        with pytest.raises(DagValidationError, match="cycl"):
+            JobDag([1, 1, 1], [[1], [2], [0]])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(DagValidationError, match="outside"):
+            JobDag([1, 1], [[3], []])
+
+    def test_cycle_with_valid_root_rejected(self):
+        # Node 0 is a valid root, but 1 <-> 2 forms a cycle behind it.
+        with pytest.raises(DagValidationError, match="cycle"):
+            JobDag([1, 1, 1], [[1], [2], [1]])
+
+
+class TestJobDagProperties:
+    def test_single_node(self):
+        dag = JobDag([7], [[]])
+        assert dag.n_nodes == 1
+        assert dag.total_work == 7
+        assert dag.span == 7
+        assert dag.roots == (0,)
+        assert dag.parallelism == 1.0
+        assert dag.n_edges == 0
+
+    def test_fork_has_multiple_roots_when_unrooted(self):
+        dag = JobDag([1, 1, 1], [[], [], []])
+        assert dag.roots == (0, 1, 2)
+        assert dag.span == 1
+        assert dag.total_work == 3
+        assert dag.parallelism == 3.0
+
+    def test_diamond_span(self):
+        # 0 -> {1, 2} -> 3 with works 1, 2, 5, 1: span = 1 + 5 + 1.
+        dag = JobDag([1, 2, 5, 1], [[1, 2], [3], [3], []])
+        assert dag.span == 7
+        assert dag.total_work == 9
+        assert dag.predecessor_counts == (0, 1, 1, 2)
+
+    def test_topological_order_respects_edges(self):
+        dag = JobDag([1, 1, 1, 1], [[1, 2], [3], [3], []])
+        order = dag.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for v in range(dag.n_nodes):
+            for u in dag.successors[v]:
+                assert pos[v] < pos[u]
+
+    def test_works_are_defensive_tuples(self):
+        dag = JobDag([1, 2], [[1], []])
+        assert isinstance(dag.works, tuple)
+        assert isinstance(dag.successors[0], tuple)
+
+    def test_work_of_and_successors_of(self):
+        dag = JobDag([4, 6], [[1], []])
+        assert dag.work_of(1) == 6
+        assert dag.successors_of(0) == (1,)
+
+
+class TestMergeDags:
+    def test_disjoint_union_offsets_ids(self):
+        a = JobDag([1, 2], [[1], []])
+        b = JobDag([3], [[]])
+        merged = merge_dags([a, b])
+        assert merged.n_nodes == 3
+        assert merged.works == (1, 2, 3)
+        assert merged.successors == ((1,), (), ())
+        assert merged.roots == (0, 2)
+
+    def test_bridging_edges(self):
+        a = JobDag([1], [[]])
+        b = JobDag([1], [[]])
+        merged = merge_dags([a, b], extra_edges=[(0, 1)])
+        assert merged.span == 2
+        assert merged.roots == (0,)
+
+    def test_merged_span_of_parallel_parts_is_max(self):
+        a = JobDag([5], [[]])
+        b = JobDag([3], [[]])
+        merged = merge_dags([a, b])
+        assert merged.span == 5
+        assert merged.total_work == 8

@@ -1,0 +1,150 @@
+"""Unit tests for the spawn/sync program-recording DSL."""
+
+import pytest
+
+from repro.dag.analysis import validate_dag
+from repro.dag.graph import DagValidationError
+from repro.dag.programs import Program, record_program
+
+
+class TestSerialPrograms:
+    def test_pure_work_is_a_chain(self):
+        dag = record_program(lambda p: (p.work(3), p.work(4))[0], root_work=2)
+        assert dag.total_work == 2 + 3 + 4
+        assert dag.span == dag.total_work  # no parallelism
+
+    def test_empty_program_is_just_the_root(self):
+        dag = record_program(lambda p: None, root_work=5)
+        assert dag.n_nodes == 1
+        assert dag.total_work == 5
+
+    def test_work_validation(self):
+        with pytest.raises(DagValidationError):
+            record_program(lambda p: p.work(0))
+        with pytest.raises(DagValidationError):
+            record_program(lambda p: p.work(2.5))
+
+    def test_root_work_validation(self):
+        with pytest.raises(DagValidationError):
+            record_program(lambda p: None, root_work=0)
+
+
+class TestSpawnSync:
+    def test_two_spawns_run_in_parallel(self):
+        def prog(p: Program) -> None:
+            p.spawn(lambda q: q.work(5))
+            p.spawn(lambda q: q.work(5))
+            p.sync()
+
+        dag = record_program(prog, root_work=1)
+        # root + two 5-unit children + join.
+        assert dag.total_work == 1 + 10 + 1
+        assert dag.span == 1 + 5 + 1
+        validate_dag(dag)
+
+    def test_implicit_trailing_sync(self):
+        def prog(p: Program) -> None:
+            p.spawn(lambda q: q.work(4))
+            p.spawn(lambda q: q.work(6))
+            # no explicit sync: fully-strict semantics join at return
+
+        dag = record_program(prog)
+        assert dag.span == 1 + 6 + 1
+        # Single sink: the implicit join.
+        sinks = [v for v in range(dag.n_nodes) if not dag.successors[v]]
+        assert len(sinks) == 1
+
+    def test_work_after_sync_is_serial(self):
+        def prog(p: Program) -> None:
+            p.spawn(lambda q: q.work(3))
+            p.sync()
+            p.work(2)
+
+        dag = record_program(prog)
+        # root -> child(3) -> join(1) -> work(2), all serial.
+        assert dag.span == 1 + 3 + 1 + 2
+        assert dag.total_work == 7
+
+    def test_sync_without_spawn_is_noop(self):
+        dag = record_program(lambda p: p.sync())
+        assert dag.n_nodes == 1
+
+    def test_spawn_sees_prior_work(self):
+        def prog(p: Program) -> None:
+            p.work(4)
+            p.spawn(lambda q: q.work(1))
+            p.sync()
+
+        dag = record_program(prog)
+        # The spawned child depends on the 4-unit strand before it.
+        assert dag.span == 1 + 4 + 1 + 1
+
+    def test_nested_recursion_fib(self):
+        def fib(p: Program, n: int) -> None:
+            if n < 2:
+                p.work(1)
+                return
+            p.spawn(lambda q: fib(q, n - 1))
+            p.spawn(lambda q: fib(q, n - 2))
+            p.sync()
+            p.work(1)
+
+        dag = record_program(lambda p: fib(p, 5))
+        validate_dag(dag)
+        # fib(5) makes fib(4)+fib(3) ... leaves = fib(1)/fib(0) calls = 8;
+        # internal calls each add a 1-unit combine + a 1-unit join.
+        assert dag.parallelism > 1.5  # genuinely parallel
+        assert dag.span < dag.total_work
+
+    def test_empty_child_contributes_nothing(self):
+        def prog(p: Program) -> None:
+            p.spawn(lambda q: None)
+            p.sync()
+            p.work(1)
+
+        dag = record_program(prog)
+        assert dag.total_work == 2
+        validate_dag(dag)
+
+
+class TestParallelFor:
+    def test_matches_builder_shape(self):
+        dag = record_program(lambda p: p.parallel_for(4, 3))
+        # root + 4x3 + join
+        assert dag.total_work == 1 + 12 + 1
+        assert dag.span == 1 + 3 + 1
+
+    def test_single_iteration(self):
+        dag = record_program(lambda p: p.parallel_for(1, 7))
+        # root + body + join: the join is materialized even for one
+        # iteration (uniform with the multi-iteration case).
+        assert dag.total_work == 9
+
+    def test_validation(self):
+        with pytest.raises(DagValidationError):
+            record_program(lambda p: p.parallel_for(0, 1))
+
+
+class TestSchedulability:
+    def test_recorded_programs_schedule_correctly(self):
+        from repro.core.fifo import FifoScheduler
+        from repro.core.work_stealing import WorkStealingScheduler
+        from repro.dag.job import jobs_from_dags
+        from repro.sim.trace import TraceRecorder, audit_trace
+
+        def pipeline(p: Program) -> None:
+            p.work(2)
+            p.parallel_for(6, 4)
+            p.spawn(lambda q: q.work(5))
+            p.spawn(lambda q: (q.work(2), q.parallel_for(3, 2))[0])
+            p.sync()
+            p.work(1)
+
+        dag = record_program(pipeline)
+        validate_dag(dag)
+        js = jobs_from_dags([dag, dag], [0.0, 3.0])
+        for sched in (FifoScheduler(), WorkStealingScheduler(k=2)):
+            tr = TraceRecorder()
+            r = sched.run(js, m=3, seed=1, trace=tr)
+            audit_trace(tr, js, m=3, speed=1.0)
+            assert r.stats.busy_steps == js.total_work

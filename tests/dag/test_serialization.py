@@ -1,0 +1,118 @@
+"""Unit tests for DAG/job/jobset serialization and DOT export."""
+
+import json
+
+import pytest
+
+from repro.dag.builders import chain, fork_join, parallel_for, random_layered_dag
+from repro.dag.graph import DagValidationError
+from repro.dag.job import Job, JobSet, jobs_from_dags
+from repro.dag.serialization import (
+    dag_from_dict,
+    dag_to_dict,
+    dag_to_dot,
+    job_from_dict,
+    job_to_dict,
+    jobset_from_dict,
+    jobset_to_dict,
+    load_jobset,
+    save_jobset,
+)
+
+
+class TestDagRoundTrip:
+    @pytest.mark.parametrize(
+        "dag",
+        [
+            chain([1, 2, 3]),
+            fork_join(1, [4, 5], 2),
+            parallel_for(30, 7),
+        ],
+        ids=["chain", "fork_join", "parallel_for"],
+    )
+    def test_round_trip_preserves_structure(self, dag):
+        back = dag_from_dict(dag_to_dict(dag))
+        assert back.works == dag.works
+        assert back.successors == dag.successors
+        assert back.span == dag.span
+
+    def test_random_dag_round_trip(self, rng):
+        dag = random_layered_dag(rng, 40, 5)
+        back = dag_from_dict(dag_to_dict(dag))
+        assert back.works == dag.works
+        assert back.successors == dag.successors
+
+    def test_dict_is_json_serializable(self):
+        text = json.dumps(dag_to_dict(fork_join(1, [2, 3], 1)))
+        assert "works" in text
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(DagValidationError, match="malformed"):
+            dag_from_dict({"nodes": [1]})
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(DagValidationError, match="pair"):
+            dag_from_dict({"works": [1, 1], "edges": [[0, 1, 2]]})
+
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(DagValidationError, match="out-of-range"):
+            dag_from_dict({"works": [1], "edges": [[5, 0]]})
+
+    def test_invalid_graph_still_validated(self):
+        # Cycles are caught by JobDag's own validation.
+        with pytest.raises(DagValidationError):
+            dag_from_dict({"works": [1, 1], "edges": [[0, 1], [1, 0]]})
+
+
+class TestJobAndJobSetRoundTrip:
+    def test_job_round_trip(self):
+        j = Job(job_id=3, dag=chain([2, 2]), arrival=1.25, weight=4.0)
+        back = job_from_dict(job_to_dict(j), job_id=3)
+        assert back.arrival == 1.25
+        assert back.weight == 4.0
+        assert back.dag.works == j.dag.works
+
+    def test_weight_defaults_on_load(self):
+        data = {"dag": {"works": [1], "edges": []}, "arrival": 0.0}
+        assert job_from_dict(data).weight == 1.0
+
+    def test_jobset_round_trip(self, small_forkjoin_set):
+        back = jobset_from_dict(jobset_to_dict(small_forkjoin_set))
+        assert len(back) == len(small_forkjoin_set)
+        assert back.arrivals == small_forkjoin_set.arrivals
+        assert back.works == small_forkjoin_set.works
+        assert back.spans == small_forkjoin_set.spans
+
+    def test_future_version_rejected(self):
+        with pytest.raises(ValueError, match="format version"):
+            jobset_from_dict({"format_version": 999, "jobs": []})
+
+    def test_file_round_trip(self, small_forkjoin_set, tmp_path):
+        path = tmp_path / "instance.json"
+        save_jobset(small_forkjoin_set, path)
+        back = load_jobset(path)
+        assert back.works == small_forkjoin_set.works
+        assert back.arrivals == small_forkjoin_set.arrivals
+
+    def test_schedulers_agree_on_round_tripped_instance(self, small_forkjoin_set):
+        from repro.core.fifo import FifoScheduler
+
+        back = jobset_from_dict(jobset_to_dict(small_forkjoin_set))
+        a = FifoScheduler().run(small_forkjoin_set, m=2)
+        b = FifoScheduler().run(back, m=2)
+        assert a.completions.tolist() == b.completions.tolist()
+
+
+class TestDotExport:
+    def test_dot_mentions_every_node_and_edge(self):
+        dag = fork_join(1, [2, 3], 1)
+        dot = dag_to_dot(dag, name="fj")
+        assert dot.startswith("digraph fj {")
+        for v in range(dag.n_nodes):
+            assert f"n{v} [" in dot
+        assert dot.count("->") == dag.n_edges
+        assert dot.rstrip().endswith("}")
+
+    def test_labels_carry_work(self):
+        dot = dag_to_dot(chain([7]))
+        assert "w=7" in dot

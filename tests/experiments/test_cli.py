@@ -1,0 +1,67 @@
+"""Tests for the ``python -m repro.experiments`` command line."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_fig2a_smoke(self, capsys):
+        rc = main(["fig2a", "--n-jobs", "100", "--reps", "1", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig2a" in out
+        assert "steal-16-first" in out
+        assert "admit-first" in out
+
+    def test_fig3_smoke(self, capsys):
+        rc = main(["fig3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig3a" in out and "fig3b" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_registry_and_dispatch_agree(self):
+        """The dispatch table must cover the experiment registry exactly."""
+        from repro.experiments.__main__ import DISPATCH
+        from repro.experiments.config import EXPERIMENTS
+
+        assert set(DISPATCH) == set(EXPERIMENTS)
+
+    def test_dispatch_runs_cheap_experiments(self):
+        from repro.experiments.__main__ import _run_one
+        from repro.experiments.config import ExperimentScale
+
+        scale = ExperimentScale(n_jobs=100, reps=1)
+        for exp_id in ("fig3", "thm31", "thm71"):
+            assert _run_one(exp_id, scale, seed=0)
+
+    def test_unknown_id_in_run_one(self):
+        from repro.experiments.__main__ import _run_one
+        from repro.experiments.config import ExperimentScale
+
+        with pytest.raises(ValueError, match="unknown experiment"):
+            _run_one("nope", ExperimentScale(10, 1), 0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            main(["fig2a", "--n-jobs", "0"])
+
+    def test_chart_flag(self, capsys):
+        rc = main(["thm31", "--chart"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "legend:" in out
+
+    def test_json_dir_flag(self, tmp_path, capsys):
+        rc = main(["thm71", "--json-dir", str(tmp_path)])
+        assert rc == 0
+        import json
+
+        data = json.loads((tmp_path / "thm71.json").read_text())
+        assert data["experiment"] == "thm71"
+        assert data["x_values"]
+        assert set(data["series"])

@@ -1,0 +1,61 @@
+"""Unit tests for the experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import (
+    EXPERIMENTS,
+    ExperimentScale,
+    FIG2A,
+    FIG2B,
+    FIG2C,
+    SCALE_PAPER,
+    SCALE_QUICK,
+    SCALE_STANDARD,
+)
+from repro.workloads.distributions import (
+    BingDistribution,
+    FinanceDistribution,
+    LogNormalDistribution,
+)
+
+
+class TestScales:
+    def test_orderings(self):
+        assert SCALE_QUICK.n_jobs < SCALE_STANDARD.n_jobs < SCALE_PAPER.n_jobs
+
+    def test_paper_scale_matches_paper(self):
+        assert SCALE_PAPER.n_jobs == 100_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(n_jobs=0, reps=1)
+        with pytest.raises(ValueError):
+            ExperimentScale(n_jobs=10, reps=0)
+
+
+class TestFigure2Configs:
+    def test_fig2a_matches_paper(self):
+        assert FIG2A.qps_values == (800.0, 1000.0, 1200.0)
+        assert FIG2A.m == 16
+        assert FIG2A.k == 16
+        assert isinstance(FIG2A.distribution_factory(), BingDistribution)
+
+    def test_fig2b_matches_paper(self):
+        assert FIG2B.qps_values == (800.0, 900.0, 1000.0)
+        assert isinstance(FIG2B.distribution_factory(), FinanceDistribution)
+
+    def test_fig2c_matches_paper(self):
+        assert FIG2C.qps_values == (800.0, 1000.0, 1200.0)
+        assert isinstance(FIG2C.distribution_factory(), LogNormalDistribution)
+
+    def test_time_unit(self):
+        assert FIG2A.time_unit_ms == pytest.approx(0.25)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_present(self):
+        for key in ("fig2a", "fig2b", "fig2c", "fig3", "lb5", "thm31", "thm71"):
+            assert key in EXPERIMENTS
+
+    def test_descriptions_nonempty(self):
+        assert all(EXPERIMENTS.values())

@@ -1,0 +1,117 @@
+"""Unit tests for the ASCII report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import render_checks, render_histogram, render_series
+from repro.theory.validate import BoundCheck
+
+
+class TestRenderSeries:
+    def test_contains_all_cells(self):
+        text = render_series(
+            "T", "QPS", [800, 1000], {"opt": [1.5, 2.5], "ws": [3.0, 4.0]}
+        )
+        assert "T" in text
+        assert "opt" in text and "ws" in text
+        assert "1.500" in text and "4.000" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="x-values"):
+            render_series("T", "x", [1, 2], {"a": [1.0]})
+
+    def test_row_per_x_value(self):
+        text = render_series("T", "x", [1, 2, 3], {"a": [1.0, 2.0, 3.0]})
+        # title + header + rule + 3 rows
+        assert len(text.splitlines()) == 6
+
+
+class TestRenderHistogram:
+    def test_bars_scale_with_probability(self):
+        edges = np.array([0.0, 1.0, 2.0])
+        probs = np.array([0.75, 0.25])
+        text = render_histogram("H", edges, probs)
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_tail_pooling(self):
+        edges = np.arange(0.0, 33.0)
+        probs = np.full(32, 1 / 32)
+        text = render_histogram("H", edges, probs, max_rows=10)
+        assert "pooled tail" in text
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_histogram("H", np.array([0.0, 1.0]), np.array([0.5, 0.5]))
+
+
+class TestRenderChecks:
+    def test_summary_line(self):
+        checks = [
+            BoundCheck("a", True, 1.0, 2.0, True),
+            BoundCheck("b", False, 3.0, 2.0, False),
+        ]
+        text = render_checks("checks", checks)
+        assert "1/2 checks passed" in text
+        assert "PASS" in text and "FAIL" in text
+
+
+class TestRenderChart:
+    def test_basic_layout(self):
+        from repro.experiments.report import render_chart
+
+        text = render_chart("T", [1, 2, 3], {"a": [1.0, 2.0, 3.0]})
+        assert "T" in text
+        assert "legend: *=a" in text
+        assert text.count("|") == 12  # default height rows
+
+    def test_monotone_series_renders_diagonal(self):
+        from repro.experiments.report import render_chart
+
+        text = render_chart("T", [1, 2], {"up": [1.0, 10.0]}, height=3)
+        lines = text.splitlines()
+        # Highest value in the top row's last column, lowest in the
+        # bottom row's first column.
+        assert lines[1].rstrip().endswith("*")
+        assert lines[3].strip().split("|")[1].startswith("*")
+
+    def test_log_scale(self):
+        from repro.experiments.report import render_chart
+
+        text = render_chart(
+            "T", [1, 2], {"a": [1.0, 1000.0]}, log_y=True, height=4
+        )
+        assert "log10" in text
+
+    def test_log_scale_rejects_nonpositive(self):
+        import pytest as _pytest
+
+        from repro.experiments.report import render_chart
+
+        with _pytest.raises(ValueError, match="positive"):
+            render_chart("T", [1], {"a": [0.0]}, log_y=True)
+
+    def test_collisions_marked(self):
+        from repro.experiments.report import render_chart
+
+        text = render_chart(
+            "T", [1], {"a": [5.0], "b": [5.0]}, height=3
+        )
+        assert "?" in text
+
+    def test_height_validation(self):
+        from repro.experiments.report import render_chart
+
+        with pytest.raises(ValueError):
+            render_chart("T", [1], {"a": [1.0]}, height=2)
+
+    def test_empty_series(self):
+        from repro.experiments.report import render_chart
+
+        assert "no data" in render_chart("T", [], {})
+
+    def test_series_result_integration(self):
+        from repro.experiments.figures import SeriesResult
+
+        s = SeriesResult("t", "x", [1.0, 2.0], {"a": [1.0, 4.0]})
+        assert "legend" in s.render_chart(height=4)

@@ -1,0 +1,69 @@
+"""Unit tests for the sweep runner (small scales)."""
+
+import pytest
+
+from repro.core.fifo import FifoScheduler
+from repro.core.opt import OptLowerBound
+from repro.experiments.config import ExperimentScale, FIG2A
+from repro.experiments.runner import (
+    figure2_schedulers,
+    mean_and_spread,
+    run_figure2_cell,
+    run_schedulers,
+)
+
+TINY = ExperimentScale(n_jobs=120, reps=1)
+
+
+class TestRunSchedulers:
+    def test_paired_results(self, medium_random_jobset):
+        results = run_schedulers(
+            medium_random_jobset,
+            [OptLowerBound(), FifoScheduler()],
+            m=8,
+            seed=0,
+        )
+        assert set(results) == {"opt-lb", "fifo"}
+        assert results["opt-lb"].max_flow <= results["fifo"].max_flow + 1e-9
+
+    def test_adding_scheduler_keeps_others_stable(self, medium_random_jobset):
+        from repro.core.work_stealing import WorkStealingScheduler
+
+        a = run_schedulers(
+            medium_random_jobset, [WorkStealingScheduler(k=2)], m=8, seed=0
+        )
+        b = run_schedulers(
+            medium_random_jobset,
+            [WorkStealingScheduler(k=2), FifoScheduler()],
+            m=8,
+            seed=0,
+        )
+        assert a["steal-2-first"].max_flow == b["steal-2-first"].max_flow
+
+
+class TestFigure2Cell:
+    def test_lineup(self):
+        names = [s.name for s in figure2_schedulers(FIG2A)]
+        assert names == ["opt-lb", "steal-16-first", "admit-first"]
+
+    def test_lineup_with_fifo(self):
+        names = [s.name for s in figure2_schedulers(FIG2A, include_fifo=True)]
+        assert "fifo" in names
+
+    def test_cell_values_in_ms_and_ordered(self):
+        cell = run_figure2_cell(FIG2A, qps=800.0, scale=TINY, seed=0)
+        assert set(cell) == {"opt-lb", "steal-16-first", "admit-first"}
+        assert cell["opt-lb"] <= cell["steal-16-first"] + 1e-9
+        # sanity on units: single-digit-to-tens of ms at this load
+        assert 0.1 < cell["opt-lb"] < 1000.0
+
+    def test_cell_deterministic(self):
+        a = run_figure2_cell(FIG2A, qps=800.0, scale=TINY, seed=7)
+        b = run_figure2_cell(FIG2A, qps=800.0, scale=TINY, seed=7)
+        assert a == b
+
+
+class TestMeanAndSpread:
+    def test_values(self):
+        s = mean_and_spread([1.0, 2.0, 3.0])
+        assert s == {"mean": 2.0, "min": 1.0, "max": 3.0}

@@ -1,0 +1,125 @@
+"""Unit tests for the generic grid-sweep API."""
+
+import pytest
+
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.dag.builders import single_node
+from repro.dag.job import jobs_from_dags
+from repro.experiments.sweep import METRICS, SweepResult, grid_sweep
+from repro.sim.rng import make_rng
+
+
+def tiny_jobset_factory(rep_seed):
+    rng = make_rng(rep_seed)
+    works = rng.integers(2, 10, size=20)
+    arrivals = rng.uniform(0, 40, size=20)
+    return jobs_from_dags(
+        [single_node(int(w)) for w in works], sorted(arrivals.tolist())
+    )
+
+
+class TestGridSweep:
+    def test_cross_product_shape(self):
+        sweep = grid_sweep(
+            lambda k, steals_per_tick: WorkStealingScheduler(
+                k=k, steals_per_tick=steals_per_tick
+            ),
+            {"k": [0, 2], "steals_per_tick": [1, 8]},
+            tiny_jobset_factory,
+            m=2,
+            seed=0,
+        )
+        assert len(sweep.cells) == 4
+        assert sweep.param_names == ["k", "steals_per_tick"]
+        combos = [(c.params["k"], c.params["steals_per_tick"]) for c in sweep.cells]
+        assert combos == [(0, 1), (0, 8), (2, 1), (2, 8)]
+
+    def test_paired_workloads_across_cells(self):
+        """All cells see identical instances per repetition, so a cell
+        identical in behaviour gives identical metrics."""
+        a = grid_sweep(
+            lambda k: WorkStealingScheduler(k=k),
+            {"k": [0]},
+            tiny_jobset_factory,
+            m=1,
+            seed=5,
+        )
+        b = grid_sweep(
+            lambda k: WorkStealingScheduler(k=k),
+            {"k": [0]},
+            tiny_jobset_factory,
+            m=1,
+            seed=5,
+        )
+        assert a.cells[0].metrics == b.cells[0].metrics
+
+    def test_reps_average(self):
+        sweep = grid_sweep(
+            lambda k: WorkStealingScheduler(k=k),
+            {"k": [1]},
+            tiny_jobset_factory,
+            m=2,
+            reps=3,
+            seed=1,
+        )
+        assert sweep.cells[0].metrics["max_flow"] > 0
+
+    def test_best_and_column(self):
+        sweep = grid_sweep(
+            lambda k: WorkStealingScheduler(k=k),
+            {"k": [0, 50]},
+            tiny_jobset_factory,
+            m=1,
+            seed=2,
+        )
+        # On one worker, k=50 burns 50 ticks per admission: k=0 wins.
+        assert sweep.best("max_flow").params["k"] == 0
+        assert len(sweep.column("mean_flow")) == 2
+
+    def test_render(self):
+        sweep = grid_sweep(
+            lambda k: WorkStealingScheduler(k=k),
+            {"k": [0, 1]},
+            tiny_jobset_factory,
+            m=1,
+            seed=3,
+            metrics=("max_flow",),
+        )
+        text = sweep.render()
+        assert "k" in text and "max_flow" in text
+        assert len(text.splitlines()) == 4
+
+    def test_validation(self):
+        factory = lambda k: WorkStealingScheduler(k=k)  # noqa: E731
+        with pytest.raises(ValueError, match="m >= 1"):
+            grid_sweep(factory, {"k": [0]}, tiny_jobset_factory, m=0)
+        with pytest.raises(ValueError, match="reps"):
+            grid_sweep(factory, {"k": [0]}, tiny_jobset_factory, m=1, reps=0)
+        with pytest.raises(ValueError, match="dimension"):
+            grid_sweep(factory, {}, tiny_jobset_factory, m=1)
+        with pytest.raises(ValueError, match="unknown metrics"):
+            grid_sweep(
+                factory,
+                {"k": [0]},
+                tiny_jobset_factory,
+                m=1,
+                metrics=("latency",),
+            )
+
+    def test_metric_registry_complete(self):
+        assert {"max_flow", "mean_flow", "p99_flow", "max_weighted_flow",
+                "makespan"} <= set(METRICS)
+
+
+class TestResultSerialization:
+    def test_round_trip(self, medium_random_jobset, tmp_path):
+        from repro.sim.result import load_result, save_result
+
+        r = WorkStealingScheduler(k=2).run(medium_random_jobset, m=4, seed=7)
+        path = tmp_path / "run.json"
+        save_result(r, path)
+        back = load_result(path)
+        assert back.scheduler == r.scheduler
+        assert back.max_flow == r.max_flow
+        assert back.stats.busy_steps == r.stats.busy_steps
+        assert back.seed == 7

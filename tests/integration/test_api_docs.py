@@ -1,0 +1,32 @@
+"""Freshness check: docs/API.md must match the current public surface."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_api_reference_is_fresh():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "gen_api_docs.py"), "--check"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_api_reference_covers_every_package():
+    text = (REPO_ROOT / "docs" / "API.md").read_text()
+    for pkg in (
+        "repro.dag",
+        "repro.sim",
+        "repro.core",
+        "repro.speedup",
+        "repro.workloads",
+        "repro.metrics",
+        "repro.theory",
+        "repro.experiments",
+    ):
+        assert f"## `{pkg}`" in text

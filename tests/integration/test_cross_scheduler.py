@@ -1,0 +1,109 @@
+"""Cross-scheduler integration tests on shared instances.
+
+These check the relationships the paper's evaluation rests on, across
+every scheduler at once: OPT-lb soundness, feasibility audits, and the
+qualitative orderings of Figure 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bwf import BwfScheduler
+from repro.core.fifo import FifoScheduler
+from repro.core.greedy import LifoScheduler, RandomPriorityScheduler, SjfScheduler
+from repro.core.opt import OptLowerBound, opt_lower_bound
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.sim.trace import TraceRecorder, audit_trace
+from repro.theory.validate import (
+    check_lower_bound_soundness,
+    check_span_lower_bounds,
+    check_work_conservation,
+)
+
+ALL_FEASIBLE_SCHEDULERS = [
+    FifoScheduler(),
+    BwfScheduler(),
+    LifoScheduler(),
+    SjfScheduler(),
+    RandomPriorityScheduler(),
+    WorkStealingScheduler(k=0),
+    WorkStealingScheduler(k=4),
+    WorkStealingScheduler(k=16, steals_per_tick=32),
+]
+
+
+@pytest.mark.parametrize(
+    "scheduler", ALL_FEASIBLE_SCHEDULERS, ids=lambda s: s.name
+)
+class TestEverySchedulerOnSharedInstance:
+    def test_feasibility_audit(self, medium_random_jobset, scheduler):
+        tr = TraceRecorder()
+        scheduler.run(medium_random_jobset, m=8, seed=13, trace=tr)
+        audit_trace(tr, medium_random_jobset, m=8, speed=1.0)
+
+    def test_invariant_checks(self, medium_random_jobset, scheduler):
+        r = scheduler.run(medium_random_jobset, m=8, seed=13)
+        for check in (
+            check_lower_bound_soundness(r, medium_random_jobset),
+            check_span_lower_bounds(r, medium_random_jobset),
+            check_work_conservation(r, medium_random_jobset),
+        ):
+            assert check.passed, str(check)
+
+    def test_all_jobs_complete(self, medium_random_jobset, scheduler):
+        r = scheduler.run(medium_random_jobset, m=8, seed=13)
+        assert np.all(r.completions > 0)
+        assert r.n_jobs == len(medium_random_jobset)
+
+
+class TestQualitativeOrderings:
+    """The shape conclusions of the paper's Figure 2, as assertions."""
+
+    @pytest.fixture(scope="class")
+    def loaded_instance(self):
+        from repro.workloads.distributions import BingDistribution
+        from repro.workloads.generator import WorkloadSpec
+
+        spec = WorkloadSpec(BingDistribution(), qps=1150.0, n_jobs=1200, m=16)
+        return spec.build(seed=777)
+
+    def test_opt_lowest(self, loaded_instance):
+        lb = opt_lower_bound(loaded_instance, m=16)
+        for sched in (
+            FifoScheduler(),
+            WorkStealingScheduler(k=16, steals_per_tick=64),
+            WorkStealingScheduler(k=0, steals_per_tick=64),
+        ):
+            r = sched.run(loaded_instance, m=16, seed=4)
+            assert lb.max_flow <= r.max_flow + 1e-9
+
+    def test_steal_k_first_beats_admit_first_at_load(self, loaded_instance):
+        sk = WorkStealingScheduler(k=16, steals_per_tick=64).run(
+            loaded_instance, m=16, seed=4
+        )
+        s0 = WorkStealingScheduler(k=0, steals_per_tick=64).run(
+            loaded_instance, m=16, seed=4
+        )
+        assert sk.max_flow < s0.max_flow
+
+    def test_fifo_close_to_opt(self, loaded_instance):
+        """FIFO (the idealized scheduler) tracks OPT within a small factor."""
+        lb = opt_lower_bound(loaded_instance, m=16)
+        r = FifoScheduler().run(loaded_instance, m=16)
+        assert r.max_flow <= 2.5 * lb.max_flow
+
+    def test_steal_k_first_tracks_fifo(self, loaded_instance):
+        """The Section 4 design goal: steal-k-first approximates FIFO."""
+        fifo = FifoScheduler().run(loaded_instance, m=16)
+        sk = WorkStealingScheduler(k=16, steals_per_tick=64).run(
+            loaded_instance, m=16, seed=4
+        )
+        assert sk.max_flow <= 3.0 * fifo.max_flow
+
+
+class TestOptWrapper:
+    def test_opt_result_not_audited(self, medium_random_jobset):
+        # The OPT lower bound is not a feasible schedule; it produces no
+        # trace, and its wrapper says so.
+        r = OptLowerBound().run(medium_random_jobset, m=8)
+        assert r.scheduler == "opt-lb"

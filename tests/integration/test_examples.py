@@ -1,0 +1,77 @@
+"""Smoke tests: every shipped example must run cleanly.
+
+Examples are the first code a new user executes; these tests run each
+one in a subprocess (smallest available scale) and check for a zero exit
+status and the expected headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "opt-lb" in out
+        assert "fifo" in out
+
+    def test_interactive_server_small(self):
+        out = run_example("interactive_server.py", "300")
+        assert "QPS" in out
+        assert "steal-16-first" in out
+
+    def test_weighted_priorities(self):
+        out = run_example("weighted_priorities.py")
+        assert "bwf" in out
+        assert "max stretch" in out
+
+    def test_adversarial_lower_bound(self):
+        out = run_example("adversarial_lower_bound.py")
+        assert "ratio" in out
+        assert "work stealing" in out.lower()
+
+    def test_custom_dag_programs(self):
+        out = run_example("custom_dag_programs.py")
+        assert "audit OK" in out
+        assert "critical path" in out
+
+    def test_trace_replay(self):
+        out = run_example("trace_replay.py")
+        assert "peak backlog" in out
+        assert "timeline" in out
+
+    def test_model_comparison(self):
+        out = run_example("model_comparison.py")
+        assert "ratio" in out
+        assert "sqrt(p)" in out
+
+    def test_every_example_file_is_covered(self):
+        covered = {
+            "quickstart.py",
+            "interactive_server.py",
+            "weighted_priorities.py",
+            "adversarial_lower_bound.py",
+            "custom_dag_programs.py",
+            "trace_replay.py",
+            "model_comparison.py",
+        }
+        on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert on_disk == covered, (
+            "examples changed on disk; update these smoke tests"
+        )

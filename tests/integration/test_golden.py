@@ -1,0 +1,80 @@
+"""Golden regression tests: pinned exact outputs of seeded runs.
+
+The engines are exact and deterministic, so these values must reproduce
+bit-for-bit on any machine.  A failure here means the *semantics* of an
+engine, a workload generator, or the RNG plumbing changed -- which may
+be intentional, but must be noticed: rerun the generator snippet in this
+file's history (or the equivalent inline code) and update the constants
+together with a CHANGELOG entry.
+
+Values pinned against: numpy >= 1.21 PCG64 streams, repro 1.0.0.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core import (
+    BwfScheduler,
+    FifoScheduler,
+    LeastAttainedServiceScheduler,
+    OptLowerBound,
+    WorkStealingScheduler,
+)
+from repro.workloads.distributions import BingDistribution
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.weights import class_weights, reweight
+
+SEED = 20260706
+
+
+@pytest.fixture(scope="module")
+def golden_jobset():
+    spec = WorkloadSpec(BingDistribution(), qps=1000.0, n_jobs=300, m=8)
+    return spec.build(seed=SEED)
+
+
+class TestWorkloadGolden:
+    def test_total_work(self, golden_jobset):
+        assert golden_jobset.total_work == 12787
+
+    def test_horizon(self, golden_jobset):
+        assert golden_jobset.time_horizon == pytest.approx(
+            1137.3189238808613, abs=1e-9
+        )
+
+
+class TestSchedulerGolden:
+    def test_opt(self, golden_jobset):
+        assert OptLowerBound().run(golden_jobset, m=8).max_flow == pytest.approx(
+            480.5096851261126, abs=1e-9
+        )
+
+    def test_fifo(self, golden_jobset):
+        r = FifoScheduler().run(golden_jobset, m=8)
+        assert r.max_flow == pytest.approx(485.24651441813444, abs=1e-9)
+        digest = hashlib.sha256(r.completions.tobytes()).hexdigest()
+        assert digest.startswith("5c93a9392497bf97")
+
+    def test_admit_first(self, golden_jobset):
+        r = WorkStealingScheduler(k=0).run(golden_jobset, m=8, seed=1)
+        assert r.max_flow == pytest.approx(611.5442191768095, abs=1e-9)
+
+    def test_steal_k_first_practical(self, golden_jobset):
+        r = WorkStealingScheduler(k=4, steals_per_tick=16).run(
+            golden_jobset, m=8, seed=1
+        )
+        assert r.max_flow == pytest.approx(519.8006096308825, abs=1e-9)
+        assert r.stats.steal_attempts == 7908
+        assert r.stats.elapsed_ticks == 1620
+        digest = hashlib.sha256(r.completions.tobytes()).hexdigest()
+        assert digest.startswith("0597a868d90e269d")
+
+    def test_bwf_weighted(self, golden_jobset):
+        weighted = reweight(golden_jobset, class_weights(3, 300))
+        r = BwfScheduler().run(weighted, m=8)
+        assert r.max_weighted_flow == pytest.approx(656.7006115730295, abs=1e-9)
+
+    def test_las(self, golden_jobset):
+        r = LeastAttainedServiceScheduler().run(golden_jobset, m=8)
+        assert r.max_flow == pytest.approx(1582.1901239526906, abs=1e-9)

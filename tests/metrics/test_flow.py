@@ -1,0 +1,91 @@
+"""Unit tests for the flow-time metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.fifo import FifoScheduler
+from repro.core.opt import opt_lower_bound
+from repro.dag.builders import chain, single_node
+from repro.dag.job import jobs_from_dags
+from repro.metrics.flow import (
+    competitive_ratio,
+    flow_statistics,
+    max_flow,
+    max_weighted_flow,
+    mean_flow,
+    span_stretches,
+    work_stretches,
+)
+from repro.sim.result import ScheduleResult
+
+
+def make_result(arrivals, completions, m=4, weights=None):
+    return ScheduleResult(
+        "test", m, 1.0,
+        np.asarray(arrivals, float),
+        np.asarray(completions, float),
+        None if weights is None else np.asarray(weights, float),
+    )
+
+
+class TestBasicMetrics:
+    def test_max_mean(self):
+        r = make_result([0.0, 1.0], [4.0, 3.0])
+        assert max_flow(r) == 4.0
+        assert mean_flow(r) == 3.0
+
+    def test_weighted(self):
+        r = make_result([0.0, 0.0], [1.0, 2.0], weights=[10.0, 1.0])
+        assert max_weighted_flow(r) == 10.0
+
+    def test_statistics_keys_and_values(self):
+        r = make_result([0.0] * 4, [1.0, 2.0, 3.0, 4.0])
+        stats = flow_statistics(r)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["mean"] == 2.5
+        assert stats["median"] == 2.5
+        assert set(stats) == {"min", "mean", "median", "p90", "p99", "max", "std"}
+
+
+class TestStretches:
+    def test_work_stretch(self):
+        js = jobs_from_dags([single_node(8)], [0.0])
+        r = make_result([0.0], [4.0], m=4)
+        # W/m = 2; flow 4 -> stretch 2.
+        assert work_stretches(r, js).tolist() == [2.0]
+
+    def test_span_stretch(self):
+        js = jobs_from_dags([chain([2, 2])], [0.0])
+        r = make_result([0.0], [8.0], m=4)
+        assert span_stretches(r, js).tolist() == [2.0]
+
+    def test_span_stretch_at_least_one_for_feasible(self, medium_random_jobset):
+        r = FifoScheduler().run(medium_random_jobset, m=8)
+        assert np.all(span_stretches(r, medium_random_jobset) >= 1.0 - 1e-9)
+
+
+class TestCompetitiveRatio:
+    def test_basic_ratio(self, medium_random_jobset):
+        r = FifoScheduler().run(medium_random_jobset, m=8)
+        lb = opt_lower_bound(medium_random_jobset, m=8)
+        ratio = competitive_ratio(r, lb)
+        assert ratio >= 1.0 - 1e-9
+
+    def test_weighted_flag(self):
+        r = make_result([0.0], [4.0], weights=[2.0])
+        lb = make_result([0.0], [2.0], weights=[2.0])
+        assert competitive_ratio(r, lb) == pytest.approx(2.0)
+        assert competitive_ratio(r, lb, weighted=True) == pytest.approx(2.0)
+
+    def test_mismatched_instances_rejected(self):
+        a = make_result([0.0], [1.0])
+        b = make_result([0.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError, match="same instance"):
+            competitive_ratio(a, b)
+
+    def test_zero_denominator_rejected(self):
+        a = make_result([0.0], [1.0])
+        z = make_result([0.0], [0.0])
+        with pytest.raises(ValueError, match="zero"):
+            competitive_ratio(a, z)

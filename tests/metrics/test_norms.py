@@ -1,0 +1,76 @@
+"""Unit tests for the lk-norm metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.norms import (
+    lk_norm,
+    lk_norm_flow,
+    norm_profile,
+    normalized_lk_norm_flow,
+)
+from repro.sim.result import ScheduleResult
+
+
+def make_result(flows):
+    flows = np.asarray(flows, dtype=float)
+    return ScheduleResult("t", 1, 1.0, np.zeros_like(flows), flows)
+
+
+class TestLkNorm:
+    def test_k1_is_sum(self):
+        assert lk_norm(np.array([1.0, 2.0, 3.0]), 1.0) == pytest.approx(6.0)
+
+    def test_k2_euclidean(self):
+        assert lk_norm(np.array([3.0, 4.0]), 2.0) == pytest.approx(5.0)
+
+    def test_inf_is_max(self):
+        assert lk_norm(np.array([1.0, 9.0, 2.0]), math.inf) == 9.0
+
+    def test_large_k_approaches_max_without_overflow(self):
+        v = np.array([1000.0, 999.0, 1.0])
+        assert lk_norm(v, 500.0) == pytest.approx(1000.0, rel=0.01)
+
+    def test_monotone_decreasing_in_k(self):
+        v = np.array([1.0, 2.0, 5.0])
+        norms = [lk_norm(v, k) for k in (1, 2, 4, 8, 64)]
+        assert all(a >= b - 1e-9 for a, b in zip(norms, norms[1:]))
+
+    def test_all_zero_flows(self):
+        assert lk_norm(np.zeros(3), 2.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lk_norm(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            lk_norm(np.array([]), 2.0)
+        with pytest.raises(ValueError):
+            lk_norm(np.array([-1.0]), 2.0)
+
+
+class TestFlowNorms:
+    def test_k1_normalized_is_mean(self):
+        r = make_result([2.0, 4.0])
+        assert normalized_lk_norm_flow(r, 1.0) == pytest.approx(3.0)
+
+    def test_inf_normalized_is_max(self):
+        r = make_result([2.0, 4.0])
+        assert normalized_lk_norm_flow(r, math.inf) == 4.0
+
+    def test_normalized_monotone_increasing_in_k(self):
+        # Generalized means increase with k (power mean inequality).
+        r = make_result([1.0, 2.0, 10.0])
+        vals = [normalized_lk_norm_flow(r, k) for k in (1, 2, 4, 16, 256)]
+        assert all(a <= b + 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_raw_norm_accessible(self):
+        r = make_result([3.0, 4.0])
+        assert lk_norm_flow(r, 2.0) == pytest.approx(5.0)
+
+    def test_profile_keys_and_limits(self):
+        r = make_result([1.0, 3.0])
+        prof = norm_profile(r, ks=(1.0, math.inf))
+        assert prof[1.0] == pytest.approx(2.0)
+        assert prof[math.inf] == 3.0

@@ -1,0 +1,82 @@
+"""Unit tests for the scheduling-overhead accounting."""
+
+import pytest
+
+from repro.core.fifo import FifoScheduler
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.dag.builders import fork_join, single_node
+from repro.dag.job import jobs_from_dags
+from repro.metrics.overheads import (
+    dispatch_count,
+    migration_count,
+    overhead_report,
+    preemption_count,
+    reallocation_event_count,
+)
+from repro.sim.trace import TraceRecorder
+
+
+class TestHandBuiltTraces:
+    def test_uninterrupted_node_has_no_overheads(self):
+        tr = TraceRecorder()
+        tr.record(0, 0, 0, 0.0, 5.0)
+        assert dispatch_count(tr) == 1
+        assert preemption_count(tr) == 0
+        assert migration_count(tr) == 0
+
+    def test_preemption_counted_per_extra_segment(self):
+        tr = TraceRecorder()
+        tr.record(0, 0, 0, 0.0, 2.0)
+        tr.record(0, 0, 0, 4.0, 5.0)
+        tr.record(0, 0, 0, 7.0, 8.0)
+        assert preemption_count(tr) == 2
+        assert migration_count(tr) == 0  # same worker throughout
+
+    def test_migration_requires_worker_change(self):
+        tr = TraceRecorder()
+        tr.record(0, 0, 0, 0.0, 2.0)
+        tr.record(1, 0, 0, 4.0, 5.0)  # resumed elsewhere
+        assert migration_count(tr) == 1
+
+    def test_reallocation_events_deduplicate_instants(self):
+        tr = TraceRecorder()
+        tr.record(0, 0, 0, 0.0, 2.0)
+        tr.record(1, 1, 0, 0.0, 2.0)  # same boundary instants
+        assert reallocation_event_count(tr) == 2
+
+    def test_report_keys(self):
+        tr = TraceRecorder()
+        tr.record(0, 0, 0, 0.0, 1.0)
+        assert set(overhead_report(tr)) == {
+            "dispatches",
+            "preemptions",
+            "migrations",
+            "reallocation_events",
+        }
+
+
+class TestEngineCharacteristics:
+    def test_work_stealing_never_preempts(self, medium_random_jobset):
+        """Structural: stolen nodes are ready, never in-progress."""
+        tr = TraceRecorder()
+        WorkStealingScheduler(k=4, steals_per_tick=16).run(
+            medium_random_jobset, m=8, seed=3, trace=tr
+        )
+        assert preemption_count(tr) == 0
+        assert migration_count(tr) == 0
+
+    def test_fifo_preempts_under_contention(self):
+        """A later-arriving job's fork forces FIFO to suspend the
+        earlier job's node mid-flight."""
+        js = jobs_from_dags(
+            [single_node(10), fork_join(1, [1, 1], 1)], [0.5, 0.0]
+        )
+        tr = TraceRecorder()
+        FifoScheduler().run(js, m=2, trace=tr)
+        assert preemption_count(tr) >= 1
+
+    def test_dispatches_at_least_node_count(self, medium_random_jobset):
+        tr = TraceRecorder()
+        FifoScheduler().run(medium_random_jobset, m=8, trace=tr)
+        n_nodes = sum(j.dag.n_nodes for j in medium_random_jobset)
+        assert dispatch_count(tr) >= n_nodes

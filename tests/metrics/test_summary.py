@@ -1,0 +1,78 @@
+"""Unit tests for the comparison table."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.summary import ComparisonTable
+from repro.sim.result import ScheduleResult
+
+
+def make_result(name, max_flow, n=3):
+    arrivals = np.zeros(n)
+    completions = np.full(n, max_flow / 2.0)
+    completions[0] = max_flow
+    return ScheduleResult(name, 4, 1.0, arrivals, completions)
+
+
+class TestAccumulation:
+    def test_add_and_lookup(self):
+        t = ComparisonTable()
+        t.add(make_result("opt-lb", 2.0))
+        t.add(make_result("fifo", 3.0))
+        assert t.names == ["opt-lb", "fifo"]
+        assert t["fifo"].max_flow == 3.0
+
+    def test_duplicate_name_rejected(self):
+        t = ComparisonTable()
+        t.add(make_result("fifo", 3.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            t.add(make_result("fifo", 4.0))
+
+    def test_custom_name_overrides(self):
+        t = ComparisonTable()
+        t.add(make_result("fifo", 3.0), name="fifo-fast")
+        assert t.names == ["fifo-fast"]
+
+    def test_mismatched_instances_rejected(self):
+        t = ComparisonTable()
+        t.add(make_result("a", 2.0, n=3))
+        with pytest.raises(ValueError, match="same instance"):
+            t.add(make_result("b", 2.0, n=5))
+
+    def test_invalid_time_unit(self):
+        with pytest.raises(ValueError):
+            ComparisonTable(time_unit=0.0)
+
+
+class TestRows:
+    def test_ratio_against_baseline(self):
+        t = ComparisonTable(baseline="opt-lb")
+        t.add(make_result("opt-lb", 2.0))
+        t.add(make_result("ws", 5.0))
+        rows = {r["name"]: r for r in t.rows()}
+        assert rows["ws"]["vs_baseline"] == pytest.approx(2.5)
+        assert rows["opt-lb"]["vs_baseline"] == pytest.approx(1.0)
+
+    def test_time_unit_scaling(self):
+        t = ComparisonTable(baseline=None, time_unit=0.25)
+        t.add(make_result("x", 8.0))
+        assert t.rows()[0]["max_flow"] == pytest.approx(2.0)
+
+    def test_no_baseline_no_ratio_column(self):
+        t = ComparisonTable(baseline=None)
+        t.add(make_result("x", 8.0))
+        assert "vs_baseline" not in t.rows()[0]
+
+
+class TestRender:
+    def test_render_contains_all_names(self):
+        t = ComparisonTable(time_label="ms")
+        t.add(make_result("opt-lb", 2.0))
+        t.add(make_result("admit-first", 6.0))
+        text = t.render()
+        assert "opt-lb" in text
+        assert "admit-first" in text
+        assert "ms" in text
+
+    def test_render_empty(self):
+        assert "no results" in ComparisonTable().render()

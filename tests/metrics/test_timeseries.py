@@ -1,0 +1,78 @@
+"""Unit tests for the time-series metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.fifo import FifoScheduler
+from repro.metrics.timeseries import (
+    backlog_over_time,
+    completion_throughput,
+    peak_backlog,
+    windowed_max_flow,
+)
+from repro.sim.result import ScheduleResult
+
+
+def make_result(arrivals, completions):
+    return ScheduleResult(
+        "test", 2, 1.0,
+        np.asarray(arrivals, float),
+        np.asarray(completions, float),
+    )
+
+
+class TestBacklog:
+    def test_hand_values(self):
+        # Jobs: [0, 4), [1, 3): backlog 1 at t=0.5, 2 at t=2, 1 at t=3.5.
+        r = make_result([0.0, 1.0], [4.0, 3.0])
+        times, backlog = backlog_over_time(r, times=np.array([0.5, 2.0, 3.5, 5.0]))
+        assert backlog.tolist() == [1, 2, 1, 0]
+
+    def test_default_sampling(self):
+        r = make_result([0.0], [10.0])
+        times, backlog = backlog_over_time(r, n_samples=11)
+        assert times[0] == 0.0 and times[-1] == 10.0
+        assert backlog.max() == 1
+
+    def test_peak_backlog_exact(self):
+        r = make_result([0.0, 1.0, 1.5, 10.0], [5.0, 6.0, 7.0, 12.0])
+        assert peak_backlog(r) == 3
+
+    def test_peak_backlog_disjoint_jobs(self):
+        r = make_result([0.0, 10.0], [1.0, 11.0])
+        assert peak_backlog(r) == 1
+
+
+class TestWindowedMaxFlow:
+    def test_hand_values(self):
+        r = make_result([0.0, 0.0, 9.0], [1.0, 2.0, 11.0])
+        starts, maxima = windowed_max_flow(r, window=5.0)
+        assert starts.tolist() == [0.0, 5.0, 10.0]
+        assert maxima.tolist() == [2.0, 0.0, 2.0]
+
+    def test_global_max_preserved(self, medium_random_jobset):
+        r = FifoScheduler().run(medium_random_jobset, m=8)
+        _, maxima = windowed_max_flow(r, window=r.makespan / 10)
+        assert maxima.max() == pytest.approx(r.max_flow)
+
+    def test_invalid_window(self):
+        r = make_result([0.0], [1.0])
+        with pytest.raises(ValueError):
+            windowed_max_flow(r, window=0.0)
+
+
+class TestThroughput:
+    def test_hand_values(self):
+        r = make_result([0.0, 0.0, 0.0], [1.0, 1.5, 7.0])
+        starts, counts = completion_throughput(r, window=5.0)
+        assert counts.tolist() == [2, 1]
+
+    def test_counts_sum_to_n(self, medium_random_jobset):
+        r = FifoScheduler().run(medium_random_jobset, m=8)
+        _, counts = completion_throughput(r, window=100.0)
+        assert counts.sum() == r.n_jobs
+
+    def test_invalid_window(self):
+        r = make_result([0.0], [1.0])
+        with pytest.raises(ValueError):
+            completion_throughput(r, window=-1.0)

@@ -1,0 +1,66 @@
+"""Unit tests for the utilization accounting."""
+
+import pytest
+
+from repro.core.fifo import FifoScheduler
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.metrics.utilization import (
+    busy_fraction,
+    offered_load,
+    steal_fraction,
+    utilization_report,
+)
+
+
+class TestTickAccounting:
+    def test_busy_fraction_bounds(self, medium_random_jobset):
+        r = WorkStealingScheduler(k=2).run(medium_random_jobset, m=8, seed=1)
+        frac = busy_fraction(r)
+        assert 0.0 < frac <= 1.0
+
+    def test_busy_fraction_equals_work_over_machine_ticks(
+        self, medium_random_jobset
+    ):
+        r = WorkStealingScheduler(k=2).run(medium_random_jobset, m=8, seed=1)
+        expect = medium_random_jobset.total_work / (8 * r.stats.elapsed_ticks)
+        assert busy_fraction(r) == pytest.approx(expect)
+
+    def test_steal_fraction_nonnegative(self, medium_random_jobset):
+        r = WorkStealingScheduler(k=2).run(medium_random_jobset, m=8, seed=1)
+        assert steal_fraction(r) >= 0.0
+
+    def test_centralized_results_rejected(self, medium_random_jobset):
+        r = FifoScheduler().run(medium_random_jobset, m=8)
+        with pytest.raises(ValueError, match="tick"):
+            busy_fraction(r)
+        with pytest.raises(ValueError, match="tick"):
+            steal_fraction(r)
+
+
+class TestReport:
+    def test_report_keys(self, medium_random_jobset):
+        r = WorkStealingScheduler(k=2).run(medium_random_jobset, m=8, seed=1)
+        rep = utilization_report(r, medium_random_jobset)
+        assert set(rep) == {
+            "offered_load",
+            "busy_steps",
+            "total_work",
+            "busy_fraction",
+            "steal_attempts",
+            "failed_steal_rate",
+            "idle_steps",
+        }
+        assert rep["busy_steps"] == rep["total_work"]
+
+    def test_report_for_centralized_run_zeroes_tick_fields(
+        self, medium_random_jobset
+    ):
+        r = FifoScheduler().run(medium_random_jobset, m=8)
+        rep = utilization_report(r, medium_random_jobset)
+        assert rep["busy_fraction"] == 0.0
+        assert rep["busy_steps"] == rep["total_work"]
+
+    def test_offered_load(self, medium_random_jobset):
+        assert offered_load(medium_random_jobset, 8) == pytest.approx(
+            medium_random_jobset.utilization(8)
+        )

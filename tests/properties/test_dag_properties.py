@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for the DAG substrate.
+
+Invariants tested on arbitrary generated DAGs:
+
+* work >= span >= max node work, parallelism >= 1;
+* the parallelism profile integrates to the work and spans the span;
+* series composition adds both work and span; parallel composition adds
+  work and maxes span;
+* ``validate_dag`` accepts everything the builders produce.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dag.analysis import (
+    critical_path_nodes,
+    node_depths,
+    parallelism_profile,
+    validate_dag,
+)
+from repro.dag.builders import (
+    balanced_tree,
+    chain,
+    fork_join,
+    map_reduce,
+    parallel_compose,
+    parallel_for,
+    random_layered_dag,
+    series_compose,
+)
+
+# -- strategies ----------------------------------------------------------
+
+works_lists = st.lists(st.integers(1, 20), min_size=1, max_size=12)
+
+
+@st.composite
+def random_dags(draw):
+    """An arbitrary layered random DAG, seeded from hypothesis data."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_nodes = draw(st.integers(1, 40))
+    n_layers = draw(st.integers(1, min(6, n_nodes)))
+    p = draw(st.floats(0.0, 1.0))
+    rng = np.random.default_rng(seed)
+    return random_layered_dag(rng, n_nodes, n_layers, edge_probability=p)
+
+
+@st.composite
+def shaped_dags(draw):
+    """A DAG from one of the shape builders with arbitrary parameters."""
+    kind = draw(st.sampled_from(["chain", "fork", "pfor", "tree", "mapred"]))
+    if kind == "chain":
+        return chain(draw(works_lists))
+    if kind == "fork":
+        return fork_join(
+            draw(st.integers(1, 5)),
+            draw(works_lists),
+            draw(st.integers(1, 5)),
+        )
+    if kind == "pfor":
+        return parallel_for(
+            draw(st.integers(1, 200)), draw(st.integers(1, 50))
+        )
+    if kind == "tree":
+        return balanced_tree(
+            draw(st.integers(0, 3)),
+            draw(st.integers(1, 3)),
+            draw(st.integers(1, 4)),
+            with_reduction=draw(st.booleans()),
+        )
+    return map_reduce(
+        draw(st.lists(st.integers(1, 9), min_size=1, max_size=10)),
+        draw(st.integers(2, 4)),
+    )
+
+
+any_dag = st.one_of(random_dags(), shaped_dags())
+
+
+# -- properties ----------------------------------------------------------
+
+
+@given(any_dag)
+@settings(max_examples=120, deadline=None)
+def test_work_span_sandwich(dag):
+    assert max(dag.works) <= dag.span <= dag.total_work
+    assert dag.parallelism >= 1.0 - 1e-12
+
+
+@given(any_dag)
+@settings(max_examples=120, deadline=None)
+def test_structural_validity(dag):
+    validate_dag(dag)
+
+
+@given(any_dag)
+@settings(max_examples=60, deadline=None)
+def test_parallelism_profile_consistency(dag):
+    profile = parallelism_profile(dag)
+    assert sum(profile.values()) == dag.total_work
+    assert max(profile) + 1 == dag.span
+    assert min(profile) == 0
+
+
+@given(any_dag)
+@settings(max_examples=60, deadline=None)
+def test_depths_respect_edges(dag):
+    depths = node_depths(dag)
+    for v in range(dag.n_nodes):
+        for u in dag.successors[v]:
+            assert depths[u] >= depths[v] + dag.works[v]
+
+
+@given(any_dag)
+@settings(max_examples=40, deadline=None)
+def test_critical_path_realizes_span(dag):
+    path = critical_path_nodes(dag)
+    assert sum(dag.works[v] for v in path) == dag.span
+    for a, b in zip(path, path[1:]):
+        assert b in dag.successors[a]
+
+
+@given(any_dag, any_dag)
+@settings(max_examples=50, deadline=None)
+def test_series_composition_adds(d1, d2):
+    s = series_compose(d1, d2)
+    assert s.total_work == d1.total_work + d2.total_work
+    assert s.span == d1.span + d2.span
+    validate_dag(s)
+
+
+@given(any_dag, any_dag)
+@settings(max_examples=50, deadline=None)
+def test_parallel_composition_maxes_span(d1, d2):
+    p = parallel_compose(d1, d2)
+    assert p.total_work == d1.total_work + d2.total_work
+    assert p.span == max(d1.span, d2.span)
+    validate_dag(p)
+
+
+@given(any_dag, any_dag, st.integers(1, 3), st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_parallel_composition_with_forkjoin_wrapping(d1, d2, fw, jw):
+    p = parallel_compose(d1, d2, fork_work=fw, join_work=jw)
+    assert p.total_work == d1.total_work + d2.total_work + fw + jw
+    assert p.span == max(d1.span, d2.span) + fw + jw
+    assert len(p.roots) == 1
+    validate_dag(p)

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for the schedulers and engines.
+
+For arbitrary small instances, every scheduler must satisfy:
+
+* feasibility (trace audit: exclusivity, concurrency <= m, exact
+  service, precedence, release times);
+* physics: per-job flow >= span / speed;
+* conservation: busy steps == total work, admissions == n;
+* soundness: the OPT lower bound never exceeds a feasible schedule's
+  max flow at equal speed;
+* determinism: equal seeds give equal schedules.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bwf import BwfScheduler
+from repro.core.fifo import FifoScheduler
+from repro.core.opt import opt_lower_bound
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.dag.builders import (
+    chain,
+    fork_join,
+    parallel_for,
+    random_layered_dag,
+    single_node,
+)
+from repro.dag.job import Job, JobSet
+from repro.sim.trace import TraceRecorder, audit_trace
+
+
+@st.composite
+def small_instances(draw):
+    """A JobSet of 1-8 assorted small jobs with arbitrary arrivals/weights."""
+    n = draw(st.integers(1, 8))
+    jobs = []
+    for i in range(n):
+        kind = draw(st.sampled_from(["single", "chain", "fork", "pfor", "rand"]))
+        if kind == "single":
+            dag = single_node(draw(st.integers(1, 12)))
+        elif kind == "chain":
+            dag = chain(draw(st.lists(st.integers(1, 6), min_size=1, max_size=4)))
+        elif kind == "fork":
+            dag = fork_join(
+                draw(st.integers(1, 3)),
+                draw(st.lists(st.integers(1, 6), min_size=1, max_size=5)),
+                draw(st.integers(1, 3)),
+            )
+        elif kind == "pfor":
+            dag = parallel_for(draw(st.integers(1, 30)), draw(st.integers(1, 8)))
+        else:
+            rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+            n_nodes = draw(st.integers(1, 12))
+            n_layers = draw(st.integers(1, min(3, n_nodes)))
+            dag = random_layered_dag(rng, n_nodes, n_layers)
+        arrival = draw(
+            st.floats(0.0, 30.0, allow_nan=False, allow_infinity=False)
+        )
+        weight = draw(st.floats(0.5, 8.0, allow_nan=False))
+        jobs.append(Job(job_id=i, dag=dag, arrival=arrival, weight=weight))
+    return JobSet(jobs)
+
+
+machine_sizes = st.integers(1, 5)
+
+
+@given(small_instances(), machine_sizes)
+@settings(max_examples=60, deadline=None)
+def test_fifo_feasible_and_sound(js, m):
+    tr = TraceRecorder()
+    r = FifoScheduler().run(js, m=m, trace=tr)
+    audit_trace(tr, js, m=m, speed=1.0)
+    spans = np.asarray(js.spans, float)
+    assert np.all(r.flows >= spans - 1e-6)
+    assert r.stats.busy_steps == js.total_work
+    assert opt_lower_bound(js, m=m).max_flow <= r.max_flow + 1e-6
+
+
+@given(small_instances(), machine_sizes)
+@settings(max_examples=60, deadline=None)
+def test_bwf_feasible_and_sound(js, m):
+    tr = TraceRecorder()
+    r = BwfScheduler().run(js, m=m, trace=tr)
+    audit_trace(tr, js, m=m, speed=1.0)
+    assert np.all(r.flows >= np.asarray(js.spans, float) - 1e-6)
+    assert opt_lower_bound(js, m=m).max_flow <= r.max_flow + 1e-6
+
+
+@given(
+    small_instances(),
+    machine_sizes,
+    st.integers(0, 6),
+    st.sampled_from([1, 8]),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_work_stealing_feasible_and_sound(js, m, k, sigma, seed):
+    tr = TraceRecorder()
+    r = WorkStealingScheduler(k=k, steals_per_tick=sigma).run(
+        js, m=m, seed=seed, trace=tr
+    )
+    audit_trace(tr, js, m=m, speed=1.0)
+    assert r.stats.busy_steps == js.total_work
+    assert r.stats.admissions == len(js)
+    assert np.all(r.flows >= np.asarray(js.spans, float) - 1e-6)
+    assert opt_lower_bound(js, m=m).max_flow <= r.max_flow + 1e-6
+
+
+@given(small_instances(), machine_sizes, st.integers(0, 4), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_work_stealing_deterministic(js, m, k, seed):
+    r1 = WorkStealingScheduler(k=k).run(js, m=m, seed=seed)
+    r2 = WorkStealingScheduler(k=k).run(js, m=m, seed=seed)
+    assert np.array_equal(r1.completions, r2.completions)
+
+
+@given(small_instances(), machine_sizes, st.sampled_from([1.25, 1.5, 2.0]))
+@settings(max_examples=40, deadline=None)
+def test_speed_augmented_runs_feasible(js, m, speed):
+    tr = TraceRecorder()
+    r = FifoScheduler().run(js, m=m, speed=speed, trace=tr)
+    audit_trace(tr, js, m=m, speed=speed)
+    assert np.all(r.flows >= np.asarray(js.spans, float) / speed - 1e-6)
+
+    tr2 = TraceRecorder()
+    r2 = WorkStealingScheduler(k=1).run(js, m=m, speed=speed, seed=0, trace=tr2)
+    audit_trace(tr2, js, m=m, speed=speed)
+
+
+@given(small_instances(), machine_sizes)
+@settings(max_examples=40, deadline=None)
+def test_opt_lb_monotone_in_m(js, m):
+    """More processors can only lower the aggregate-machine bound."""
+    a = opt_lower_bound(js, m=m).max_flow
+    b = opt_lower_bound(js, m=m + 1).max_flow
+    assert b <= a + 1e-9
+
+
+@given(small_instances())
+@settings(max_examples=40, deadline=None)
+def test_bwf_equals_fifo_on_unit_weights(js):
+    unit = JobSet(
+        Job(job_id=j.job_id, dag=j.dag, arrival=j.arrival, weight=1.0)
+        for j in js
+    )
+    bwf = BwfScheduler().run(unit, m=3)
+    fifo = FifoScheduler().run(unit, m=3)
+    assert np.allclose(bwf.completions, fifo.completions)
+
+
+@given(small_instances(), machine_sizes)
+@settings(max_examples=60, deadline=None)
+def test_fifo_single_job_respects_graham(js, m):
+    """The centralized engine is greedy on a lone job, so every job's
+    isolated execution satisfies Graham's W/m + (m-1)/m*P bound."""
+    from repro.dag.job import Job, JobSet
+    from repro.theory.bounds import graham_makespan_bound
+
+    job = js[0]
+    solo = JobSet([Job(job_id=0, dag=job.dag, arrival=0.0)])
+    r = FifoScheduler().run(solo, m=m)
+    bound = graham_makespan_bound(job.work, job.span, m)
+    assert r.completions[0] <= bound + 1e-6

@@ -1,0 +1,94 @@
+"""Property-based tests: serialization is a faithful round trip.
+
+For arbitrary DAGs and instances, (de)serialization must preserve
+structure exactly -- and therefore preserve every scheduler's behaviour,
+which the last property verifies end-to-end.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fifo import FifoScheduler
+from repro.dag.builders import (
+    chain,
+    fork_join,
+    parallel_for,
+    random_layered_dag,
+)
+from repro.dag.job import Job, JobSet
+from repro.dag.serialization import (
+    dag_from_dict,
+    dag_to_dict,
+    dag_to_dot,
+    jobset_from_dict,
+    jobset_to_dict,
+)
+
+
+@st.composite
+def dags(draw):
+    kind = draw(st.sampled_from(["chain", "fork", "pfor", "rand"]))
+    if kind == "chain":
+        return chain(draw(st.lists(st.integers(1, 9), min_size=1, max_size=6)))
+    if kind == "fork":
+        return fork_join(
+            draw(st.integers(1, 4)),
+            draw(st.lists(st.integers(1, 9), min_size=1, max_size=6)),
+            draw(st.integers(1, 4)),
+        )
+    if kind == "pfor":
+        return parallel_for(draw(st.integers(1, 60)), draw(st.integers(1, 10)))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    n_nodes = draw(st.integers(1, 20))
+    return random_layered_dag(rng, n_nodes, draw(st.integers(1, min(4, n_nodes))))
+
+
+@st.composite
+def jobsets(draw):
+    n = draw(st.integers(1, 6))
+    return JobSet(
+        Job(
+            job_id=i,
+            dag=draw(dags()),
+            arrival=draw(st.floats(0.0, 50.0, allow_nan=False)),
+            weight=draw(st.floats(0.5, 9.0, allow_nan=False)),
+        )
+        for i in range(n)
+    )
+
+
+@given(dags())
+@settings(max_examples=100, deadline=None)
+def test_dag_round_trip_exact(dag):
+    back = dag_from_dict(dag_to_dict(dag))
+    assert back.works == dag.works
+    assert back.successors == dag.successors
+    assert back.span == dag.span
+    assert back.roots == dag.roots
+
+
+@given(dags())
+@settings(max_examples=60, deadline=None)
+def test_dot_export_complete(dag):
+    dot = dag_to_dot(dag)
+    assert dot.count("->") == dag.n_edges
+    assert dot.count("[label=") == dag.n_nodes
+
+
+@given(jobsets())
+@settings(max_examples=60, deadline=None)
+def test_jobset_round_trip_exact(js):
+    back = jobset_from_dict(jobset_to_dict(js))
+    assert back.works == js.works
+    assert back.spans == js.spans
+    assert back.arrivals == js.arrivals
+    assert back.weights == js.weights
+
+
+@given(jobsets(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_schedules_survive_round_trip(js, m):
+    back = jobset_from_dict(jobset_to_dict(js))
+    a = FifoScheduler().run(js, m=m)
+    b = FifoScheduler().run(back, m=m)
+    assert np.allclose(a.completions, b.completions)

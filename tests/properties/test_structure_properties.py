@@ -1,0 +1,144 @@
+"""Property tests for the remaining structured components.
+
+Covers the weighted admission queue (heap ordering under arbitrary
+operation sequences), the spawn/sync program DSL (random programs yield
+valid, schedulable DAGs), and the lk-norm algebra.
+"""
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dag.analysis import validate_dag
+from repro.dag.programs import Program, record_program
+from repro.metrics.norms import lk_norm
+from repro.sim.queue import WeightedAdmissionQueue
+
+
+@dataclass
+class Item:
+    weight: float
+    arrival: float
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0.1, 100.0, allow_nan=False),
+            st.floats(0.0, 100.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_weighted_queue_drains_in_weight_order(pairs):
+    q = WeightedAdmissionQueue()
+    for w, a in pairs:
+        q.release(Item(w, a))
+    drained = []
+    while q:
+        drained.append(q.admit())
+    # Weights non-increasing; ties broken by earlier arrival.
+    for a, b in zip(drained, drained[1:]):
+        assert a.weight >= b.weight - 1e-12
+        if a.weight == b.weight:
+            assert a.arrival <= b.arrival
+    assert len(drained) == len(pairs)
+    assert q.total_admitted == len(pairs)
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.floats(0.1, 50.0, allow_nan=False)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_weighted_queue_interleaved_ops(ops):
+    """Interleaved release/admit keeps the max-weight invariant."""
+    q = WeightedAdmissionQueue()
+    live = []
+    for do_admit, w in ops:
+        if do_admit and live:
+            out = q.admit()
+            assert out.weight == max(item.weight for item in live)
+            live.remove(out)
+        else:
+            item = Item(w, 0.0)
+            q.release(item)
+            live.append(item)
+    assert len(q) == len(live)
+
+
+@st.composite
+def program_ops(draw, depth=0):
+    """A random list of DSL operations, recursively nested via spawn."""
+    n_ops = draw(st.integers(1, 5))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(
+            st.sampled_from(
+                ["work", "sync", "pfor"] + (["spawn"] if depth < 2 else [])
+            )
+        )
+        if kind == "work":
+            ops.append(("work", draw(st.integers(1, 6))))
+        elif kind == "sync":
+            ops.append(("sync",))
+        elif kind == "pfor":
+            ops.append(
+                ("pfor", draw(st.integers(1, 4)), draw(st.integers(1, 4)))
+            )
+        else:
+            ops.append(("spawn", draw(program_ops(depth=depth + 1))))
+    return ops
+
+
+def run_ops(p: Program, ops) -> None:
+    for op in ops:
+        if op[0] == "work":
+            p.work(op[1])
+        elif op[0] == "sync":
+            p.sync()
+        elif op[0] == "pfor":
+            p.parallel_for(op[1], op[2])
+        else:
+            child_ops = op[1]
+            p.spawn(lambda q, child_ops=child_ops: run_ops(q, child_ops))
+
+
+@given(program_ops())
+@settings(max_examples=80, deadline=None)
+def test_random_programs_yield_valid_schedulable_dags(ops):
+    dag = record_program(lambda p: run_ops(p, ops))
+    validate_dag(dag)
+
+    from repro.core.work_stealing import WorkStealingScheduler
+    from repro.dag.job import jobs_from_dags
+    from repro.sim.trace import TraceRecorder, audit_trace
+
+    js = jobs_from_dags([dag], [0.0])
+    tr = TraceRecorder()
+    r = WorkStealingScheduler(k=1).run(js, m=2, seed=0, trace=tr)
+    audit_trace(tr, js, m=2, speed=1.0)
+    assert r.stats.busy_steps == dag.total_work
+
+
+@given(
+    st.lists(st.floats(0.0, 1e3, allow_nan=False), min_size=1, max_size=30),
+    st.floats(1.0, 64.0, allow_nan=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_lk_norm_algebra(values, k):
+    v = np.asarray(values)
+    norm = lk_norm(v, k)
+    # Sandwich: max <= norm <= n^(1/k) * max.
+    assert v.max() - 1e-9 <= norm <= v.size ** (1.0 / k) * v.max() + 1e-9
+    # Homogeneity: ||c v|| = c ||v||.
+    assert lk_norm(2.5 * v, k) == norm * 2.5 or math.isclose(
+        lk_norm(2.5 * v, k), norm * 2.5, rel_tol=1e-9, abs_tol=1e-12
+    )

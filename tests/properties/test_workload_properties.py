@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for workload generation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.arrivals import (
+    BurstyProcess,
+    PeriodicProcess,
+    PoissonProcess,
+    UniformProcess,
+)
+from repro.workloads.distributions import (
+    BingDistribution,
+    ExponentialDistribution,
+    FinanceDistribution,
+    LogNormalDistribution,
+    UniformDistribution,
+)
+from repro.workloads.generator import WorkloadSpec, expected_utilization
+
+DIST_CLASSES = [
+    BingDistribution,
+    FinanceDistribution,
+    LogNormalDistribution,
+    UniformDistribution,
+    ExponentialDistribution,
+]
+
+
+@st.composite
+def arrival_processes(draw):
+    rate = draw(st.floats(0.01, 10.0, allow_nan=False))
+    kind = draw(st.sampled_from(["poisson", "uniform", "bursty", "periodic"]))
+    if kind == "poisson":
+        return PoissonProcess(rate)
+    if kind == "uniform":
+        return UniformProcess(rate)
+    if kind == "bursty":
+        return BurstyProcess(rate, batch=draw(st.integers(1, 8)))
+    return PeriodicProcess(1.0 / rate)
+
+
+@given(arrival_processes(), st.integers(0, 2**31 - 1), st.integers(1, 300))
+@settings(max_examples=60, deadline=None)
+def test_arrivals_sorted_nonnegative_correct_length(proc, seed, n):
+    times = proc.generate(seed, n)
+    assert times.shape == (n,)
+    assert np.all(times >= 0)
+    assert np.all(np.diff(times) >= -1e-12)
+
+
+@given(
+    st.sampled_from(DIST_CLASSES),
+    st.floats(0.5, 100.0, allow_nan=False),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_distribution_samples_positive_any_mean(cls, mean_ms, seed):
+    ms = cls(mean_ms=mean_ms).sample_ms(seed, 500)
+    assert np.all(ms > 0)
+
+
+@given(
+    st.sampled_from(DIST_CLASSES),
+    st.integers(0, 2**31 - 1),
+    st.floats(0.5, 16.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_units_at_least_one(cls, seed, units_per_ms):
+    units = cls().sample_units(seed, 300, units_per_ms=units_per_ms)
+    assert np.all(units >= 1)
+
+
+@given(
+    st.sampled_from(DIST_CLASSES),
+    st.floats(100.0, 2000.0, allow_nan=False),
+    st.integers(5, 60),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_workload_spec_builds_valid_jobsets(cls, qps, n_jobs, seed):
+    spec = WorkloadSpec(cls(), qps=qps, n_jobs=n_jobs, m=8)
+    js = spec.build(seed=seed)
+    assert len(js) == n_jobs
+    assert all(j.work >= 3 for j in js)  # setup + >=1 body + finalize
+    assert all(j.span >= 3 for j in js)
+    # Jobs are sorted by arrival with dense ids.
+    assert [j.job_id for j in js] == list(range(n_jobs))
+    arr = js.arrivals
+    assert all(a <= b for a, b in zip(arr, arr[1:]))
+
+
+@given(
+    st.floats(100.0, 3000.0, allow_nan=False),
+    st.floats(1.0, 50.0, allow_nan=False),
+    st.integers(1, 64),
+)
+@settings(max_examples=60, deadline=None)
+def test_expected_utilization_formula(qps, mean_ms, m):
+    util = expected_utilization(qps, mean_ms, m)
+    assert util > 0
+    # Doubling the machine halves the utilization.
+    assert expected_utilization(qps, mean_ms, 2 * m) <= util / 2 + 1e-12

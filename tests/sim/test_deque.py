@@ -1,0 +1,73 @@
+"""Unit tests for the work-stealing deque end semantics."""
+
+from repro.sim.deque import WorkStealingDeque
+
+
+class TestEndSemantics:
+    def test_owner_pops_lifo(self):
+        d = WorkStealingDeque()
+        d.push_bottom("a")
+        d.push_bottom("b")
+        assert d.pop_bottom() == "b"
+        assert d.pop_bottom() == "a"
+
+    def test_thief_steals_fifo(self):
+        d = WorkStealingDeque()
+        d.push_bottom("a")
+        d.push_bottom("b")
+        assert d.steal_top() == "a"
+        assert d.steal_top() == "b"
+
+    def test_owner_and_thief_take_opposite_ends(self):
+        d = WorkStealingDeque()
+        for x in ("a", "b", "c"):
+            d.push_bottom(x)
+        assert d.steal_top() == "a"
+        assert d.pop_bottom() == "c"
+        assert d.steal_top() == "b"
+
+    def test_empty_operations_return_none(self):
+        d = WorkStealingDeque()
+        assert d.pop_bottom() is None
+        assert d.steal_top() is None
+        assert d.peek_bottom() is None
+        assert d.peek_top() is None
+
+    def test_len_and_bool(self):
+        d = WorkStealingDeque()
+        assert not d and len(d) == 0
+        d.push_bottom(1)
+        assert d and len(d) == 1
+
+    def test_peeks_do_not_remove(self):
+        d = WorkStealingDeque()
+        d.push_bottom(1)
+        d.push_bottom(2)
+        assert d.peek_top() == 1
+        assert d.peek_bottom() == 2
+        assert len(d) == 2
+
+    def test_snapshot_top_to_bottom(self):
+        d = WorkStealingDeque()
+        for x in (1, 2, 3):
+            d.push_bottom(x)
+        assert d.snapshot() == (1, 2, 3)
+
+
+class TestCounters:
+    def test_traffic_counters(self):
+        d = WorkStealingDeque()
+        d.push_bottom(1)
+        d.push_bottom(2)
+        d.pop_bottom()
+        d.steal_top()
+        assert d.owner_pushes == 2
+        assert d.owner_pops == 1
+        assert d.steals == 1
+
+    def test_failed_operations_do_not_count(self):
+        d = WorkStealingDeque()
+        d.pop_bottom()
+        d.steal_top()
+        assert d.owner_pops == 0
+        assert d.steals == 0

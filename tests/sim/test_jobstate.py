@@ -1,0 +1,65 @@
+"""Unit tests for JobExecution: ready tracking and node completion."""
+
+import pytest
+
+from repro.dag.builders import chain, diamond, fork_join, single_node
+from repro.dag.job import Job
+from repro.sim.jobstate import JobExecution
+
+
+def make_exec(dag, arrival=0.0, weight=1.0):
+    return JobExecution(Job(job_id=0, dag=dag, arrival=arrival, weight=weight))
+
+
+class TestInitialState:
+    def test_roots_are_ready(self):
+        je = make_exec(fork_join(1, [1, 1], 1))
+        assert je.ready == [0]
+        assert je.unfinished == 4
+        assert not je.done
+        assert je.completion is None
+
+    def test_remaining_work_copies_dag_works(self):
+        je = make_exec(chain([2, 5]))
+        assert je.remaining_work == [2.0, 5.0]
+
+    def test_metadata_passthrough(self):
+        je = make_exec(single_node(1), arrival=3.5, weight=2.0)
+        assert je.arrival == 3.5
+        assert je.weight == 2.0
+        assert je.job_id == 0
+
+
+class TestFinishNode:
+    def test_enables_successors(self):
+        je = make_exec(fork_join(1, [1, 1], 1))
+        enabled = je.finish_node(0)
+        assert sorted(enabled) == [1, 2]
+        assert je.unfinished == 3
+
+    def test_join_waits_for_all_predecessors(self):
+        je = make_exec(diamond(1))
+        je.finish_node(0)
+        assert je.finish_node(1) == []  # join not yet enabled
+        assert je.finish_node(2) == [3]
+
+    def test_done_after_all_nodes(self):
+        je = make_exec(chain([1, 1]))
+        je.finish_node(0)
+        je.finish_node(1)
+        assert je.done
+
+    def test_finish_after_done_raises(self):
+        je = make_exec(single_node(1))
+        je.finish_node(0)
+        with pytest.raises(RuntimeError, match="after completion"):
+            je.finish_node(0)
+
+    def test_dag_is_not_mutated(self):
+        dag = fork_join(1, [1, 1], 1)
+        je = make_exec(dag)
+        je.finish_node(0)
+        # A second execution of the same DAG starts fresh.
+        je2 = JobExecution(Job(job_id=1, dag=dag, arrival=0.0))
+        assert je2.unfinished == 4
+        assert je2.remaining_preds == list(dag.predecessor_counts)

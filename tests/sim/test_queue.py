@@ -1,0 +1,55 @@
+"""Unit tests for the global FIFO admission queue."""
+
+from repro.sim.queue import GlobalAdmissionQueue
+
+
+class TestFifoOrder:
+    def test_admit_in_release_order(self):
+        q = GlobalAdmissionQueue()
+        q.release("j1")
+        q.release("j2")
+        q.release("j3")
+        assert [q.admit(), q.admit(), q.admit()] == ["j1", "j2", "j3"]
+
+    def test_admit_empty_returns_none(self):
+        assert GlobalAdmissionQueue().admit() is None
+
+    def test_peek_is_nondestructive(self):
+        q = GlobalAdmissionQueue()
+        q.release("a")
+        assert q.peek() == "a"
+        assert len(q) == 1
+
+    def test_peek_empty(self):
+        assert GlobalAdmissionQueue().peek() is None
+
+    def test_len_and_bool(self):
+        q = GlobalAdmissionQueue()
+        assert not q
+        q.release("x")
+        assert q and len(q) == 1
+
+    def test_snapshot(self):
+        q = GlobalAdmissionQueue()
+        q.release(1)
+        q.release(2)
+        assert q.snapshot() == (1, 2)
+
+
+class TestAccounting:
+    def test_counters(self):
+        q = GlobalAdmissionQueue()
+        for i in range(5):
+            q.release(i)
+        q.admit()
+        q.admit()
+        assert q.total_enqueued == 5
+        assert q.total_admitted == 2
+
+    def test_peak_length_tracks_high_water_mark(self):
+        q = GlobalAdmissionQueue()
+        q.release(1)
+        q.release(2)
+        q.admit()
+        q.release(3)
+        assert q.peak_length == 2

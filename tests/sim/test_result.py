@@ -1,0 +1,102 @@
+"""Unit tests for ScheduleResult and SimulationStats."""
+
+import numpy as np
+import pytest
+
+from repro.sim.result import ScheduleResult, SimulationStats
+
+
+def make_result(arrivals, completions, weights=None, **kw):
+    return ScheduleResult(
+        scheduler="test",
+        m=4,
+        speed=1.0,
+        arrivals=np.asarray(arrivals, dtype=float),
+        completions=np.asarray(completions, dtype=float),
+        weights=None if weights is None else np.asarray(weights, dtype=float),
+        **kw,
+    )
+
+
+class TestValidation:
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            make_result([0.0, 1.0], [2.0])
+
+    def test_completion_before_arrival_rejected(self):
+        with pytest.raises(ValueError, match="before its"):
+            make_result([5.0], [3.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            make_result([], [])
+
+    def test_weights_shape_checked(self):
+        with pytest.raises(ValueError, match="weights"):
+            make_result([0.0], [1.0], weights=[1.0, 2.0])
+
+
+class TestMetrics:
+    def test_flows(self):
+        r = make_result([0.0, 2.0], [3.0, 4.0])
+        assert np.allclose(r.flows, [3.0, 2.0])
+        assert r.max_flow == 3.0
+        assert r.mean_flow == 2.5
+        assert r.argmax_flow == 0
+
+    def test_weighted_flows(self):
+        r = make_result([0.0, 0.0], [2.0, 1.0], weights=[1.0, 10.0])
+        assert r.max_weighted_flow == 10.0
+
+    def test_default_weights_are_ones(self):
+        r = make_result([0.0], [2.0])
+        assert r.weights.tolist() == [1.0]
+
+    def test_makespan(self):
+        r = make_result([0.0, 1.0], [5.0, 3.0])
+        assert r.makespan == 5.0
+
+    def test_percentile(self):
+        r = make_result([0.0] * 4, [1.0, 2.0, 3.0, 4.0])
+        assert r.flow_percentile(50) == pytest.approx(2.5)
+
+    def test_summary_keys(self):
+        summary = make_result([0.0], [1.0]).summary()
+        assert set(summary) == {
+            "max_flow",
+            "mean_flow",
+            "p99_flow",
+            "max_weighted_flow",
+            "makespan",
+        }
+
+    def test_tiny_negative_flow_clamped(self):
+        # Float dust: completion a hair before arrival is tolerated and
+        # clamped to a zero flow.
+        r = make_result([1.0], [1.0 - 1e-12])
+        assert r.flows[0] == 0.0
+
+    def test_n_jobs(self):
+        assert make_result([0.0, 0.0], [1.0, 1.0]).n_jobs == 2
+
+
+class TestSimulationStats:
+    def test_defaults_zero(self):
+        s = SimulationStats()
+        assert s.busy_steps == 0
+        assert s.steal_attempts == 0
+
+    def test_as_dict_roundtrip(self):
+        s = SimulationStats(busy_steps=10, steal_attempts=3)
+        d = s.as_dict()
+        assert d["busy_steps"] == 10
+        assert d["steal_attempts"] == 3
+        assert set(d) == {
+            "busy_steps",
+            "steal_attempts",
+            "failed_steals",
+            "admissions",
+            "idle_steps",
+            "n_events",
+            "elapsed_ticks",
+        }

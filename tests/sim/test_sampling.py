@@ -1,0 +1,101 @@
+"""Unit tests for engine state sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.sim.sampling import SystemSample, SystemSampler
+from repro.workloads.distributions import BingDistribution
+from repro.workloads.generator import WorkloadSpec
+
+
+class TestSamplerMechanics:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            SystemSampler(every=0)
+
+    def test_records_at_crossings_only(self):
+        s = SystemSampler(every=10)
+        s.maybe_record(0, 1, 2, 3, 4)
+        s.maybe_record(5, 9, 9, 9, 9)  # before the next crossing: dropped
+        s.maybe_record(10, 2, 2, 2, 2)
+        assert [x.tick for x in s.samples] == [0, 10]
+
+    def test_fast_forward_crossing_records_once(self):
+        s = SystemSampler(every=10)
+        s.maybe_record(0, 0, 0, 0, 0)
+        s.maybe_record(500, 1, 1, 1, 1)  # jumped many intervals
+        assert len(s.samples) == 2
+        # Next crossing is anchored to the observed tick, not backfilled.
+        s.maybe_record(505, 9, 9, 9, 9)
+        assert len(s.samples) == 2
+
+    def test_column_and_aggregates(self):
+        s = SystemSampler(every=1)
+        s.maybe_record(0, 2, 5, 1, 0)
+        s.maybe_record(1, 4, 3, 1, 2)
+        assert s.column("n_busy").tolist() == [2, 4]
+        assert s.mean_busy() == pytest.approx(3.0)
+        assert s.peak_queue_length() == 5
+
+    def test_empty_aggregates_raise(self):
+        s = SystemSampler()
+        with pytest.raises(ValueError):
+            s.mean_busy()
+        with pytest.raises(ValueError):
+            s.peak_queue_length()
+
+
+class TestEngineIntegration:
+    @pytest.fixture
+    def loaded(self):
+        spec = WorkloadSpec(BingDistribution(), qps=1200.0, n_jobs=400, m=8)
+        return spec.build(seed=2)
+
+    def test_samples_collected_and_bounded(self, loaded):
+        sampler = SystemSampler(every=32)
+        r = WorkStealingScheduler(k=4, steals_per_tick=16).run(
+            loaded, m=8, seed=1, sampler=sampler
+        )
+        assert sampler.samples, "a loaded run must produce samples"
+        busy = sampler.column("n_busy")
+        assert busy.max() <= 8
+        assert busy.min() >= 0
+        ticks = sampler.column("tick")
+        assert np.all(np.diff(ticks) > 0)
+        assert ticks[-1] <= r.stats.elapsed_ticks
+
+    def test_completed_monotone(self, loaded):
+        sampler = SystemSampler(every=16)
+        WorkStealingScheduler(k=0, steals_per_tick=16).run(
+            loaded, m=8, seed=1, sampler=sampler
+        )
+        done = sampler.column("completed")
+        assert np.all(np.diff(done) >= 0)
+
+    def test_sampling_does_not_change_schedule(self, loaded):
+        plain = WorkStealingScheduler(k=4).run(loaded, m=8, seed=7)
+        sampled = WorkStealingScheduler(k=4).run(
+            loaded, m=8, seed=7, sampler=SystemSampler(every=8)
+        )
+        assert np.array_equal(plain.completions, sampled.completions)
+
+    def test_admit_first_serialization_visible(self):
+        """The Section 6 mechanism, instrumented: at load, admit-first
+        holds more jobs open concurrently than steal-k-first."""
+        spec = WorkloadSpec(BingDistribution(), qps=1300.0, n_jobs=600, m=16)
+        js = spec.build(seed=5)
+
+        def open_jobs_peak(k):
+            sampler = SystemSampler(every=16)
+            WorkStealingScheduler(k=k, steals_per_tick=64).run(
+                js, m=16, seed=3, sampler=sampler
+            )
+            # Open jobs ~ admitted minus completed; approximate via busy
+            # workers + stealable deques vs completions is noisy, so use
+            # queue length inversely: steal-first keeps arrivals queued.
+            return sampler.peak_queue_length()
+
+        # steal-16-first defers admissions, so its global queue runs
+        # deeper than admit-first's.
+        assert open_jobs_peak(16) >= open_jobs_peak(0)

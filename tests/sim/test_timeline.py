@@ -1,0 +1,86 @@
+"""Unit tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.core.fifo import FifoScheduler
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.sim.timeline import job_symbol, render_timeline, worker_utilization
+from repro.sim.trace import TraceRecorder
+
+
+class TestJobSymbol:
+    def test_distinct_for_first_jobs(self):
+        assert job_symbol(0) != job_symbol(1)
+
+    def test_cycles(self):
+        assert job_symbol(0) == job_symbol(62)
+
+
+class TestRenderTimeline:
+    def test_empty_trace(self):
+        assert "empty" in render_timeline(TraceRecorder(), m=2)
+
+    def test_hand_built_rows(self):
+        tr = TraceRecorder()
+        tr.record(0, 0, 0, 0.0, 10.0)
+        tr.record(1, 1, 0, 5.0, 10.0)
+        text = render_timeline(tr, m=2, width=10, show_legend=False)
+        lines = text.splitlines()
+        assert lines[1] == "w0   |" + job_symbol(0) * 10 + "|"
+        # Worker 1 idles for the first half.
+        assert lines[2] == "w2".replace("2", "1") + "   |" + "." * 5 + job_symbol(1) * 5 + "|"
+
+    def test_legend(self):
+        tr = TraceRecorder()
+        tr.record(0, 7, 0, 0.0, 1.0)
+        text = render_timeline(tr, m=1, width=4)
+        assert "job7" in text
+
+    def test_window_clipping(self):
+        tr = TraceRecorder()
+        tr.record(0, 0, 0, 0.0, 100.0)
+        text = render_timeline(tr, m=1, width=10, t_start=0.0, t_end=10.0)
+        assert job_symbol(0) * 10 in text
+
+    def test_invalid_args(self):
+        tr = TraceRecorder()
+        tr.record(0, 0, 0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            render_timeline(tr, m=1, width=0)
+        with pytest.raises(ValueError):
+            render_timeline(tr, m=1, t_start=5.0, t_end=5.0)
+
+    def test_real_run_renders(self, medium_random_jobset):
+        tr = TraceRecorder()
+        WorkStealingScheduler(k=2).run(medium_random_jobset, m=4, seed=0, trace=tr)
+        text = render_timeline(tr, m=4, width=60)
+        assert text.count("|") == 8  # 4 worker rows, 2 bars each
+
+
+class TestWorkerUtilization:
+    def test_hand_values(self):
+        tr = TraceRecorder()
+        tr.record(0, 0, 0, 0.0, 10.0)
+        tr.record(1, 1, 0, 0.0, 5.0)
+        util = worker_utilization(tr, m=2, t_end=10.0)
+        assert util == pytest.approx([1.0, 0.5])
+
+    def test_empty_trace(self):
+        assert worker_utilization(TraceRecorder(), m=3) == [0.0, 0.0, 0.0]
+
+    def test_defaults_to_makespan(self, medium_random_jobset):
+        tr = TraceRecorder()
+        FifoScheduler().run(medium_random_jobset, m=4, trace=tr)
+        util = worker_utilization(tr, m=4)
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in util)
+        # Total busy time equals the instance's work.
+        t_end = max(iv.end for iv in tr.intervals)
+        assert sum(util) * t_end == pytest.approx(
+            medium_random_jobset.total_work
+        )
+
+    def test_invalid_t_end(self):
+        tr = TraceRecorder()
+        tr.record(0, 0, 0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            worker_utilization(tr, m=1, t_end=0.0)

@@ -1,0 +1,119 @@
+"""Unit tests for the weighted admission queue and weighted work stealing."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.bwf import BwfScheduler
+from repro.core.work_stealing import (
+    WeightedWorkStealingScheduler,
+    WorkStealingScheduler,
+)
+from repro.sim.engine import run_work_stealing
+from repro.sim.queue import WeightedAdmissionQueue
+from repro.sim.trace import TraceRecorder, audit_trace
+from repro.workloads.weights import class_weights, reweight
+
+
+@dataclass
+class FakeJob:
+    weight: float
+    arrival: float
+
+
+class TestWeightedAdmissionQueue:
+    def test_heaviest_first(self):
+        q = WeightedAdmissionQueue()
+        q.release(FakeJob(1.0, 0.0))
+        q.release(FakeJob(9.0, 1.0))
+        q.release(FakeJob(4.0, 2.0))
+        assert q.admit().weight == 9.0
+        assert q.admit().weight == 4.0
+        assert q.admit().weight == 1.0
+
+    def test_weight_ties_break_by_arrival(self):
+        q = WeightedAdmissionQueue()
+        late = FakeJob(2.0, 5.0)
+        early = FakeJob(2.0, 1.0)
+        q.release(late)
+        q.release(early)
+        assert q.admit() is early
+
+    def test_empty_admit_none(self):
+        assert WeightedAdmissionQueue().admit() is None
+
+    def test_peek_nondestructive(self):
+        q = WeightedAdmissionQueue()
+        q.release(FakeJob(3.0, 0.0))
+        assert q.peek().weight == 3.0
+        assert len(q) == 1
+
+    def test_counters_and_peak(self):
+        q = WeightedAdmissionQueue()
+        q.release(FakeJob(1.0, 0.0))
+        q.release(FakeJob(2.0, 0.0))
+        q.admit()
+        assert q.total_enqueued == 2
+        assert q.total_admitted == 1
+        assert q.peak_length == 2
+
+    def test_snapshot_ordered(self):
+        q = WeightedAdmissionQueue()
+        q.release(FakeJob(1.0, 0.0))
+        q.release(FakeJob(5.0, 0.0))
+        assert [j.weight for j in q.snapshot()] == [5.0, 1.0]
+
+
+class TestWeightedWorkStealing:
+    @pytest.fixture
+    def weighted_loaded(self, medium_random_jobset):
+        return reweight(
+            medium_random_jobset,
+            class_weights(0, len(medium_random_jobset)),
+        )
+
+    def test_label_and_defaults(self):
+        s = WeightedWorkStealingScheduler()
+        assert s.admission == "weight"
+        assert "weight-admission" in s.name
+
+    def test_invalid_admission_rejected(self):
+        with pytest.raises(ValueError, match="admission"):
+            WorkStealingScheduler(admission="age")
+        from repro.dag.builders import single_node
+        from repro.dag.job import jobs_from_dags
+
+        js = jobs_from_dags([single_node(1)], [0.0])
+        with pytest.raises(ValueError, match="admission"):
+            run_work_stealing(js, m=1, admission="age")
+
+    def test_feasible_and_conservative(self, weighted_loaded):
+        tr = TraceRecorder()
+        r = WeightedWorkStealingScheduler(k=4, steals_per_tick=8).run(
+            weighted_loaded, m=8, seed=1, trace=tr
+        )
+        audit_trace(tr, weighted_loaded, m=8, speed=1.0)
+        assert r.stats.busy_steps == weighted_loaded.total_work
+        assert r.stats.admissions == len(weighted_loaded)
+
+    def test_improves_weighted_objective_over_fifo_admission(self):
+        """The design goal: weight-ordered admission helps max w*F."""
+        from repro.workloads.distributions import BingDistribution
+        from repro.workloads.generator import WorkloadSpec
+
+        spec = WorkloadSpec(BingDistribution(), qps=1150.0, n_jobs=800, m=16)
+        js = reweight(spec.build(seed=3), class_weights(1, 800))
+        wws = WeightedWorkStealingScheduler(k=16).run(js, m=16, seed=5)
+        fws = WorkStealingScheduler(k=16, steals_per_tick=64).run(
+            js, m=16, seed=5
+        )
+        assert wws.max_weighted_flow < fws.max_weighted_flow
+
+    def test_bwf_still_beats_distributed_version(self, weighted_loaded):
+        """Centralized BWF remains the weighted reference point."""
+        bwf = BwfScheduler().run(weighted_loaded, m=8)
+        wws = WeightedWorkStealingScheduler(k=8, steals_per_tick=8).run(
+            weighted_loaded, m=8, seed=2
+        )
+        assert bwf.max_weighted_flow <= wws.max_weighted_flow * 1.1

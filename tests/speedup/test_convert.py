@@ -1,0 +1,101 @@
+"""Tests for the DAG -> speedup-curves conversion and its limits.
+
+The conversion must be exact where theory says it can be (chains;
+machines as wide as the profile) and measurably optimistic where the
+paper says no conversion exists (irregular DAGs on narrow machines).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fifo import FifoScheduler
+from repro.dag.builders import (
+    chain,
+    fork_join,
+    parallel_chains,
+    parallel_for,
+    single_node,
+)
+from repro.dag.job import jobs_from_dags
+from repro.speedup.convert import dag_to_speedup_job, jobset_to_speedup, profile_phases
+from repro.speedup.engine import run_speedup_fifo
+
+
+class TestProfilePhases:
+    def test_chain_is_one_sequential_run(self):
+        runs = profile_phases(chain([2, 3, 4]))
+        assert runs == [(9.0, 1)]
+
+    def test_fork_join_three_runs(self):
+        runs = profile_phases(fork_join(1, [2, 2], 1))
+        assert runs == [(1.0, 1), (4.0, 2), (1.0, 1)]
+
+    def test_work_conserved(self):
+        for dag in (chain([5]), fork_join(2, [3, 1, 4], 2), parallel_for(33, 5)):
+            runs = profile_phases(dag)
+            assert sum(w for w, _ in runs) == pytest.approx(dag.total_work)
+
+
+class TestConversionInvariants:
+    @pytest.mark.parametrize(
+        "dag",
+        [
+            single_node(7),
+            chain([1, 2, 3]),
+            fork_join(1, [4, 4, 2], 1),
+            parallel_for(40, 8),
+            parallel_chains([3, 1, 2]),
+        ],
+        ids=["single", "chain", "fork", "pfor", "pchains"],
+    )
+    def test_work_and_span_preserved(self, dag):
+        sj = dag_to_speedup_job(dag)
+        assert sj.total_work == pytest.approx(dag.total_work)
+        assert sj.span == pytest.approx(dag.span)
+
+    def test_metadata_preserved(self):
+        sj = dag_to_speedup_job(chain([2]), arrival=3.0, weight=5.0, job_id=9)
+        assert (sj.arrival, sj.weight, sj.job_id) == (3.0, 5.0, 9)
+
+    def test_jobset_conversion(self, small_forkjoin_set):
+        sjs = jobset_to_speedup(small_forkjoin_set)
+        assert len(sjs) == len(small_forkjoin_set)
+        assert sjs.arrivals == small_forkjoin_set.arrivals
+
+
+class TestModelAgreementAndSeparation:
+    """Where the two models agree exactly, and where they diverge."""
+
+    def test_chains_agree_exactly(self):
+        # Sequential jobs: both models are a single-server-per-job race.
+        dags = [chain([4, 3]), chain([2, 2, 2]), chain([5])]
+        js = jobs_from_dags(dags, [0.0, 1.0, 2.0])
+        dag_res = FifoScheduler().run(js, m=2)
+        sp_res = run_speedup_fifo(jobset_to_speedup(js), m=2)
+        assert np.allclose(dag_res.completions, sp_res.completions)
+
+    def test_wide_machine_agrees_with_span(self):
+        # With m >= max profile width, both models realize the profile.
+        dag = fork_join(1, [3, 3, 3], 1)
+        js = jobs_from_dags([dag], [0.0])
+        sp_res = run_speedup_fifo(jobset_to_speedup(js), m=8)
+        assert sp_res.completions[0] == pytest.approx(dag.span)
+        dag_res = FifoScheduler().run(js, m=8)
+        assert np.allclose(dag_res.completions, sp_res.completions)
+
+    def test_narrow_machine_conversion_is_not_faithful(self):
+        """The Section 8 separation: the converted job's constrained
+        behaviour differs from the DAG's.
+
+        fork_join(1, [1]*5, 1) on m=3: the DAG needs ceil(5/3) = 2 time
+        units for the middle layer (integral node placement), while the
+        converted phase (work 5, cap 5) processes at rate 3 and takes
+        5/3 -- the phased model is optimistic.
+        """
+        dag = fork_join(1, [1] * 5, 1)
+        js = jobs_from_dags([dag], [0.0])
+        dag_res = FifoScheduler().run(js, m=3)
+        sp_res = run_speedup_fifo(jobset_to_speedup(js), m=3)
+        assert dag_res.completions[0] == pytest.approx(4.0)
+        assert sp_res.completions[0] == pytest.approx(1.0 + 5.0 / 3.0 + 1.0)
+        assert sp_res.completions[0] < dag_res.completions[0]

@@ -1,0 +1,156 @@
+"""Exactness tests for the speedup-curves engine."""
+
+import numpy as np
+import pytest
+
+from repro.speedup.engine import run_speedup_equi, run_speedup_fifo
+from repro.speedup.model import (
+    LinearCapped,
+    Phase,
+    PowerLaw,
+    Sequential,
+    SpeedupJob,
+    SpeedupJobSet,
+)
+
+
+def job(job_id, arrival, *phases):
+    return SpeedupJob(job_id=job_id, phases=tuple(phases), arrival=arrival)
+
+
+class TestSingleJob:
+    def test_linear_capped_saturates_cap(self):
+        js = SpeedupJobSet([job(0, 0.0, Phase(12.0, LinearCapped(4)))])
+        r = run_speedup_fifo(js, m=8)
+        assert r.completions[0] == pytest.approx(3.0)
+
+    def test_machine_smaller_than_cap(self):
+        js = SpeedupJobSet([job(0, 0.0, Phase(12.0, LinearCapped(4)))])
+        r = run_speedup_fifo(js, m=2)
+        assert r.completions[0] == pytest.approx(6.0)
+
+    def test_phases_run_sequentially(self):
+        js = SpeedupJobSet(
+            [job(0, 0.0, Phase(4.0, LinearCapped(4)), Phase(3.0, Sequential()))]
+        )
+        r = run_speedup_fifo(js, m=4)
+        assert r.completions[0] == pytest.approx(1.0 + 3.0)
+
+    def test_power_law_rate(self):
+        # sqrt curve on 16 processors: rate 4, work 8 -> 2 time units.
+        js = SpeedupJobSet([job(0, 0.0, Phase(8.0, PowerLaw(0.5)))])
+        r = run_speedup_fifo(js, m=16)
+        assert r.completions[0] == pytest.approx(2.0)
+
+    def test_speed_scales(self):
+        js = SpeedupJobSet([job(0, 0.0, Phase(12.0, LinearCapped(4)))])
+        r = run_speedup_fifo(js, m=4, speed=2.0)
+        assert r.completions[0] == pytest.approx(1.5)
+
+    def test_late_arrival(self):
+        js = SpeedupJobSet([job(0, 5.0, Phase(2.0, Sequential()))])
+        r = run_speedup_fifo(js, m=1)
+        assert r.completions[0] == pytest.approx(7.0)
+
+
+class TestFifoAllocation:
+    def test_head_of_line_gets_its_cap(self):
+        # Job 0 uses 3 of 4 processors; job 1 gets the leftover 1.
+        js = SpeedupJobSet(
+            [
+                job(0, 0.0, Phase(6.0, LinearCapped(3))),
+                job(1, 0.0, Phase(4.0, LinearCapped(2))),
+            ]
+        )
+        r = run_speedup_fifo(js, m=4)
+        # Job 0: rate 3 -> done at 2.  Job 1: rate 1 until t=2 (2 work
+        # done), then rate 2 for the last 2 -> done at 3.
+        assert r.completions[0] == pytest.approx(2.0)
+        assert r.completions[1] == pytest.approx(3.0)
+
+    def test_power_law_head_hogs_machine(self):
+        # The Section 8 caveat: a strictly increasing curve absorbs all
+        # of m under FIFO-greedy, leaving nothing for the second job.
+        js = SpeedupJobSet(
+            [
+                job(0, 0.0, Phase(8.0, PowerLaw(0.5))),
+                job(1, 0.0, Phase(1.0, Sequential())),
+            ]
+        )
+        r = run_speedup_fifo(js, m=16)
+        assert r.completions[0] == pytest.approx(2.0)
+        assert r.completions[1] == pytest.approx(3.0)  # waits for job 0
+
+
+class TestEquiAllocation:
+    def test_equal_split(self):
+        # Two cap-4 jobs on m=4: each gets 2, rate 2, work 8 -> t=4.
+        js = SpeedupJobSet(
+            [
+                job(0, 0.0, Phase(8.0, LinearCapped(4))),
+                job(1, 0.0, Phase(8.0, LinearCapped(4))),
+            ]
+        )
+        r = run_speedup_equi(js, m=4)
+        assert r.completions.tolist() == pytest.approx([4.0, 4.0])
+
+    def test_remainder_to_earlier_arrival(self):
+        # m=3 split over two jobs: 2 and 1.
+        js = SpeedupJobSet(
+            [
+                job(0, 0.0, Phase(4.0, LinearCapped(3))),
+                job(1, 0.0, Phase(4.0, LinearCapped(3))),
+            ]
+        )
+        r = run_speedup_equi(js, m=3)
+        assert r.completions[0] == pytest.approx(2.0)
+        # Job 1: rate 1 until t=2 (2 done), then rate 3 -> 2/3 more.
+        assert r.completions[1] == pytest.approx(2.0 + 2.0 / 3.0)
+
+    def test_more_jobs_than_processors(self):
+        jobs = [job(i, 0.0, Phase(1.0, Sequential())) for i in range(5)]
+        r = run_speedup_equi(SpeedupJobSet(jobs), m=2)
+        assert r.makespan == pytest.approx(3.0)  # 2+2+1 jobs in waves
+
+
+class TestAccounting:
+    def test_work_conservation(self):
+        jobs = [
+            job(i, float(i), Phase(5.0, LinearCapped(2)), Phase(3.0, Sequential()))
+            for i in range(6)
+        ]
+        js = SpeedupJobSet(jobs)
+        for runner in (run_speedup_fifo, run_speedup_equi):
+            r = runner(js, m=3)
+            assert r.stats.busy_steps == int(js.total_work)
+
+    def test_validation(self):
+        js = SpeedupJobSet([job(0, 0.0, Phase(1.0, Sequential()))])
+        with pytest.raises(ValueError):
+            run_speedup_fifo(js, m=0)
+        with pytest.raises(ValueError):
+            run_speedup_fifo(js, m=1, speed=0.0)
+
+
+class TestConcavityRewardsSharing:
+    def test_equi_beats_fifo_on_sqrt_curves(self):
+        """Under concave (sqrt) speedup, equal sharing dominates greedy
+        head-of-line allocation on both max and mean flow -- behaviour
+        with no DAG-model counterpart (Section 8)."""
+        js = SpeedupJobSet(
+            [job(i, 0.0, Phase(16.0, PowerLaw(0.5))) for i in range(4)]
+        )
+        f = run_speedup_fifo(js, m=16)
+        e = run_speedup_equi(js, m=16)
+        assert e.max_flow < f.max_flow
+        assert e.mean_flow < f.mean_flow
+
+    def test_linear_capped_indifferent_to_policy(self):
+        """With caps summing to exactly m, both policies saturate every
+        job and coincide."""
+        js = SpeedupJobSet(
+            [job(i, 0.0, Phase(16.0, LinearCapped(4))) for i in range(4)]
+        )
+        f = run_speedup_fifo(js, m=16)
+        e = run_speedup_equi(js, m=16)
+        assert np.allclose(f.completions, e.completions)

@@ -1,0 +1,100 @@
+"""Unit tests for the speedup-curves job model."""
+
+import pytest
+
+from repro.speedup.model import (
+    LinearCapped,
+    Phase,
+    PowerLaw,
+    Sequential,
+    SpeedupJob,
+    SpeedupJobSet,
+    Sqrt,
+)
+
+
+class TestSpeedupFunctions:
+    def test_linear_capped_rates(self):
+        g = LinearCapped(4)
+        assert g.rate(0) == 0.0
+        assert g.rate(2) == 2.0
+        assert g.rate(4) == 4.0
+        assert g.rate(100) == 4.0
+        assert g.useful_processors == 4
+
+    def test_sequential_is_cap_one(self):
+        g = Sequential()
+        assert g.rate(10) == 1.0
+        assert g.useful_processors == 1
+
+    def test_power_law_rates(self):
+        g = PowerLaw(0.5)
+        assert g.rate(0) == 0.0
+        assert g.rate(4) == pytest.approx(2.0)
+        assert g.rate(16) == pytest.approx(4.0)
+
+    def test_sqrt_alias(self):
+        assert Sqrt().rate(9) == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("g", [LinearCapped(3), PowerLaw(0.7), Sqrt()])
+    def test_nondecreasing_and_sublinear(self, g):
+        rates = [g.rate(p) for p in range(0, 40)]
+        assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:]))
+        assert all(g.rate(p) <= p + 1e-12 for p in range(1, 40))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearCapped(0)
+        with pytest.raises(ValueError):
+            PowerLaw(0.0)
+        with pytest.raises(ValueError):
+            PowerLaw(1.5)
+        with pytest.raises(ValueError):
+            LinearCapped(2).rate(-1)
+
+
+class TestPhaseAndJob:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            Phase(work=0.0, speedup=Sequential())
+
+    def test_job_aggregates(self):
+        job = SpeedupJob(
+            job_id=0,
+            phases=(
+                Phase(4.0, LinearCapped(4)),
+                Phase(2.0, Sequential()),
+            ),
+            arrival=0.0,
+        )
+        assert job.total_work == 6.0
+        assert job.span == pytest.approx(1.0 + 2.0)
+
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            SpeedupJob(job_id=0, phases=(), arrival=0.0)
+        with pytest.raises(ValueError):
+            SpeedupJob(
+                job_id=0, phases=(Phase(1.0, Sequential()),), arrival=-1.0
+            )
+        with pytest.raises(ValueError):
+            SpeedupJob(
+                job_id=0,
+                phases=(Phase(1.0, Sequential()),),
+                arrival=0.0,
+                weight=0.0,
+            )
+
+
+class TestJobSet:
+    def test_sorts_and_reids(self):
+        a = SpeedupJob(5, (Phase(1.0, Sequential()),), arrival=3.0)
+        b = SpeedupJob(9, (Phase(2.0, Sequential()),), arrival=1.0)
+        js = SpeedupJobSet([a, b])
+        assert js[0].arrival == 1.0
+        assert js[0].job_id == 0
+        assert js.total_work == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SpeedupJobSet([])

@@ -1,0 +1,122 @@
+"""Unit tests for the theorem formulas."""
+
+import math
+
+import pytest
+
+from repro.theory.bounds import (
+    bwf_competitive_ratio,
+    bwf_speed,
+    fifo_competitive_ratio,
+    fifo_speed,
+    sequential_fifo_competitive_ratio,
+    steal_k_first_flow_bound,
+    steal_k_first_speed,
+    weighted_lower_bound_exponent,
+    work_stealing_lower_bound,
+)
+
+
+class TestFifo:
+    def test_values(self):
+        assert fifo_speed(0.5) == 1.5
+        assert fifo_competitive_ratio(0.5) == 6.0
+        assert fifo_competitive_ratio(0.1) == pytest.approx(30.0)
+
+    def test_eps_range(self):
+        with pytest.raises(ValueError):
+            fifo_speed(0.0)
+        with pytest.raises(ValueError):
+            fifo_competitive_ratio(1.0)
+        with pytest.raises(ValueError):
+            fifo_competitive_ratio(-0.5)
+
+
+class TestStealKFirst:
+    def test_speed_formula(self):
+        # k + 1 + (k+2)eps
+        assert steal_k_first_speed(0, 0.25) == pytest.approx(1.5)
+        assert steal_k_first_speed(2, 0.1) == pytest.approx(3.4)
+
+    def test_speed_eps_window(self):
+        with pytest.raises(ValueError, match="1/\\(k\\+2\\)"):
+            steal_k_first_speed(2, 0.3)  # needs eps < 1/4
+        with pytest.raises(ValueError):
+            steal_k_first_speed(-1, 0.1)
+
+    def test_flow_bound_formula(self):
+        # (65/eps^2)(OPT + ln n + k)
+        val = steal_k_first_flow_bound(0.25, 0, opt=10.0, n=100)
+        assert val == pytest.approx((65 / 0.0625) * (10 + math.log(100)))
+
+    def test_flow_bound_k_term(self):
+        a = steal_k_first_flow_bound(0.2, 0, 1.0, 10)
+        b = steal_k_first_flow_bound(0.2, 2, 1.0, 10)
+        assert b > a
+
+    def test_flow_bound_validation(self):
+        with pytest.raises(ValueError):
+            steal_k_first_flow_bound(0.25, 0, opt=0.0, n=10)
+        with pytest.raises(ValueError):
+            steal_k_first_flow_bound(0.25, 0, opt=1.0, n=0)
+
+
+class TestBwf:
+    def test_values(self):
+        assert bwf_speed(0.1) == pytest.approx(1.3)
+        assert bwf_competitive_ratio(0.1) == pytest.approx(300.0)
+
+    def test_eps_window(self):
+        with pytest.raises(ValueError):
+            bwf_speed(1.0 / 3.0)
+        with pytest.raises(ValueError):
+            bwf_competitive_ratio(0.5)
+
+
+class TestLowerBounds:
+    def test_ws_lower_bound_grows_with_n(self):
+        assert work_stealing_lower_bound(2**20) > work_stealing_lower_bound(2**10)
+
+    def test_ws_lower_bound_formula(self):
+        # m = log2 n; (m/10 + 1)/s
+        assert work_stealing_lower_bound(2**20, speed=1.0) == pytest.approx(3.0)
+        assert work_stealing_lower_bound(2**20, speed=2.0) == pytest.approx(1.5)
+
+    def test_ws_lower_bound_validation(self):
+        with pytest.raises(ValueError):
+            work_stealing_lower_bound(1)
+        with pytest.raises(ValueError):
+            work_stealing_lower_bound(16, speed=0.0)
+
+    def test_sequential_fifo_ratio(self):
+        assert sequential_fifo_competitive_ratio(2) == 1.0
+        assert sequential_fifo_competitive_ratio(4) == 1.25
+        with pytest.raises(ValueError):
+            sequential_fifo_competitive_ratio(0)
+
+    def test_weighted_exponent(self):
+        assert weighted_lower_bound_exponent() == 0.4
+
+
+class TestGrahamBound:
+    def test_single_processor_is_work(self):
+        from repro.theory.bounds import graham_makespan_bound
+
+        assert graham_makespan_bound(100.0, 10.0, 1) == 100.0
+
+    def test_infinite_parallelism_limit(self):
+        from repro.theory.bounds import graham_makespan_bound
+
+        # As m grows the bound approaches the span.
+        b = graham_makespan_bound(100.0, 10.0, 1000)
+        assert b == pytest.approx(100 / 1000 + 999 / 1000 * 10)
+
+    def test_validation(self):
+        from repro.theory.bounds import graham_makespan_bound
+
+        with pytest.raises(ValueError):
+            graham_makespan_bound(10.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            graham_makespan_bound(0.0, 1.0, 2)
+        with pytest.raises(ValueError):
+            graham_makespan_bound(5.0, 9.0, 2)

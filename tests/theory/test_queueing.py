@@ -1,0 +1,91 @@
+"""Unit tests for the M/G/1 queueing cross-checks.
+
+The headline test validates the whole pipeline: workload generator ->
+simulated-OPT queue -> Pollaczek-Khinchine prediction agree on mean flow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.opt import opt_lower_bound
+from repro.theory.queueing import (
+    mg1_mean_flow,
+    mg1_mean_wait,
+    predicted_opt_mean_flow,
+    service_moments,
+    squared_cv,
+    utilization,
+)
+from repro.workloads.distributions import BingDistribution, ExponentialDistribution
+from repro.workloads.generator import WorkloadSpec
+
+
+class TestMoments:
+    def test_service_moments_deterministic(self):
+        mean, second = service_moments(np.array([8.0, 8.0]), m=4)
+        assert mean == 2.0
+        assert second == 4.0
+
+    def test_speed_scales(self):
+        mean, _ = service_moments(np.array([8.0]), m=4, speed=2.0)
+        assert mean == 1.0
+
+    def test_squared_cv_constant_is_zero(self):
+        assert squared_cv(np.array([5.0, 5.0, 5.0])) == 0.0
+
+    def test_squared_cv_exponential_near_one(self):
+        w = np.random.default_rng(0).exponential(10.0, size=200_000)
+        assert squared_cv(w) == pytest.approx(1.0, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            service_moments(np.array([1.0]), m=0)
+        with pytest.raises(ValueError):
+            service_moments(np.array([1.0]), m=1, speed=0)
+        with pytest.raises(ValueError):
+            squared_cv(np.array([0.0, 0.0]))
+
+
+class TestPollaczekKhinchine:
+    def test_md1_closed_form(self):
+        # M/D/1: E[Wq] = rho * E[S] / (2(1-rho)).
+        rate, s = 0.5, 1.0  # rho = 0.5
+        assert mg1_mean_wait(rate, s, s**2) == pytest.approx(0.5)
+
+    def test_mm1_closed_form(self):
+        # M/M/1: E[F] = 1 / (mu - lam); with E[S]=1, E[S^2]=2, lam=0.5.
+        assert mg1_mean_flow(0.5, 1.0, 2.0) == pytest.approx(2.0)
+
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mg1_mean_wait(2.0, 1.0, 1.0)
+
+    def test_inconsistent_moments_rejected(self):
+        with pytest.raises(ValueError, match="E\\[S\\^2\\]"):
+            mg1_mean_wait(0.1, 2.0, 1.0)
+
+    def test_utilization(self):
+        assert utilization(0.5, 1.5) == 0.75
+
+
+class TestPipelineCrossValidation:
+    """Generator + OPT simulation vs analytical prediction."""
+
+    @pytest.mark.parametrize(
+        "dist_cls", [ExponentialDistribution, BingDistribution]
+    )
+    def test_opt_mean_flow_matches_pk(self, dist_cls):
+        spec = WorkloadSpec(dist_cls(), qps=1000.0, n_jobs=30_000, m=16)
+        js = spec.build(seed=123)
+        opt = opt_lower_bound(js, m=16, use_span_bound=False)
+        predicted = predicted_opt_mean_flow(
+            np.asarray(js.works, dtype=float), rate=spec.rate, m=16
+        )
+        # Finite horizon + realized arrival-rate noise: allow 15%.
+        assert opt.mean_flow == pytest.approx(predicted, rel=0.15)
+
+    def test_prediction_grows_with_load(self):
+        w = np.random.default_rng(0).exponential(16.0, size=10_000)
+        low = predicted_opt_mean_flow(w, rate=0.3, m=16)
+        high = predicted_opt_mean_flow(w, rate=0.8, m=16)
+        assert high > low

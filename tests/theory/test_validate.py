@@ -1,0 +1,99 @@
+"""Unit tests for the run-vs-theory validators."""
+
+import pytest
+
+from repro.core.bwf import BwfScheduler
+from repro.core.fifo import FifoScheduler
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.theory.bounds import bwf_speed, fifo_speed, steal_k_first_speed
+from repro.theory.validate import (
+    BoundCheck,
+    check_bwf_theorem,
+    check_fifo_theorem,
+    check_lower_bound_soundness,
+    check_span_lower_bounds,
+    check_steal_k_first_theorem,
+    check_work_conservation,
+)
+from repro.workloads.weights import class_weights, reweight
+
+
+class TestBoundCheck:
+    def test_slack_and_str(self):
+        c = BoundCheck("x", True, measured=2.0, bound=6.0, sound_to_assert=True)
+        assert c.slack == pytest.approx(3.0)
+        assert "PASS" in str(c)
+
+    def test_fail_renders(self):
+        c = BoundCheck("x", False, 6.0, 2.0, False)
+        assert "FAIL" in str(c)
+
+    def test_zero_measured_gives_inf_slack(self):
+        assert BoundCheck("x", True, 0.0, 1.0, True).slack == float("inf")
+
+
+class TestUnconditionalInvariants:
+    def test_soundness_passes_for_fifo(self, medium_random_jobset):
+        r = FifoScheduler().run(medium_random_jobset, m=8)
+        check = check_lower_bound_soundness(r, medium_random_jobset)
+        assert check.passed
+        assert check.sound_to_assert
+
+    def test_soundness_passes_for_ws(self, medium_random_jobset):
+        r = WorkStealingScheduler(k=2).run(medium_random_jobset, m=8, seed=0)
+        assert check_lower_bound_soundness(r, medium_random_jobset).passed
+
+    def test_span_bounds_pass(self, medium_random_jobset):
+        r = FifoScheduler().run(medium_random_jobset, m=8)
+        assert check_span_lower_bounds(r, medium_random_jobset).passed
+
+    def test_work_conservation_passes(self, medium_random_jobset):
+        r = WorkStealingScheduler(k=0).run(medium_random_jobset, m=8, seed=0)
+        assert check_work_conservation(r, medium_random_jobset).passed
+
+
+class TestFifoTheorem:
+    def test_passes_on_moderate_instance(self, medium_random_jobset):
+        eps = 0.5
+        r = FifoScheduler().run(medium_random_jobset, m=8, speed=fifo_speed(eps))
+        check = check_fifo_theorem(r, medium_random_jobset, eps)
+        assert check.passed
+        assert not check.sound_to_assert
+
+    def test_wrong_speed_rejected(self, medium_random_jobset):
+        r = FifoScheduler().run(medium_random_jobset, m=8, speed=1.0)
+        with pytest.raises(ValueError, match="requires speed"):
+            check_fifo_theorem(r, medium_random_jobset, eps=0.5)
+
+
+class TestStealKFirstTheorem:
+    def test_passes_on_moderate_instance(self, medium_random_jobset):
+        eps, k = 0.2, 1
+        speed = steal_k_first_speed(k, eps)
+        r = WorkStealingScheduler(k=k).run(
+            medium_random_jobset, m=8, speed=speed, seed=0
+        )
+        check = check_steal_k_first_theorem(r, medium_random_jobset, eps, k)
+        assert check.passed
+
+    def test_wrong_speed_rejected(self, medium_random_jobset):
+        r = WorkStealingScheduler(k=1).run(medium_random_jobset, m=8, seed=0)
+        with pytest.raises(ValueError, match="requires speed"):
+            check_steal_k_first_theorem(r, medium_random_jobset, 0.2, 1)
+
+
+class TestBwfTheorem:
+    def test_passes_on_weighted_instance(self, medium_random_jobset):
+        eps = 0.2
+        weighted = reweight(
+            medium_random_jobset,
+            class_weights(0, len(medium_random_jobset)),
+        )
+        r = BwfScheduler().run(weighted, m=8, speed=bwf_speed(eps))
+        check = check_bwf_theorem(r, weighted, eps)
+        assert check.passed
+
+    def test_wrong_speed_rejected(self, medium_random_jobset):
+        r = BwfScheduler().run(medium_random_jobset, m=8, speed=1.0)
+        with pytest.raises(ValueError, match="requires speed"):
+            check_bwf_theorem(r, medium_random_jobset, eps=0.2)

@@ -1,0 +1,83 @@
+"""Unit tests for the Section 5 adversarial instance."""
+
+import math
+
+import pytest
+
+from repro.core.fifo import FifoScheduler
+from repro.workloads.adversarial import (
+    adversarial_instance,
+    adversarial_machine_size,
+    adversarial_opt_max_flow,
+    sequential_execution_flow,
+)
+
+
+class TestMachineSize:
+    def test_log2_of_n(self):
+        assert adversarial_machine_size(2**15) == 15
+
+    def test_floor_of_ten(self):
+        assert adversarial_machine_size(4) == 10
+
+    def test_too_few_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            adversarial_machine_size(1)
+
+
+class TestInstanceStructure:
+    def test_default_construction(self):
+        js, m = adversarial_instance(1024)
+        assert m == 10
+        assert len(js) == 1024
+        # Paper: release every 2m time units.
+        assert js.arrivals[:3] == [0.0, 20.0, 40.0]
+        # Paper: total work m/10 + 1 per job.
+        assert all(w == m // 10 + 1 for w in js.works)
+        assert all(s == 2 for s in js.spans)
+
+    def test_fanout_override(self):
+        js, m = adversarial_instance(256, fanout=5)
+        assert all(w == 6 for w in js.works)
+
+    def test_custom_spacing(self):
+        js, _ = adversarial_instance(16, spacing=7.0)
+        assert js.arrivals[1] == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adversarial_instance(16, m=0)
+        with pytest.raises(ValueError):
+            adversarial_instance(16, spacing=0.0)
+        with pytest.raises(ValueError):
+            adversarial_instance(16, m=10, fanout=11)
+
+
+class TestClosedForms:
+    def test_opt_max_flow_is_two(self):
+        assert adversarial_opt_max_flow(20) == 2.0
+        assert adversarial_opt_max_flow(20, speed=2.0) == 1.0
+
+    def test_sequential_flow(self):
+        assert sequential_execution_flow(30) == 4.0  # fanout 3 + root
+        assert sequential_execution_flow(30, fanout=10) == 11.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adversarial_opt_max_flow(0)
+        with pytest.raises(ValueError):
+            adversarial_opt_max_flow(10, speed=0.0)
+        with pytest.raises(ValueError):
+            sequential_execution_flow(0)
+
+    def test_ideal_schedule_achieves_two(self):
+        """FIFO with enough processors realizes OPT's 2-step schedule."""
+        js, m = adversarial_instance(32)
+        r = FifoScheduler().run(js, m=m)
+        assert r.max_flow == pytest.approx(adversarial_opt_max_flow(m))
+
+    def test_jobs_never_overlap(self):
+        """Spacing 2m >> per-job time: any non-idling schedule finishes a
+        job before the next arrives (the paper's isolation argument)."""
+        js, m = adversarial_instance(64)
+        assert js.arrivals[1] - js.arrivals[0] > sequential_execution_flow(m)

@@ -1,0 +1,124 @@
+"""Unit tests for the arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import (
+    BurstyProcess,
+    MarkovModulatedProcess,
+    PeriodicProcess,
+    PoissonProcess,
+    UniformProcess,
+)
+
+ALL_PROCESSES = [
+    PoissonProcess(0.5),
+    UniformProcess(0.5),
+    BurstyProcess(0.5, batch=4),
+    PeriodicProcess(2.0, jitter=0.5),
+    MarkovModulatedProcess(0.2, 0.8, mean_sojourn=40.0),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("proc", ALL_PROCESSES)
+    def test_sorted_nonnegative(self, proc):
+        times = proc.generate(0, 500)
+        assert np.all(times >= 0)
+        assert np.all(np.diff(times) >= 0)
+
+    @pytest.mark.parametrize("proc", ALL_PROCESSES)
+    def test_length(self, proc):
+        assert proc.generate(0, 123).shape == (123,)
+
+    @pytest.mark.parametrize("proc", ALL_PROCESSES)
+    def test_long_run_rate(self, proc):
+        n = 20_000
+        times = proc.generate(0, n)
+        measured = n / times[-1]
+        assert measured == pytest.approx(proc.rate, rel=0.05)
+
+    @pytest.mark.parametrize("proc", ALL_PROCESSES)
+    def test_negative_count_rejected(self, proc):
+        with pytest.raises(ValueError):
+            proc.generate(0, -1)
+
+
+class TestPoisson:
+    def test_exponential_gaps(self):
+        times = PoissonProcess(2.0).generate(0, 50_000)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(0.5, rel=0.03)
+        # Exponential: std == mean.
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0.0)
+
+
+class TestUniform:
+    def test_deterministic_even_spacing(self):
+        times = UniformProcess(4.0).generate(None, 8)
+        assert np.allclose(np.diff(times), 0.25)
+
+    def test_seed_irrelevant(self):
+        a = UniformProcess(1.0).generate(1, 10)
+        b = UniformProcess(1.0).generate(2, 10)
+        assert np.array_equal(a, b)
+
+
+class TestBursty:
+    def test_batch_structure(self):
+        times = BurstyProcess(1.0, batch=5).generate(0, 20)
+        # Every run of 5 consecutive jobs shares one epoch.
+        for i in range(0, 20, 5):
+            assert np.all(times[i : i + 5] == times[i])
+
+    def test_batch_one_is_poissonlike(self):
+        times = BurstyProcess(2.0, batch=1).generate(0, 10_000)
+        gaps = np.diff(times)
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.1)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            BurstyProcess(1.0, batch=0)
+
+
+class TestMarkovModulated:
+    def test_degenerate_equal_rates_is_poisson_like(self):
+        p = MarkovModulatedProcess(1.0, 1.0, mean_sojourn=10.0)
+        gaps = np.diff(p.generate(0, 30_000))
+        assert gaps.mean() == pytest.approx(1.0, rel=0.05)
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.05)
+
+    def test_burstier_than_poisson(self):
+        """Rate modulation inflates inter-arrival variability (CV > 1)."""
+        p = MarkovModulatedProcess(0.1, 0.9, mean_sojourn=100.0)
+        gaps = np.diff(p.generate(0, 30_000))
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovModulatedProcess(0.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            MarkovModulatedProcess(1.0, 0.5, 10.0)
+        with pytest.raises(ValueError):
+            MarkovModulatedProcess(0.5, 1.0, 0.0)
+
+
+class TestPeriodic:
+    def test_zero_jitter_exact(self):
+        times = PeriodicProcess(3.0).generate(None, 4)
+        assert times.tolist() == [0.0, 3.0, 6.0, 9.0]
+
+    def test_jitter_stays_sorted(self):
+        times = PeriodicProcess(2.0, jitter=1.9).generate(0, 1000)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ValueError):
+            PeriodicProcess(2.0, jitter=2.0)
+        with pytest.raises(ValueError):
+            PeriodicProcess(0.0)

@@ -1,0 +1,116 @@
+"""Unit tests for workload assembly (WorkloadSpec, QPS accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import UniformProcess
+from repro.workloads.distributions import BingDistribution, ConstantDistribution
+from repro.workloads.generator import (
+    WorkloadSpec,
+    expected_utilization,
+    qps_to_rate,
+)
+
+
+class TestUnitConversions:
+    def test_qps_to_rate(self):
+        # 1000 qps with 4 units/ms: 4000 units per second of machine
+        # time, so 1000/(1000*4) = 0.25 jobs per time unit.
+        assert qps_to_rate(1000.0, 4.0) == pytest.approx(0.25)
+
+    def test_qps_to_rate_validation(self):
+        with pytest.raises(ValueError):
+            qps_to_rate(0.0)
+        with pytest.raises(ValueError):
+            qps_to_rate(100.0, 0.0)
+
+    def test_expected_utilization(self):
+        # paper calibration: qps=800, mean 10 ms, m=16 -> 50%.
+        assert expected_utilization(800.0, 10.0, 16) == pytest.approx(0.5)
+        assert expected_utilization(1200.0, 10.0, 16) == pytest.approx(0.75)
+
+    def test_expected_utilization_validation(self):
+        with pytest.raises(ValueError):
+            expected_utilization(800.0, 10.0, 0)
+
+
+class TestWorkloadSpec:
+    def test_build_produces_requested_count(self):
+        spec = WorkloadSpec(BingDistribution(), qps=1000.0, n_jobs=50, m=4)
+        js = spec.build(seed=0)
+        assert len(js) == 50
+
+    def test_measured_utilization_near_expected(self):
+        spec = WorkloadSpec(BingDistribution(), qps=1000.0, n_jobs=4000, m=16)
+        js = spec.build(seed=0)
+        assert js.utilization(16) == pytest.approx(spec.utilization, rel=0.1)
+
+    def test_jobs_are_parallel_for_shaped(self):
+        spec = WorkloadSpec(
+            ConstantDistribution(mean_ms=8.0),
+            qps=500.0,
+            n_jobs=5,
+            m=4,
+            units_per_ms=4.0,
+            target_chunks=4,
+        )
+        js = spec.build(seed=0)
+        for job in js:
+            # setup + chunks + finalize; 32 body units over 4 chunks.
+            assert job.dag.n_nodes == 1 + 4 + 1
+            assert job.work == 32 + 2
+
+    def test_seeded_determinism(self):
+        spec = WorkloadSpec(BingDistribution(), qps=500.0, n_jobs=30, m=4)
+        a, b = spec.build(seed=5), spec.build(seed=5)
+        assert a.works == b.works
+        assert a.arrivals == b.arrivals
+
+    def test_different_seeds_differ(self):
+        spec = WorkloadSpec(BingDistribution(), qps=500.0, n_jobs=30, m=4)
+        assert spec.build(seed=1).works != spec.build(seed=2).works
+
+    def test_custom_arrival_process(self):
+        spec = WorkloadSpec(
+            ConstantDistribution(),
+            qps=1000.0,
+            n_jobs=10,
+            m=4,
+            arrival_process=UniformProcess(0.25),
+        )
+        js = spec.build(seed=0)
+        gaps = np.diff(js.arrivals)
+        assert np.allclose(gaps, 4.0)
+
+    def test_describe_mentions_key_facts(self):
+        spec = WorkloadSpec(BingDistribution(), qps=800.0, n_jobs=10, m=16)
+        text = spec.describe()
+        assert "bing" in text
+        assert "qps=800" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(BingDistribution(), qps=100.0, n_jobs=0, m=4)
+        with pytest.raises(ValueError):
+            WorkloadSpec(BingDistribution(), qps=100.0, n_jobs=5, target_chunks=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(BingDistribution(), qps=-5.0, n_jobs=5)
+
+    def test_work_and_arrival_streams_isolated(self):
+        """Swapping the arrival process must not change the sampled works.
+
+        The spec spawns independent RNG streams for work sampling and
+        arrival generation, so paired comparisons across arrival models
+        see identical job sizes.
+        """
+        poisson = WorkloadSpec(BingDistribution(), qps=500.0, n_jobs=10, m=4)
+        uniform = WorkloadSpec(
+            BingDistribution(),
+            qps=500.0,
+            n_jobs=10,
+            m=4,
+            arrival_process=UniformProcess(0.125),
+        )
+        a, b = poisson.build(seed=3), uniform.build(seed=3)
+        assert a.works == b.works
+        assert a.arrivals != b.arrivals

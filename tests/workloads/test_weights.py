@@ -1,0 +1,89 @@
+"""Unit tests for the weight assignment schemes."""
+
+import numpy as np
+import pytest
+
+from repro.dag.builders import single_node
+from repro.dag.job import jobs_from_dags
+from repro.workloads.weights import (
+    class_weights,
+    constant_weights,
+    reweight,
+    span_inverse_weights,
+    uniform_weights,
+    work_inverse_weights,
+    work_proportional_weights,
+)
+
+
+@pytest.fixture
+def sized_jobset():
+    return jobs_from_dags(
+        [single_node(w) for w in (2, 4, 8)], [0.0, 1.0, 2.0]
+    )
+
+
+class TestSchemes:
+    def test_constant(self):
+        w = constant_weights(4, 3.0)
+        assert w.tolist() == [3.0] * 4
+
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            constant_weights(3, 0.0)
+
+    def test_uniform_bounds(self):
+        w = uniform_weights(0, 10_000, low=2.0, high=5.0)
+        assert w.min() >= 2.0 and w.max() <= 5.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_weights(0, 5, low=5.0, high=2.0)
+
+    def test_class_weights_members(self):
+        w = class_weights(0, 1000, classes=(1.0, 4.0, 16.0))
+        assert set(np.unique(w)) <= {1.0, 4.0, 16.0}
+
+    def test_class_weights_default_probabilities_favor_low(self):
+        w = class_weights(0, 20_000)
+        assert np.mean(w == 1.0) > np.mean(w == 16.0)
+
+    def test_class_weights_validation(self):
+        with pytest.raises(ValueError):
+            class_weights(0, 10, classes=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            class_weights(0, 10, classes=(1.0, 2.0), probabilities=(1.0,))
+
+    def test_work_inverse(self, sized_jobset):
+        w = work_inverse_weights(sized_jobset, scale=8.0)
+        assert w.tolist() == [4.0, 2.0, 1.0]
+
+    def test_work_inverse_default_scale_is_mean(self, sized_jobset):
+        w = work_inverse_weights(sized_jobset)
+        mean_work = np.mean([2, 4, 8])
+        assert w[0] == pytest.approx(mean_work / 2)
+
+    def test_span_inverse(self, sized_jobset):
+        # single-node jobs: span == work.
+        w = span_inverse_weights(sized_jobset, scale=8.0)
+        assert w.tolist() == [4.0, 2.0, 1.0]
+
+    def test_work_proportional(self, sized_jobset):
+        w = work_proportional_weights(sized_jobset, scale=0.5)
+        assert w.tolist() == [1.0, 2.0, 4.0]
+
+
+class TestReweight:
+    def test_preserves_structure(self, sized_jobset):
+        out = reweight(sized_jobset, np.array([1.0, 2.0, 3.0]))
+        assert out.weights == [1.0, 2.0, 3.0]
+        assert out.works == sized_jobset.works
+        assert out.arrivals == sized_jobset.arrivals
+
+    def test_shape_mismatch_rejected(self, sized_jobset):
+        with pytest.raises(ValueError):
+            reweight(sized_jobset, np.array([1.0]))
+
+    def test_nonpositive_rejected(self, sized_jobset):
+        with pytest.raises(ValueError):
+            reweight(sized_jobset, np.array([1.0, -1.0, 2.0]))
