@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench verify examples api-docs experiments all
+.PHONY: install test bench bench-report verify examples api-docs experiments all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Refresh BENCH_engine.json; the existing file becomes the baseline so
+# the committed report always carries before/after speedups.
+bench-report:
+	$(PYTHON) tools/bench_report.py
 
 verify:
 	$(PYTHON) -m repro.experiments verify

@@ -69,6 +69,7 @@ from repro.sim import (
     SimulationStats,
     TraceRecorder,
     audit_trace,
+    derive_seed,
     make_rng,
     run_centralized,
     run_work_stealing,
@@ -110,6 +111,7 @@ __all__ = [
     "SimulationStats",
     "TraceRecorder",
     "audit_trace",
+    "derive_seed",
     "make_rng",
     "run_centralized",
     "run_work_stealing",

@@ -64,6 +64,10 @@ class JobSet:
     the order in which an online scheduler encounters them.  Construction
     re-identifies jobs so that ``jobset[i].job_id == i``, which lets every
     engine use dense arrays indexed by job id.
+
+    An empty JobSet is legal -- generators and filters can legitimately
+    produce zero jobs -- and every aggregate view degrades to its vacuous
+    value (zero work, zero horizon, zero utilization).
     """
 
     def __init__(self, jobs: Iterable[Job]) -> None:
@@ -72,8 +76,6 @@ class JobSet:
             Job(job_id=i, dag=j.dag, arrival=j.arrival, weight=j.weight)
             for i, j in enumerate(ordered)
         )
-        if not self._jobs:
-            raise ValueError("a JobSet must contain at least one job")
 
     # -- container protocol -------------------------------------------------
 
@@ -120,21 +122,25 @@ class JobSet:
 
     @property
     def max_span(self) -> int:
-        """The largest critical-path length over all jobs."""
-        return max(j.span for j in self._jobs)
+        """The largest critical-path length over all jobs (0 if empty)."""
+        return max((j.span for j in self._jobs), default=0)
 
     @property
     def time_horizon(self) -> float:
-        """Last arrival time -- the end of the online input."""
-        return self._jobs[-1].arrival
+        """Last arrival time -- the end of the online input (0.0 if empty)."""
+        return self._jobs[-1].arrival if self._jobs else 0.0
 
     def utilization(self, m: int) -> float:
         """Offered load: total work divided by ``m`` times the arrival span.
 
         A value near 1.0 means the instance keeps ``m`` speed-1 processors
         saturated over the arrival window.  Values above 1.0 indicate an
-        overloaded (eventually unbounded-backlog) instance.
+        overloaded (eventually unbounded-backlog) instance.  A zero-horizon
+        batch (all jobs arrive at once) is ``inf``; an empty instance
+        offers no load at all, hence 0.0.
         """
+        if not self._jobs:
+            return 0.0
         horizon = self.time_horizon
         if horizon <= 0:
             return float("inf")

@@ -16,7 +16,13 @@ paper-style text rendering:
   Section 4/6 discussion ablations.
 
 Command line: ``python -m repro.experiments <fig2a|fig2b|fig2c|fig3|lb5|
-thm31|thm71|abl-k|abl-load|all> [--n-jobs N] [--seed S] [--reps R]``.
+thm31|thm71|abl-k|abl-load|all> [--n-jobs N] [--seed S] [--reps R]
+[--jobs W]``.
+
+Experiment cells fan out across a process pool (``--jobs`` / the
+``REPRO_JOBS`` environment variable / CPU count, in that order of
+precedence); cell seeds derive from cell coordinates, so parallel and
+serial runs are bit-identical.  See :mod:`repro.experiments.parallel`.
 """
 
 from repro.experiments.config import (
@@ -30,7 +36,12 @@ from repro.experiments.config import (
     SCALE_QUICK,
     SCALE_STANDARD,
 )
-from repro.experiments.runner import run_figure2_cell, run_schedulers
+from repro.experiments.parallel import default_workers, parallel_map
+from repro.experiments.runner import (
+    run_figure2_cell,
+    run_figure2_cells,
+    run_schedulers,
+)
 from repro.experiments.figures import (
     burstiness_experiment,
     figure2,
@@ -68,7 +79,10 @@ __all__ = [
     "SCALE_PAPER",
     "SCALE_QUICK",
     "SCALE_STANDARD",
+    "default_workers",
+    "parallel_map",
     "run_figure2_cell",
+    "run_figure2_cells",
     "run_schedulers",
     "figure2",
     "figure3",

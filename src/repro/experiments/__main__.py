@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.experiments fig2a [--n-jobs N] [--reps R] [--seed S]
-    python -m repro.experiments all --n-jobs 1000
+    python -m repro.experiments all --n-jobs 1000 --jobs 4
 
 Experiment ids and what they regenerate are listed in
 ``repro.experiments.config.EXPERIMENTS`` and in DESIGN.md's
@@ -115,6 +115,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for parallel experiment cells (default: "
+            "the REPRO_JOBS environment variable, else the CPU count; "
+            "1 forces serial execution).  Cell seeds derive from cell "
+            "coordinates, so the value never changes the numbers."
+        ),
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="also render each series experiment as an ASCII chart",
@@ -130,6 +141,14 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        # Route through the REPRO_JOBS override rather than threading a
+        # parameter into every dispatch entry; parallel cells resolve
+        # their worker count via repro.experiments.parallel.
+        import os
+
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     scale = ExperimentScale(n_jobs=args.n_jobs, reps=args.reps)
     if args.experiment == "verify":

@@ -29,7 +29,7 @@ from repro.experiments.config import (
     SCALE_STANDARD,
 )
 from repro.experiments.report import render_histogram, render_series
-from repro.experiments.runner import run_figure2_cell
+from repro.experiments.runner import run_figure2_cells
 from repro.sim.rng import derive_seed
 from repro.theory import bounds
 from repro.workloads.adversarial import (
@@ -87,6 +87,7 @@ def figure2(
     scale: ExperimentScale = SCALE_STANDARD,
     seed: int = 0,
     include_fifo: bool = False,
+    max_workers: int | None = None,
 ) -> SeriesResult:
     """One panel of Figure 2: max flow time (ms) vs QPS.
 
@@ -94,10 +95,21 @@ def figure2(
     steal-k-first (k=16) close to OPT; admit-first largest, with the gap
     widening as load grows (about 2x steal-k-first at high utilization
     for the Bing and log-normal workloads).
+
+    QPS cells run across a process pool (``max_workers``: see
+    :mod:`repro.experiments.parallel`); cell seeds derive from cell
+    coordinates, so the fan-out never changes the numbers.
     """
     series: Dict[str, List[float]] = {}
-    for qps in cfg.qps_values:
-        cell = run_figure2_cell(cfg, qps, scale, seed=seed, include_fifo=include_fifo)
+    cells = run_figure2_cells(
+        cfg,
+        cfg.qps_values,
+        scale,
+        seed=seed,
+        include_fifo=include_fifo,
+        max_workers=max_workers,
+    )
+    for cell in cells:
         for name, value in cell.items():
             series.setdefault(name, []).append(value)
     return SeriesResult(

@@ -1,0 +1,86 @@
+"""Process-pool execution of embarrassingly parallel experiment cells.
+
+Every experiment sweep in this package decomposes into independent cells
+-- one (workload, QPS, repetition) triple, or one (grid point,
+repetition) pair -- whose seeds derive from their *coordinates* via
+:func:`repro.sim.rng.derive_seed`, never from execution order.  That
+discipline makes cell fan-out safe: running cells across a process pool
+produces bit-identical per-cell results to running them serially, in any
+order, and ``tests/experiments/test_parallel.py`` asserts it.
+
+Worker-count resolution (first match wins):
+
+1. an explicit ``max_workers`` argument;
+2. the ``REPRO_JOBS`` environment variable (also settable via the CLI's
+   ``--jobs`` flag);
+3. ``os.cpu_count()``.
+
+``max_workers <= 1`` -- or any failure to stand up or use the pool
+(sandboxed platforms without process support, unpicklable callables such
+as lambda factories) -- degrades gracefully to the plain serial loop,
+which is always semantically equivalent.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pickle import PicklingError
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker-process count: ``REPRO_JOBS`` env override, else CPU count.
+
+    A malformed or non-positive ``REPRO_JOBS`` falls back to the CPU
+    count rather than erroring: an experiment run should never die on a
+    stale environment variable.
+    """
+    env = os.environ.get("REPRO_JOBS")
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError:
+            value = 0
+        if value >= 1:
+            return value
+    return os.cpu_count() or 1
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``fn`` over ``items``, using a process pool when it pays off.
+
+    Results are returned in input order.  ``fn`` must be a pure function
+    of its argument (every cell task in this package is: the cell seed
+    travels inside the argument), so the parallel and serial paths are
+    interchangeable and the fallback can simply re-run serially.
+
+    Serial execution is used when ``max_workers`` resolves to 1, when
+    there are fewer than two items, or when the pool cannot be used at
+    all (no OS support, unpicklable ``fn``/items -- e.g. lambda
+    factories); exceptions raised by ``fn`` itself always propagate,
+    re-raised from the serial loop if the pool attempt was the one that
+    surfaced them ambiguously.
+    """
+    work: Sequence[T] = list(items)
+    workers = default_workers() if max_workers is None else int(max_workers)
+    if workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, work, chunksize=chunksize))
+    except (PicklingError, AttributeError, TypeError, ImportError,
+            BrokenProcessPool, OSError, NotImplementedError):
+        # Pool machinery failed (not necessarily fn itself: pickling
+        # errors surface here too).  The serial loop is semantically
+        # identical and re-raises any genuine error from fn directly.
+        return [fn(item) for item in work]

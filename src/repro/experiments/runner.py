@@ -6,17 +6,21 @@ The two building blocks every figure uses:
   same instance: paired comparison) and collect results;
 * :func:`run_figure2_cell` -- one (workload, QPS) cell of Figure 2:
   build the workload, run OPT / steal-k-first / admit-first (and FIFO,
-  for reference), average over repetitions.
+  for reference), average over repetitions;
+* :func:`run_figure2_cells` -- a whole QPS sweep of such cells, fanned
+  out over a process pool (see :mod:`repro.experiments.parallel`).
 
 Seed discipline: a cell's seed is derived from the experiment seed and
 the cell coordinates via :func:`repro.sim.rng.derive_seed`, so any single
 cell can be reproduced in isolation and adding QPS points never shifts
-other cells' randomness.
+other cells' randomness.  Because seeds come from coordinates -- never
+from shared RNG state or execution order -- parallel and serial sweeps
+are bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +30,7 @@ from repro.core.opt import OptLowerBound
 from repro.core.work_stealing import WorkStealingScheduler
 from repro.dag.job import JobSet
 from repro.experiments.config import ExperimentScale, Figure2Config
+from repro.experiments.parallel import parallel_map
 from repro.sim.result import ScheduleResult
 from repro.sim.rng import derive_seed
 from repro.workloads.generator import WorkloadSpec
@@ -97,6 +102,39 @@ def run_figure2_cell(
         for name, res in results.items():
             sums[name] = sums.get(name, 0.0) + res.max_flow * cfg.time_unit_ms
     return {name: total / scale.reps for name, total in sums.items()}
+
+
+#: One cell-task: (config, qps, scale, seed, include_fifo).  A plain
+#: tuple of picklable values so the task crosses process boundaries.
+Figure2CellTask = Tuple[Figure2Config, float, ExperimentScale, int, bool]
+
+
+def _figure2_cell_task(task: Figure2CellTask) -> Dict[str, float]:
+    """Top-level (hence picklable) adapter around :func:`run_figure2_cell`."""
+    cfg, qps, scale, seed, include_fifo = task
+    return run_figure2_cell(cfg, qps, scale, seed=seed, include_fifo=include_fifo)
+
+
+def run_figure2_cells(
+    cfg: Figure2Config,
+    qps_values: Sequence[float],
+    scale: ExperimentScale,
+    seed: int = 0,
+    include_fifo: bool = False,
+    max_workers: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """All QPS cells of one Figure 2 panel, fanned out over processes.
+
+    Every cell's randomness derives from ``(seed, qps, rep)`` inside
+    :func:`run_figure2_cell`, so the fan-out cannot change any result:
+    the returned list (in ``qps_values`` order) is bit-identical to a
+    serial loop.  ``max_workers`` follows the resolution rules of
+    :func:`repro.experiments.parallel.parallel_map`.
+    """
+    tasks: List[Figure2CellTask] = [
+        (cfg, qps, scale, seed, include_fifo) for qps in qps_values
+    ]
+    return parallel_map(_figure2_cell_task, tasks, max_workers=max_workers)
 
 
 def mean_and_spread(values: List[float]) -> Dict[str, float]:

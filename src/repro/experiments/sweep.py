@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.base import Scheduler
 from repro.dag.job import JobSet
+from repro.experiments.parallel import parallel_map
 from repro.sim.result import ScheduleResult
 from repro.sim.rng import derive_seed
 
@@ -80,6 +81,23 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _sweep_rep_task(task) -> Dict[str, float]:
+    """One (grid point, repetition) cell, as a picklable top-level task.
+
+    ``task`` is ``(scheduler_factory, params, jobset_factory, m, speed,
+    jobset_seed, run_seed, metrics)``.  Both seeds arrive precomputed
+    from the cell coordinates, so where (or in what order) the task runs
+    cannot affect its result.  Returns the extracted metric values --
+    cheaper to ship between processes than a full ScheduleResult.
+    """
+    (factory, params, jobset_factory, m, speed, jobset_seed, run_seed,
+     metrics) = task
+    scheduler = factory(**params)
+    jobset = jobset_factory(jobset_seed)
+    result = scheduler.run(jobset, m=m, speed=speed, seed=run_seed)
+    return {name: METRICS[name](result) for name in metrics}
+
+
 def grid_sweep(
     scheduler_factory: Callable[..., Scheduler],
     grid: Dict[str, Sequence[Any]],
@@ -89,6 +107,7 @@ def grid_sweep(
     seed: int = 0,
     speed: float = 1.0,
     metrics: Sequence[str] = ("max_flow", "mean_flow"),
+    max_workers: int | None = None,
 ) -> SweepResult:
     """Run the full parameter cross product with paired comparisons.
 
@@ -111,6 +130,13 @@ def grid_sweep(
         Base seed; cell and rep seeds derive from it.
     metrics:
         Metric names from :data:`METRICS`.
+    max_workers:
+        Process-pool width for fanning out (cell, repetition) tasks; see
+        :func:`repro.experiments.parallel.parallel_map` for resolution
+        and fallback rules.  Results are aggregated in deterministic
+        (cell, rep) order, so parallel and serial sweeps are
+        bit-identical.  Lambda factories (as in the module example)
+        cannot cross process boundaries and silently run serially.
 
     Returns
     -------
@@ -130,29 +156,41 @@ def grid_sweep(
         )
 
     param_names = list(grid)
-    cells: List[SweepCell] = []
-    for cell_idx, combo in enumerate(itertools.product(*grid.values())):
+    combos = list(itertools.product(*grid.values()))
+    metric_names = list(metrics)
+    tasks = []
+    for cell_idx, combo in enumerate(combos):
         params = dict(zip(param_names, combo))
-        scheduler = scheduler_factory(**params)
-        sums = {name: 0.0 for name in metrics}
         for rep in range(reps):
-            jobset = jobset_factory(derive_seed(seed, 9000, rep))
-            result = scheduler.run(
-                jobset,
-                m=m,
-                speed=speed,
-                seed=derive_seed(seed, cell_idx, rep),
-            )
-            for name in metrics:
-                sums[name] += METRICS[name](result)
+            tasks.append((
+                scheduler_factory,
+                params,
+                jobset_factory,
+                m,
+                speed,
+                derive_seed(seed, 9000, rep),
+                derive_seed(seed, cell_idx, rep),
+                metric_names,
+            ))
+    rep_metrics = parallel_map(_sweep_rep_task, tasks, max_workers=max_workers)
+
+    # Aggregate in (cell, rep) task order -- the same float summation
+    # order as the serial loop, keeping means bit-identical.
+    cells: List[SweepCell] = []
+    for cell_idx, combo in enumerate(combos):
+        sums = {name: 0.0 for name in metric_names}
+        for rep in range(reps):
+            values = rep_metrics[cell_idx * reps + rep]
+            for name in metric_names:
+                sums[name] += values[name]
         cells.append(
             SweepCell(
-                params=params,
-                metrics={name: sums[name] / reps for name in metrics},
+                params=dict(zip(param_names, combo)),
+                metrics={name: sums[name] / reps for name in metric_names},
             )
         )
     return SweepResult(
         param_names=param_names,
-        metric_names=list(metrics),
+        metric_names=metric_names,
         cells=cells,
     )

@@ -32,7 +32,8 @@ from repro.sim.result import (
     result_to_dict,
     save_result,
 )
-from repro.sim.rng import make_rng, spawn_rngs
+from repro.sim.rng import derive_seed, make_rng, spawn_rngs
+from repro.sim.worker import WorkerArrays
 from repro.sim.deque import WorkStealingDeque
 from repro.sim.queue import GlobalAdmissionQueue, WeightedAdmissionQueue
 from repro.sim.jobstate import JobExecution
@@ -66,8 +67,10 @@ __all__ = [
     "result_from_dict",
     "save_result",
     "load_result",
+    "derive_seed",
     "make_rng",
     "spawn_rngs",
+    "WorkerArrays",
     "WorkStealingDeque",
     "GlobalAdmissionQueue",
     "WeightedAdmissionQueue",

@@ -10,6 +10,14 @@ with the most work hanging under it).
 The simulator is single-threaded, so no synchronization is needed; the
 class exists to pin down the end semantics (an easy thing to silently
 flip) and to count owner/thief traffic for the utilization reports.
+
+The tick engine's hot loop no longer goes through this wrapper: it
+operates on raw :class:`collections.deque` objects held in
+:class:`~repro.sim.worker.WorkerArrays`, inlining the same end semantics
+(owner ``append``/``pop`` at the bottom, thief ``popleft`` at the top)
+to avoid a method call per deque operation.  This class remains the
+executable specification of those semantics -- ``tests/sim/test_deque.py``
+pins them, and the equivalence tests pin the engine's inlined copy.
 """
 
 from __future__ import annotations

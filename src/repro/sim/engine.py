@@ -21,17 +21,39 @@ real runtime while staying deterministic for a fixed seed.
 Exactness and speed
 -------------------
 All state is integral (ticks, work units), so runs are bit-reproducible.
-Two lossless fast-forward modes keep pure-Python cost acceptable:
+Three lossless fast-forward modes keep pure-Python cost acceptable:
 
+* **system empty**: nothing is running or queued, so the engine jumps to
+  the next arrival, charging the gap as idle time;
 * **all-busy**: when every worker is executing, no steal or admission can
-  occur, so the engine advances ``min(remaining)`` ticks at once;
+  occur, so the engine blind-skips ``min(remaining) - 1`` ticks at once
+  and lets the general path run the completion tick itself.  There is no
+  cap at the next arrival: arrivals only join the queue, and no idle
+  worker exists that could react to the queue while all are busy;
 * **nothing stealable**: when every deque and the global queue are empty
   but some workers are busy, idle workers can only fail steals, so the
-  engine advances to the next completion or arrival, charging the skipped
-  failed-steal ticks to the statistics in bulk.
+  engine blind-skips to one tick before the next completion or arrival,
+  charging the skipped failed-steal ticks to the statistics in bulk.
 
-Both modes change no observable scheduling decision; they only skip ticks
-in which no decision is possible.
+All three modes change no observable scheduling decision; they only skip
+ticks in which no decision is possible.  Passing ``_fast_forward=False``
+disables all three and runs every tick through the general path -- the
+brute-force reference the equivalence tests compare against.
+
+Hot-loop layout
+---------------
+The general tick is pure-Python and dominates every experiment sweep, so
+its state lives in the structure-of-arrays layout of
+:class:`repro.sim.worker.WorkerArrays` (plain Python lists bound to
+locals), the completion cascade of
+:meth:`repro.sim.jobstate.JobExecution.finish_node` is inlined, and all
+``busy_steps`` accounting is settled once per node at completion (a node
+executes entirely on one worker, and every started node finishes before
+the run ends, so the totals are identical to per-tick accounting).  The
+issue that motivated this layout prescribed numpy ``int64`` worker
+vectors; measurement showed numpy *scalar* indexing is ~4x slower than
+list indexing at realistic ``m`` (8--64 workers), so the per-worker state
+stays in lists and numpy appears only at the array-in/array-out edges.
 """
 
 from __future__ import annotations
@@ -48,7 +70,21 @@ from repro.sim.result import ScheduleResult, SimulationStats
 from repro.sim.rng import SeedLike, make_rng
 from repro.sim.sampling import SystemSampler
 from repro.sim.trace import TraceRecorder
-from repro.sim.worker import NodeRef, WorkerState
+from repro.sim.worker import IDLE, WorkerArrays
+
+
+def _scheduler_label(
+    k: int, victim_policy: str, steal_half: bool, admission: str
+) -> str:
+    """Human-readable scheduler name shared by all return paths."""
+    label = f"steal-{k}-first" if k > 0 else "admit-first"
+    if victim_policy != "uniform":
+        label += f"/{victim_policy}"
+    if steal_half:
+        label += "/half"
+    if admission != "fifo":
+        label += f"/{admission}-admission"
+    return label
 
 
 def run_work_stealing(
@@ -64,6 +100,7 @@ def run_work_stealing(
     steal_half: bool = False,
     admission: str = "fifo",
     sampler: Optional[SystemSampler] = None,
+    _fast_forward: bool = True,
 ) -> ScheduleResult:
     """Simulate steal-k-first work stealing exactly, tick by tick.
 
@@ -72,7 +109,8 @@ def run_work_stealing(
     jobset:
         The instance.  Node works are integers (work units); a job
         arriving at time ``r`` becomes admissible at the first tick
-        boundary at or after ``r * speed``.
+        boundary at or after ``r * speed``.  An empty instance yields an
+        empty result immediately.
     m:
         Number of workers.
     speed:
@@ -123,7 +161,18 @@ def run_work_stealing(
     sampler:
         Optional :class:`repro.sim.sampling.SystemSampler` recording
         periodic snapshots of (busy workers, queue length, stealable
-        deques, completions) for time-series diagnostics.
+        deques, completions) for time-series diagnostics.  Snapshots are
+        also recorded at every fast-forward boundary (entry and exit),
+        so time series have no silent gaps across skipped spans.
+    _fast_forward:
+        Private.  ``False`` disables all three fast-forward modes and
+        simulates every tick through the general path; used by the
+        equivalence tests as a brute-force reference.  Scheduling
+        decisions, completions, ``busy_steps`` and ``admissions`` are
+        identical either way, but the *classification* of provably
+        decision-free idle ticks differs: the system-empty fast-forward
+        charges them to ``idle_steps``, while the brute-force path runs
+        phase B and charges them as failed steal attempts.
 
     Returns
     -------
@@ -143,6 +192,10 @@ def run_work_stealing(
         raise ValueError(
             f"steals_per_tick must be >= 1, got {steals_per_tick}"
         )
+    if admission not in ("fifo", "weight"):
+        raise ValueError(
+            f"unknown admission policy {admission!r}; expected 'fifo' or 'weight'"
+        )
     sigma = int(steals_per_tick)
 
     rng = make_rng(seed)
@@ -150,111 +203,145 @@ def run_work_stealing(
     arrivals = np.asarray(jobset.arrivals, dtype=np.float64)
     weights = np.asarray(jobset.weights, dtype=np.float64)
     completions = np.zeros(n, dtype=np.float64)
+    label = _scheduler_label(k, victim_policy, steal_half, admission)
+    recorded_seed = None if isinstance(seed, np.random.Generator) else seed
 
-    # Tick at whose start each job is present in the global queue.
-    arrival_ticks = np.ceil(arrivals * speed - 1e-9).astype(np.int64)
+    if n == 0:
+        # Nothing ever arrives: zero ticks elapse, no decisions exist.
+        return ScheduleResult(
+            scheduler=label,
+            m=m,
+            speed=speed,
+            arrivals=arrivals,
+            completions=completions,
+            weights=weights,
+            stats=SimulationStats(),
+            seed=recorded_seed,
+        )
+
+    # Tick at whose start each job is present in the global queue; kept as
+    # plain Python ints -- the hot loop compares them every tick and numpy
+    # scalar comparisons cost ~4x a native int compare.
+    arr_ticks: List[int] = [
+        int(v) for v in np.ceil(arrivals * speed - 1e-9).astype(np.int64)
+    ]
 
     if max_ticks is None:
         # Loose feasibility bound: all work serialized + per-job overhead
         # (admission + k failed steals each) + the arrival horizon itself.
         max_ticks = int(
-            jobset.total_work + (k + 2) * n + arrival_ticks[-1] + 64 * m + 64
+            jobset.total_work + (k + 2) * n + arr_ticks[-1] + 64 * m + 64
         ) * 4
 
-    workers = [WorkerState(i) for i in range(m)]
+    state = WorkerArrays(m)
+    # Hot-loop locals: every per-worker array bound once (attribute and
+    # even global lookups cost real time at ~1e7 touches per run).
+    cur = state.current
+    rem = state.remaining
+    starts = state.start_tick
+    deques = state.deques
+    fails = state.failed_steals
+    wbusy = state.busy_steps
+    wsteal = state.steal_steps
+    wadmit = state.admit_steps
+
     if admission == "fifo":
         queue: GlobalAdmissionQueue[JobExecution] = GlobalAdmissionQueue()
-    elif admission == "weight":
-        queue = WeightedAdmissionQueue()  # type: ignore[assignment]
     else:
-        raise ValueError(
-            f"unknown admission policy {admission!r}; expected 'fifo' or 'weight'"
-        )
+        queue = WeightedAdmissionQueue()  # type: ignore[assignment]
+    queue_release = queue.release
+    queue_admit = queue.admit
     victims = make_victim_policy(victim_policy, rng, m) if m > 1 else None
+    choose = victims.choose if victims is not None else None
     stats = SimulationStats()
 
-    pending = list(jobset.jobs)
+    pending = jobset.jobs
     next_arr = 0
+    next_at = arr_ticks[0]  # tick of the next unreleased arrival
     completed = 0
-    t = int(arrival_ticks[0])  # nothing can happen before the first arrival
+    t = next_at  # nothing can happen before the first arrival
 
-    # Hot-loop locals (attribute lookups dominate otherwise).
     n_busy = 0  # number of workers with a current node
     stealable = 0  # number of non-empty deques
+    # Aggregate counters as local ints, flushed into `stats` at the end.
+    st_busy = 0
+    st_att = 0
+    st_fail = 0
+    st_idle = 0
+    st_adm = 0
 
-    def _complete_current(w: WorkerState, end_tick: int) -> None:
-        """Finish the worker's current node at the end of ``end_tick``.
+    ff = _fast_forward
+    boundary = False  # force a sampler snapshot at the next loop top
 
-        Enables successors, continues depth-first with the first enabled
-        child (pushing the rest), else pops the worker's own deque; these
-        transitions are free, as only steals cost time in the model.
+    def _complete(i: int, end_tick: int) -> None:
+        """Finish worker ``i``'s current node at the end of ``end_tick``.
+
+        Settles the node's busy accounting, enables successors, continues
+        depth-first with the first enabled child (pushing the rest), else
+        pops the worker's own deque; these transitions are free, as only
+        steals cost time in the model.  Phase A of the general tick keeps
+        an inlined copy of this body (the one measured hot site); keep
+        the two in sync.
         """
-        nonlocal completed, n_busy, stealable
-        je, node = w.current[0], w.current[1]  # type: ignore[index]
+        nonlocal completed, n_busy, stealable, st_busy
+        entry = cur[i]
+        je, node = entry[0], entry[1]
         if trace is not None:
             trace.record(
-                w.index, je.job_id, node, w.start_tick / speed, (end_tick + 1) / speed
+                i, je.job.job_id, node, starts[i] / speed, (end_tick + 1) / speed
             )
-        enabled = je.finish_node(node)
-        if je.done:
-            je.completion = (end_tick + 1) / speed
-            completions[je.job_id] = je.completion
+        work = je.works[node]
+        wbusy[i] += work
+        st_busy += work
+        u = je.unfinished - 1
+        je.unfinished = u
+        preds = je.remaining_preds
+        enabled: List[int] = []
+        for succ in je.succs[node]:
+            p = preds[succ] - 1
+            preds[succ] = p
+            if p == 0:
+                enabled.append(succ)
+        if u == 0:
+            c = (end_tick + 1) / speed
+            je.completion = c
+            completions[je.job.job_id] = c
             completed += 1
+        nt = end_tick + 1
         if enabled:
             # Children become legal to execute from tick end_tick + 1.
-            w.assign((je, enabled[0], end_tick + 1), end_tick + 1)
+            cur[i] = (je, enabled[0], nt)
+            rem[i] = je.works[enabled[0]]
+            starts[i] = nt
+            fails[i] = 0
             if len(enabled) > 1:
-                was_empty = not w.deque
-                for u in enabled[1:]:
-                    w.deque.push_bottom((je, u, end_tick + 1))
-                if was_empty:
+                dq = deques[i]
+                if not dq:
                     stealable += 1
+                for u2 in enabled[1:]:
+                    dq.append((je, u2, nt))
         else:
-            entry = w.deque.pop_bottom()
-            if entry is not None:
-                if not w.deque:
+            dq = deques[i]
+            if dq:
+                nxt = dq.pop()
+                if not dq:
                     stealable -= 1
-                w.assign(entry, end_tick + 1)
+                cur[i] = nxt
+                rem[i] = nxt[0].works[nxt[1]]
+                starts[i] = nt
+                fails[i] = 0
             else:
-                w.current = None
+                cur[i] = None
+                rem[i] = IDLE
                 n_busy -= 1
-
-    def _work_one_unit(w: WorkerState, tick: int) -> None:
-        """Execute one unit of the just-acquired node within ``tick``.
-
-        Only used in the practical cost model (``sigma > 1``), where an
-        acquisition is a sub-tick action rather than a full time step.
-        """
-        w.start_tick = tick  # execution begins this tick, not the next
-        w.remaining -= 1
-        w.busy_steps += 1
-        stats.busy_steps += 1
-        if w.remaining == 0:
-            _complete_current(w, tick)
-
-    def _admit(w: WorkerState, tick: int) -> None:
-        """Pop the head-of-line job and take its first root (push the rest)."""
-        nonlocal n_busy, stealable
-        je = queue.admit()
-        assert je is not None
-        roots = je.job.dag.roots
-        # Roots were ready from the job's arrival tick, which is <= tick.
-        w.assign((je, roots[0], tick), tick + 1)
-        if len(roots) > 1:
-            was_empty = not w.deque
-            for r in roots[1:]:
-                w.deque.push_bottom((je, r, tick))
-            if was_empty:
-                stealable += 1
-        n_busy += 1
-        w.admit_steps += 1
-        stats.admissions += 1
 
     while completed < n:
         # ---- release arrivals due at or before the current tick ---------
-        while next_arr < n and arrival_ticks[next_arr] <= t:
-            queue.release(JobExecution(pending[next_arr]))
-            next_arr += 1
+        if next_at <= t:
+            while next_arr < n and arr_ticks[next_arr] <= t:
+                queue_release(JobExecution(pending[next_arr]))
+                next_arr += 1
+            next_at = arr_ticks[next_arr] if next_arr < n else max_ticks + 1
 
         if t >= max_ticks:
             raise RuntimeError(
@@ -263,78 +350,143 @@ def run_work_stealing(
             )
 
         if sampler is not None:
-            sampler.maybe_record(t, n_busy, len(queue), stealable, completed)
+            if boundary:
+                sampler.record_boundary(t, n_busy, len(queue), stealable, completed)
+                boundary = False
+            else:
+                sampler.maybe_record(t, n_busy, len(queue), stealable, completed)
 
-        # ---- fast-forward: whole system empty ---------------------------
-        if n_busy == 0 and not queue:
-            # No work anywhere; jump to the next arrival.  Idle workers
-            # would spend the gap failing steals, so saturate their
-            # admission counters and account the gap as idle time.
-            gap = int(arrival_ticks[next_arr]) - t
-            for w in workers:
-                w.failed_steals = min(k, w.failed_steals + gap * sigma)
-            stats.idle_steps += gap * m
-            t += gap
-            continue
-
-        # ---- fast-forward: every worker busy -----------------------------
-        if n_busy == m:
-            delta = min(w.remaining for w in workers)
-            # No cap at arrivals: arrivals only join the queue, and no
-            # worker can react to the queue while all are busy.
-            for w in workers:
-                w.remaining -= delta
-                w.busy_steps += delta
-            stats.busy_steps += delta * m
-            t += delta
-            end_tick = t - 1
-            for w in workers:
-                if w.remaining == 0:
-                    _complete_current(w, end_tick)
-            continue
-
-        # ---- fast-forward: nothing stealable, nothing admissible ---------
-        # While every deque and the queue are empty, idle workers can only
-        # fail steals -- but the *final* tick before the next completion
-        # (or arrival) must run through the general path, because a
-        # completion in phase A publishes stealable work that phase B
-        # thieves may take within the same tick.  So we blind-skip only
-        # delta - 1 ticks, during which provably nothing completes.
-        if stealable == 0 and not queue and n_busy > 0:
-            delta = min(w.remaining for w in workers if w.current is not None)
-            if next_arr < n:
-                delta = min(delta, int(arrival_ticks[next_arr]) - t)
-            blind = delta - 1
-            if blind >= 1:
-                n_idle = m - n_busy
-                for w in workers:
-                    if w.current is not None:
-                        w.remaining -= blind
-                        w.busy_steps += blind
-                    else:
-                        w.failed_steals = min(
-                            k, w.failed_steals + blind * sigma
-                        )
-                        w.steal_steps += blind
-                stats.busy_steps += blind * n_busy
-                stats.steal_attempts += blind * n_idle * sigma
-                stats.failed_steals += blind * n_idle * sigma
-                t += blind
+        if ff:
+            # ---- fast-forward: whole system empty -----------------------
+            if n_busy == 0 and not queue:
+                # No work anywhere; jump to the next arrival.  Idle workers
+                # would spend the gap failing steals, so saturate their
+                # admission counters and account the gap as idle time.
+                gap = next_at - t
+                for i in range(m):
+                    f = fails[i] + gap * sigma
+                    fails[i] = f if f < k else k
+                st_idle += gap * m
+                if sampler is not None:
+                    sampler.record_boundary(t, 0, 0, stealable, completed)
+                    boundary = True
+                t += gap
                 continue
-            # delta == 1: fall through to the general tick.
+
+            # ---- fast-forward: every worker busy ------------------------
+            if n_busy == m:
+                # Blind-skip to one tick before the earliest completion and
+                # let the general path run the completion tick itself; no
+                # cap at arrivals (no idle worker can react to the queue).
+                blind = min(rem) - 1
+                if blind > 0:
+                    for i in range(m):
+                        rem[i] -= blind
+                    if sampler is not None:
+                        sampler.record_boundary(
+                            t, n_busy, len(queue), stealable, completed
+                        )
+                        boundary = True
+                    t += blind
+                    continue
+                # blind == 0: the completion tick; fall through.
+
+            # ---- fast-forward: nothing stealable, nothing admissible ----
+            # While every deque and the queue are empty, idle workers can
+            # only fail steals -- but the *final* tick before the next
+            # completion (or arrival) must run through the general path,
+            # because a completion in phase A publishes stealable work
+            # that phase B thieves may take within the same tick.  So we
+            # blind-skip only delta - 1 ticks, during which provably
+            # nothing completes.  (`min(rem)` is the busy-worker minimum:
+            # idle workers hold the IDLE sentinel.)
+            elif stealable == 0 and n_busy > 0 and not queue:
+                delta = min(rem)
+                if next_arr < n and next_at - t < delta:
+                    delta = next_at - t
+                blind = delta - 1
+                if blind >= 1:
+                    n_idle = m - n_busy
+                    for i in range(m):
+                        if cur[i] is not None:
+                            rem[i] -= blind
+                        else:
+                            f = fails[i] + blind * sigma
+                            fails[i] = f if f < k else k
+                            wsteal[i] += blind
+                    st_att += blind * n_idle * sigma
+                    st_fail += blind * n_idle * sigma
+                    if sampler is not None:
+                        sampler.record_boundary(
+                            t, n_busy, 0, 0, completed
+                        )
+                        boundary = True
+                    t += blind
+                    continue
+                # delta == 1: fall through to the general tick.
 
         # ---- general tick -------------------------------------------------
         # Phase A: workers busy at the start of the tick execute one unit.
-        idle_at_start: List[WorkerState] = []
-        for w in workers:
-            if w.current is not None:
-                w.remaining -= 1
-                w.busy_steps += 1
-                stats.busy_steps += 1
-                if w.remaining == 0:
-                    _complete_current(w, t)
-            else:
-                idle_at_start.append(w)
+        # The completion cascade is an inlined copy of _complete() above
+        # (the call overhead is measurable at ~1e4 completions per run);
+        # keep the two in sync.
+        idle_at_start: List[int] = []
+        for i in range(m):
+            if cur[i] is None:
+                idle_at_start.append(i)
+                continue
+            r = rem[i] - 1
+            rem[i] = r
+            if r == 0:
+                entry = cur[i]
+                je, node = entry[0], entry[1]
+                if trace is not None:
+                    trace.record(
+                        i, je.job.job_id, node, starts[i] / speed, (t + 1) / speed
+                    )
+                work = je.works[node]
+                wbusy[i] += work
+                st_busy += work
+                u = je.unfinished - 1
+                je.unfinished = u
+                preds = je.remaining_preds
+                enabled: List[int] = []
+                for succ in je.succs[node]:
+                    p = preds[succ] - 1
+                    preds[succ] = p
+                    if p == 0:
+                        enabled.append(succ)
+                if u == 0:
+                    c = (t + 1) / speed
+                    je.completion = c
+                    completions[je.job.job_id] = c
+                    completed += 1
+                if enabled:
+                    cur[i] = (je, enabled[0], t + 1)
+                    rem[i] = je.works[enabled[0]]
+                    starts[i] = t + 1
+                    fails[i] = 0
+                    if len(enabled) > 1:
+                        dq = deques[i]
+                        if not dq:
+                            stealable += 1
+                        nt = t + 1
+                        for u2 in enabled[1:]:
+                            dq.append((je, u2, nt))
+                else:
+                    dq = deques[i]
+                    if dq:
+                        nxt = dq.pop()
+                        if not dq:
+                            stealable -= 1
+                        cur[i] = nxt
+                        rem[i] = nxt[0].works[nxt[1]]
+                        starts[i] = t + 1
+                        fails[i] = 0
+                    else:
+                        cur[i] = None
+                        rem[i] = IDLE
+                        n_busy -= 1
 
         # Phase B: workers idle at the start of the tick acquire.  Each
         # performs up to `sigma` acquisition actions and starts at most
@@ -343,15 +495,36 @@ def run_work_stealing(
         # in the practical model (sigma > 1) acquisitions are sub-tick
         # actions, so the acquired node executes its first unit within
         # the same tick.
-        for w in idle_at_start:
+        for i in idle_at_start:
             budget = sigma
             admitted = False
             while budget > 0:
-                if w.failed_steals >= k and queue:
-                    _admit(w, t)
+                if fails[i] >= k and queue:
+                    # Admit the head-of-line job: take its first root,
+                    # push the rest (ready since the arrival tick <= t).
+                    je = queue_admit()
+                    roots = je.job.dag.roots
+                    cur[i] = (je, roots[0], t)
+                    rem[i] = je.works[roots[0]]
+                    starts[i] = t + 1
+                    fails[i] = 0
+                    if len(roots) > 1:
+                        dq = deques[i]
+                        if not dq:
+                            stealable += 1
+                        for rt in roots[1:]:
+                            dq.append((je, rt, t))
+                    n_busy += 1
+                    wadmit[i] += 1
+                    st_adm += 1
                     admitted = True
                     if sigma > 1:
-                        _work_one_unit(w, t)
+                        # Sub-tick admission: execute one unit this tick.
+                        starts[i] = t
+                        r = rem[i] - 1
+                        rem[i] = r
+                        if r == 0:
+                            _complete(i, t)
                     break  # admission consumes the rest of the tick
                 if stealable == 0:
                     # No deque can satisfy a steal, and later workers in
@@ -359,37 +532,41 @@ def run_work_stealing(
                     # every remaining attempt this tick fails.  When the
                     # queue is non-empty, burn just enough failures to
                     # unlock admission; otherwise burn the whole budget.
-                    if queue and k - w.failed_steals <= budget:
-                        burned = k - w.failed_steals
+                    if queue and k - fails[i] <= budget:
+                        burned = k - fails[i]
                     else:
                         burned = budget
-                    w.failed_steals = min(k, w.failed_steals + burned)
-                    stats.steal_attempts += burned
-                    stats.failed_steals += burned
+                    f = fails[i] + burned
+                    fails[i] = f if f < k else k
+                    st_att += burned
+                    st_fail += burned
                     budget -= burned
                     if budget > 0:
                         continue  # unlocked admission; loop admits next
                     break
                 # A live steal attempt against a chosen victim.
-                stats.steal_attempts += 1
+                st_att += 1
                 budget -= 1
-                victim = workers[victims.choose(w.index, workers)]
-                entry: Optional[NodeRef] = victim.deque.steal_top()
-                if entry is not None:
+                vdq = deques[choose(i, deques)]
+                if vdq:
+                    entry = vdq.popleft()
                     if steal_half:
                         # Take the rest of the top half: the victim held
                         # L0 entries, the thief takes ceil(L0/2) total --
                         # the first is `entry`, leaving len//2 extras to
                         # move (oldest first) onto the thief's own deque.
-                        extra = len(victim.deque) // 2
+                        extra = len(vdq) // 2
                         if extra > 0:
+                            dq = deques[i]
                             for _ in range(extra):
-                                moved = victim.deque.steal_top()
-                                w.deque.push_bottom(moved)  # type: ignore[arg-type]
+                                dq.append(vdq.popleft())
                             stealable += 1  # thief's deque was empty
-                    if not victim.deque:
+                    if not vdq:
                         stealable -= 1
-                    w.assign(entry, t + 1)
+                    cur[i] = entry
+                    rem[i] = entry[0].works[entry[1]]
+                    starts[i] = t + 1
+                    fails[i] = 0
                     n_busy += 1
                     # Same-tick execution only if the node was already
                     # ready at the start of this tick (entry[2] <= t);
@@ -397,23 +574,25 @@ def run_work_stealing(
                     # tick and starting now would violate precedence at
                     # trace granularity.
                     if sigma > 1 and entry[2] <= t:
-                        _work_one_unit(w, t)
+                        starts[i] = t
+                        r = rem[i] - 1
+                        rem[i] = r
+                        if r == 0:
+                            _complete(i, t)
                     break  # the steal consumes the rest of the tick
-                w.failed_steals += 1
-                stats.failed_steals += 1
+                fails[i] += 1
+                st_fail += 1
             if not admitted:
-                w.steal_steps += 1  # the tick went to (possibly failed) steals
+                wsteal[i] += 1  # the tick went to (possibly failed) steals
 
         t += 1
 
+    stats.busy_steps = st_busy
+    stats.steal_attempts = st_att
+    stats.failed_steals = st_fail
+    stats.admissions = st_adm
+    stats.idle_steps = st_idle
     stats.elapsed_ticks = t
-    label = f"steal-{k}-first" if k > 0 else "admit-first"
-    if victim_policy != "uniform":
-        label += f"/{victim_policy}"
-    if steal_half:
-        label += "/half"
-    if admission != "fifo":
-        label += f"/{admission}-admission"
     return ScheduleResult(
         scheduler=label,
         m=m,
@@ -422,5 +601,5 @@ def run_work_stealing(
         completions=completions,
         weights=weights,
         stats=stats,
-        seed=None if isinstance(seed, np.random.Generator) else seed,
+        seed=recorded_seed,
     )

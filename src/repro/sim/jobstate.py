@@ -42,6 +42,11 @@ class JobExecution:
         Count of nodes not yet completed; the job is done at zero.
     completion:
         Completion time in time units, set exactly once by the engine.
+    works / succs:
+        The DAG's per-node work and successor tuples, cached at
+        construction.  The tick engine's completion cascade reads them
+        once per executed node; going through ``self.job.dag.works``
+        would cost two attribute hops plus a property call each time.
     """
 
     __slots__ = (
@@ -52,6 +57,8 @@ class JobExecution:
         "unfinished",
         "completion",
         "attained",
+        "works",
+        "succs",
     )
 
     def __init__(self, job: Job) -> None:
@@ -65,6 +72,8 @@ class JobExecution:
         #: Work units executed so far, maintained by the event engine;
         #: dynamic policies (least-attained-service) read it.
         self.attained: float = 0.0
+        self.works = dag.works
+        self.succs = dag.successors
 
     # -- identity / metadata --------------------------------------------
 

@@ -34,12 +34,12 @@ class VictimPolicy(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def choose(self, thief: int, workers: Sequence) -> int:
+    def choose(self, thief: int, deques: Sequence) -> int:
         """Index of the worker to probe (never ``thief`` itself).
 
-        ``workers`` is the live list of
-        :class:`~repro.sim.worker.WorkerState`; policies may inspect
-        deque lengths (the oracle does) but must not mutate anything.
+        ``deques`` is the live per-worker sequence of ready-node deques
+        (see :class:`~repro.sim.worker.WorkerArrays`); policies may
+        inspect lengths (the oracle does) but must not mutate anything.
         Only called when ``m > 1``.
         """
 
@@ -59,7 +59,7 @@ class UniformVictim(VictimPolicy):
         self._buf = rng.integers(0, m - 1, size=block) if m > 1 else None
         self._pos = 0
 
-    def choose(self, thief: int, workers: Sequence) -> int:
+    def choose(self, thief: int, deques: Sequence) -> int:
         buf = self._buf
         assert buf is not None, "UniformVictim.choose requires m > 1"
         if self._pos >= len(buf):
@@ -79,7 +79,7 @@ class RoundRobinVictim(VictimPolicy):
         self._m = m
         self._next: List[int] = [(i + 1) % m for i in range(m)]
 
-    def choose(self, thief: int, workers: Sequence) -> int:
+    def choose(self, thief: int, deques: Sequence) -> int:
         v = self._next[thief]
         if v == thief:  # skip self
             v = (v + 1) % self._m
@@ -96,12 +96,12 @@ class MaxDequeVictim(VictimPolicy):
 
     name = "max-deque"
 
-    def choose(self, thief: int, workers: Sequence) -> int:
+    def choose(self, thief: int, deques: Sequence) -> int:
         best, best_len = -1, -1
-        for i, w in enumerate(workers):
+        for i, d in enumerate(deques):
             if i == thief:
                 continue
-            length = len(w.deque)
+            length = len(d)
             if length > best_len:
                 best, best_len = i, length
         return best

@@ -104,8 +104,8 @@ class ScheduleResult:
                 f"arrivals {arrivals.shape} and completions "
                 f"{completions.shape} must be parallel arrays"
             )
-        if arrivals.ndim != 1 or arrivals.size == 0:
-            raise ValueError("results require a non-empty 1-D job axis")
+        if arrivals.ndim != 1:
+            raise ValueError("results require a 1-D job axis")
         if np.any(completions < arrivals - 1e-9):
             bad = int(np.argmax(completions < arrivals - 1e-9))
             raise ValueError(
@@ -149,31 +149,41 @@ class ScheduleResult:
 
     @property
     def max_flow(self) -> float:
-        """The paper's primary objective: ``max_i F_i``."""
-        return float(self.flows.max())
+        """The paper's primary objective: ``max_i F_i`` (0.0 if empty)."""
+        return float(self.flows.max()) if self.n_jobs else 0.0
 
     @property
     def max_weighted_flow(self) -> float:
-        """The weighted objective of Section 7: ``max_i w_i F_i``."""
-        return float(self.weighted_flows.max())
+        """The weighted objective of Section 7: ``max_i w_i F_i`` (0.0 if empty)."""
+        return float(self.weighted_flows.max()) if self.n_jobs else 0.0
 
     @property
     def mean_flow(self) -> float:
-        """Average flow time (reported alongside the max in benches)."""
-        return float(self.flows.mean())
+        """Average flow time (reported alongside the max in benches).
+
+        0.0 for an empty instance: every aggregate objective of the
+        vacuous schedule is zero.
+        """
+        return float(self.flows.mean()) if self.n_jobs else 0.0
 
     @property
     def makespan(self) -> float:
-        """Completion time of the last job to finish."""
-        return float(self.completions.max())
+        """Completion time of the last job to finish (0.0 if empty)."""
+        return float(self.completions.max()) if self.n_jobs else 0.0
 
     def flow_percentile(self, q: float) -> float:
         """The ``q``-th percentile of the flow-time distribution (0..100)."""
-        return float(np.percentile(self.flows, q))
+        return float(np.percentile(self.flows, q)) if self.n_jobs else 0.0
 
     @property
     def argmax_flow(self) -> int:
-        """Id of a job realizing the maximum flow time."""
+        """Id of a job realizing the maximum flow time.
+
+        Raises ``ValueError`` on an empty result: no job realizes the
+        (vacuously zero) maximum.
+        """
+        if not self.n_jobs:
+            raise ValueError("argmax_flow is undefined for an empty result")
         return int(np.argmax(self.flows))
 
     def summary(self) -> Dict[str, float]:

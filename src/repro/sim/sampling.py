@@ -9,10 +9,21 @@ load, snapshots show many busy workers but *zero stealable deques*
 (each worker grinding its own job sequentially), while steal-k-first
 shows few open jobs with stealable work spread across deques.
 
-Sampling semantics: the engine records a snapshot at the first decision
-boundary at or after each sampling tick.  Fast-forwarded spans (where no
-decision happens) therefore contribute one snapshot, not many -- the
-state was provably constant inside them.
+Sampling granularity
+--------------------
+The engine records a snapshot at the first decision boundary at or after
+each sampling tick (:meth:`SystemSampler.maybe_record`), *plus* one
+snapshot at the entry and exit tick of every fast-forwarded span
+(:meth:`SystemSampler.record_boundary`).  A fast-forwarded span is one
+in which the engine proved no scheduling decision can occur, so the
+state is constant inside it: the entry snapshot captures that constant
+state and the exit snapshot captures the first tick where decisions
+resume.  Time series therefore have no silent gaps across skipped spans
+-- a long idle or all-busy stretch contributes exactly its two boundary
+rows rather than nothing at all.  Ticks are strictly increasing across
+the combined stream (same-tick duplicates are dropped), and a boundary
+snapshot restarts the periodic cadence, so consecutive samples are never
+more than one fast-forward span plus ``every`` ticks apart.
 """
 
 from __future__ import annotations
@@ -69,10 +80,38 @@ class SystemSampler:
         """Record a snapshot if the sampling tick has been reached."""
         if tick < self._next_tick:
             return
-        self.samples.append(
+        samples = self.samples
+        if samples and tick <= samples[-1].tick:
+            return  # a boundary snapshot already covers this tick
+        samples.append(
             SystemSample(tick, n_busy, queue_length, stealable_deques, completed)
         )
         # One sample per crossing, even after a long fast-forward.
+        self._next_tick = tick + self.every
+
+    def record_boundary(
+        self,
+        tick: int,
+        n_busy: int,
+        queue_length: int,
+        stealable_deques: int,
+        completed: int,
+    ) -> None:
+        """Record a snapshot at a fast-forward boundary, unconditionally.
+
+        Called by the engine at the entry and exit tick of each
+        fast-forwarded span regardless of the periodic cadence, so the
+        constant state inside the span (and the state right after it) is
+        visible in the time series.  Same-tick duplicates are dropped to
+        keep sample ticks strictly increasing; a recorded boundary
+        restarts the periodic cadence.
+        """
+        samples = self.samples
+        if samples and tick <= samples[-1].tick:
+            return
+        samples.append(
+            SystemSample(tick, n_busy, queue_length, stealable_deques, completed)
+        )
         self._next_tick = tick + self.every
 
     # -- column views ------------------------------------------------------

@@ -51,9 +51,14 @@ class TestJobSet:
         js = JobSet(jobs)
         assert js[0].work == 2  # original id 1 comes first
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError, match="at least one job"):
-            JobSet([])
+    def test_empty_allowed(self):
+        js = JobSet([])
+        assert len(js) == 0
+        assert js.arrivals == []
+        assert js.total_work == 0
+        assert js.max_span == 0
+        assert js.time_horizon == 0.0
+        assert js.utilization(4) == 0.0
 
     def test_aggregate_views(self):
         js = jobs_from_dags(

@@ -1,0 +1,164 @@
+"""Golden-result tests pinning the tick engine's exact schedules.
+
+The fingerprints below were captured from the engine *before* the
+hot-loop optimization (structure-of-arrays state, inlined completion
+cascade, accounting-at-completion, restructured all-busy fast-forward).
+Every optimization since must reproduce them bit-for-bit: the md5 is
+over the raw completion-times array, and the statistics pin the
+busy/steal/admission accounting.  If one of these fails, a "pure
+performance" change altered a scheduling decision.
+
+Cases cover both cost models (sigma = 1 theoretical, sigma > 1
+practical), all three victim policies, steal-half, weighted admission,
+resource augmentation, a second workload distribution and a
+hand-constructed multi-DAG instance.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.dag.builders import chain, fork_join, single_node
+from repro.dag.job import jobs_from_dags
+from repro.sim.engine import run_work_stealing
+from repro.workloads.distributions import BingDistribution, FinanceDistribution
+from repro.workloads.generator import WorkloadSpec
+
+
+def js_bing():
+    return WorkloadSpec(
+        BingDistribution(), qps=900.0, n_jobs=80, m=8, target_chunks=8
+    ).build(seed=424)
+
+
+def js_fin():
+    return WorkloadSpec(
+        FinanceDistribution(), qps=700.0, n_jobs=60, m=8, target_chunks=16
+    ).build(seed=77)
+
+
+def js_hand():
+    return jobs_from_dags(
+        [
+            fork_join(1, [2, 3, 2], 1),
+            chain([4, 4]),
+            single_node(6),
+            fork_join(2, [1] * 6, 2),
+        ],
+        [0.0, 0.5, 3.0, 3.25],
+    )
+
+
+# (name, jobset factory, engine kwargs, completions md5, max_flow,
+#  (busy_steps, steal_attempts, failed_steals, admissions, idle_steps,
+#   n_events, elapsed_ticks))
+GOLDEN = [
+    (
+        "bing_k0_s1",
+        js_bing,
+        dict(m=8, k=0, seed=7, steals_per_tick=1),
+        "471e0beaccae09ecbeadbaa260c72ef2",
+        184.783736134,
+        (3624, 200, 136, 80, 0, 0, 494),
+    ),
+    (
+        "bing_k4_s1",
+        js_bing,
+        dict(m=8, k=4, seed=7, steals_per_tick=1),
+        "8d90f1b564464f50d8ed64204cc554ae",
+        215.522422526,
+        (3624, 952, 685, 80, 0, 0, 588),
+    ),
+    (
+        "bing_k16_s64",
+        js_bing,
+        dict(m=16, k=16, seed=3, steals_per_tick=64),
+        "243c242dbcbf422b6c8ffbbaa449a053",
+        34.522422526,
+        (3624, 93242, 92617, 80, 1008, 0, 405),
+    ),
+    (
+        "bing_half_rr",
+        js_bing,
+        dict(
+            m=8,
+            k=2,
+            seed=5,
+            steals_per_tick=16,
+            victim_policy="round-robin",
+            steal_half=True,
+        ),
+        "f84d3c897c7a075f84ba4b3a9c257506",
+        98.522422526,
+        (3624, 1383, 1132, 80, 0, 0, 469),
+    ),
+    (
+        "bing_maxdeque",
+        js_bing,
+        dict(m=8, k=2, seed=5, steals_per_tick=16, victim_policy="max-deque"),
+        "19cbd476b31b66a9bdcd19605161f66f",
+        108.885956654,
+        (3624, 1144, 560, 80, 0, 0, 490),
+    ),
+    (
+        "bing_weight_adm",
+        js_bing,
+        dict(m=8, k=4, seed=9, steals_per_tick=16, admission="weight"),
+        "0e5e2c8cdd4cf39786dc4b829675c5de",
+        105.522422526,
+        (3624, 1776, 1418, 80, 0, 0, 467),
+    ),
+    (
+        "bing_speed",
+        js_bing,
+        dict(m=8, k=2, seed=11, steals_per_tick=4, speed=1.5),
+        "7c910f8c8b03ac01a4b955ef11f130ec",
+        44.189089193,
+        (3624, 3186, 2771, 80, 536, 0, 608),
+    ),
+    (
+        "fin_k8_s8_half",
+        js_fin,
+        dict(m=8, k=8, seed=13, steals_per_tick=8, steal_half=True),
+        "71afdaa446bafe5761eaaf893416c1b8",
+        63.705593572,
+        (2570, 2150, 1813, 60, 88, 0, 363),
+    ),
+    (
+        "hand_k1_s1",
+        js_hand,
+        dict(m=3, k=1, seed=2, steals_per_tick=1),
+        "11741786b413da5df681dcace689655f",
+        15.75,
+        (33, 20, 17, 4, 0, 0, 19),
+    ),
+    (
+        "hand_k0_s4",
+        js_hand,
+        dict(m=2, k=0, seed=2, steals_per_tick=4),
+        "f370141d41d7e614fc16d0df3956e994",
+        16.75,
+        (33, 23, 20, 4, 0, 0, 20),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,factory,kwargs,md5,max_flow,stat_tuple",
+    GOLDEN,
+    ids=[case[0] for case in GOLDEN],
+)
+def test_golden_schedule(name, factory, kwargs, md5, max_flow, stat_tuple):
+    r = run_work_stealing(factory(), **kwargs)
+    assert hashlib.md5(r.completions.tobytes()).hexdigest() == md5
+    assert round(r.max_flow, 9) == max_flow
+    s = r.stats
+    assert (
+        s.busy_steps,
+        s.steal_attempts,
+        s.failed_steals,
+        s.admissions,
+        s.idle_steps,
+        s.n_events,
+        s.elapsed_ticks,
+    ) == stat_tuple

@@ -15,9 +15,9 @@ from repro.sim.policies import (
 from repro.sim.trace import TraceRecorder, audit_trace
 
 
-class FakeWorker:
-    def __init__(self, deque_len):
-        self.deque = [None] * deque_len
+def fake_deques(*lengths):
+    """Policies only inspect deque lengths; any sized sequences will do."""
+    return [[None] * length for length in lengths]
 
 
 class TestUniformVictim:
@@ -52,16 +52,13 @@ class TestRoundRobinVictim:
 
 class TestMaxDequeVictim:
     def test_targets_longest_deque(self):
-        workers = [FakeWorker(1), FakeWorker(5), FakeWorker(3)]
-        assert MaxDequeVictim().choose(0, workers) == 1
+        assert MaxDequeVictim().choose(0, fake_deques(1, 5, 3)) == 1
 
     def test_excludes_thief(self):
-        workers = [FakeWorker(9), FakeWorker(1), FakeWorker(0)]
-        assert MaxDequeVictim().choose(0, workers) == 1
+        assert MaxDequeVictim().choose(0, fake_deques(9, 1, 0)) == 1
 
     def test_tie_breaks_lowest_index(self):
-        workers = [FakeWorker(2), FakeWorker(2), FakeWorker(2)]
-        assert MaxDequeVictim().choose(2, workers) == 0
+        assert MaxDequeVictim().choose(2, fake_deques(2, 2, 2)) == 0
 
 
 class TestFactory:

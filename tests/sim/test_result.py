@@ -27,9 +27,20 @@ class TestValidation:
         with pytest.raises(ValueError, match="before its"):
             make_result([5.0], [3.0])
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError, match="non-empty"):
-            make_result([], [])
+    def test_empty_allowed(self):
+        r = make_result([], [])
+        assert r.n_jobs == 0
+        assert r.max_flow == 0.0
+        assert r.mean_flow == 0.0
+        assert r.makespan == 0.0
+        assert r.max_weighted_flow == 0.0
+        assert r.flow_percentile(99.0) == 0.0
+        with pytest.raises(ValueError, match="empty"):
+            r.argmax_flow
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            make_result([[0.0]], [[1.0]])
 
     def test_weights_shape_checked(self):
         with pytest.raises(ValueError, match="weights"):

@@ -45,6 +45,23 @@ class TestSamplerMechanics:
         with pytest.raises(ValueError):
             s.peak_queue_length()
 
+    def test_record_boundary_unconditional_but_deduped(self):
+        s = SystemSampler(every=100)
+        s.maybe_record(0, 1, 1, 1, 1)
+        s.record_boundary(3, 2, 2, 2, 2)  # mid-interval: still recorded
+        s.record_boundary(3, 9, 9, 9, 9)  # same tick: dropped
+        s.maybe_record(3, 9, 9, 9, 9)  # same tick via cadence: dropped
+        assert [x.tick for x in s.samples] == [0, 3]
+        assert s.samples[-1].n_busy == 2
+
+    def test_record_boundary_restarts_cadence(self):
+        s = SystemSampler(every=10)
+        s.record_boundary(4, 1, 1, 1, 1)
+        s.maybe_record(8, 2, 2, 2, 2)  # within `every` of the boundary
+        assert [x.tick for x in s.samples] == [4]
+        s.maybe_record(14, 2, 2, 2, 2)
+        assert [x.tick for x in s.samples] == [4, 14]
+
 
 class TestEngineIntegration:
     @pytest.fixture
@@ -79,6 +96,29 @@ class TestEngineIntegration:
             loaded, m=8, seed=7, sampler=SystemSampler(every=8)
         )
         assert np.array_equal(plain.completions, sampled.completions)
+
+    def test_fast_forward_boundaries_sampled(self):
+        """A huge sampling interval still yields boundary snapshots.
+
+        Two far-apart jobs force a long system-empty fast-forward; the
+        sampler must see its entry (idle system) and exit (arrival
+        released) even though no periodic crossing falls inside.
+        """
+        from repro.dag.builders import single_node
+        from repro.dag.job import jobs_from_dags
+        from repro.sim.engine import run_work_stealing
+
+        js = jobs_from_dags([single_node(5), single_node(3)], [0.0, 1000.0])
+        sampler = SystemSampler(every=10**9)
+        run_work_stealing(js, m=2, k=0, seed=0, sampler=sampler)
+        ticks = sampler.column("tick").tolist()
+        assert np.all(np.diff(sampler.column("tick")) > 0)
+        # Entry of the idle gap (right after the first job finishes)...
+        assert any(5 <= tk < 1000 for tk in ticks)
+        # ...and its exit, where the second arrival is visible.
+        assert 1000 in ticks
+        exit_sample = next(s for s in sampler.samples if s.tick == 1000)
+        assert exit_sample.queue_length == 1
 
     def test_admit_first_serialization_visible(self):
         """The Section 6 mechanism, instrumented: at load, admit-first

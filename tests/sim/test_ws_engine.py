@@ -167,6 +167,26 @@ class TestGuards:
         with pytest.raises(RuntimeError, match="max_ticks"):
             run_work_stealing(js, m=1, k=0, seed=0, max_ticks=500)
 
+    def test_empty_jobset_returns_empty_result(self):
+        # Regression: this used to crash with IndexError on
+        # arrival_ticks[-1] (max_ticks default) / arrival_ticks[0].
+        r = run_work_stealing(JobSet([]), m=4, k=2, seed=0)
+        assert r.n_jobs == 0
+        assert r.completions.shape == (0,)
+        assert r.max_flow == 0.0
+        assert r.stats.elapsed_ticks == 0
+        assert r.stats.busy_steps == 0
+        assert r.scheduler == "steal-2-first"
+
+    def test_empty_jobset_all_variants(self):
+        for kwargs in (
+            dict(k=0),
+            dict(k=3, steals_per_tick=16, steal_half=True),
+            dict(admission="weight"),
+        ):
+            r = run_work_stealing(JobSet([]), m=2, seed=1, **kwargs)
+            assert r.n_jobs == 0 and r.stats.admissions == 0
+
 
 class TestFastForwardEquivalence:
     """The fast-forward paths must not change observable results."""

@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Engine throughput trajectory: run the benchmarks, write BENCH_engine.json.
+
+Runs ``benchmarks/test_engine_throughput.py`` under pytest-benchmark,
+normalizes the JSON output (ops/sec per engine plus host metadata) and
+writes it to ``BENCH_engine.json`` at the repository root, so every PR
+can compare engine throughput against the committed numbers of the
+previous one.
+
+Baseline handling: by default, if the output file already exists, its
+current numbers become the new file's ``baseline`` and per-benchmark
+speedup ratios are computed (``--baseline auto``).  ``--baseline PATH``
+uses an explicit file instead (either a previously written
+BENCH_engine.json or a raw ``pytest-benchmark --benchmark-json`` dump),
+and ``--baseline none`` records no baseline.
+
+Usage::
+
+    python tools/bench_report.py                 # full run, repo-root output
+    python tools/bench_report.py --quick         # CI smoke (one round each)
+    python tools/bench_report.py --baseline old.json --output BENCH_engine.json
+
+Interpreting the file: ``benchmarks.<name>.ops_per_sec`` is the
+headline number (higher is better; 1 op = one full simulated run of the
+500-job reference workload); ``speedup.<name>`` is current vs baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = "benchmarks/test_engine_throughput.py"
+SCHEMA = "repro-bench-engine/1"
+
+
+def run_benchmarks(quick: bool) -> dict:
+    """Run the engine benchmarks; return the raw pytest-benchmark JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            BENCH_FILE,
+            "--benchmark-only",
+            f"--benchmark-json={json_path}",
+            "-q",
+        ]
+        if quick:
+            cmd += [
+                "--benchmark-min-rounds=1",
+                "--benchmark-max-time=0.2",
+                "--benchmark-warmup=off",
+            ]
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+        )
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+        return json.loads(json_path.read_text())
+
+
+def normalize(raw: dict) -> Dict[str, dict]:
+    """Raw pytest-benchmark JSON -> {test name: headline stats}."""
+    out: Dict[str, dict] = {}
+    for bench in raw["benchmarks"]:
+        stats = bench["stats"]
+        out[bench["name"]] = {
+            "ops_per_sec": round(stats["ops"], 4),
+            "mean_s": round(stats["mean"], 6),
+            "min_s": round(stats["min"], 6),
+            "rounds": stats["rounds"],
+        }
+    return out
+
+
+def load_baseline(spec: str, output: Path) -> Optional[dict]:
+    """Resolve --baseline into {label, benchmarks} or None."""
+    if spec == "none":
+        return None
+    if spec == "auto":
+        if not output.exists():
+            return None
+        data = json.loads(output.read_text())
+        return {
+            "label": data.get("label", "previous BENCH_engine.json"),
+            "benchmarks": data["benchmarks"],
+        }
+    try:
+        data = json.loads(Path(spec).read_text())
+    except OSError as exc:
+        raise SystemExit(f"--baseline {spec}: cannot read file ({exc})")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"--baseline {spec}: not valid JSON ({exc})")
+    if "benchmarks" not in data:
+        raise SystemExit(
+            f"--baseline {spec}: no 'benchmarks' key; expected a "
+            f"BENCH_engine.json report or a raw pytest-benchmark dump"
+        )
+    if isinstance(data["benchmarks"], list):
+        # Raw pytest-benchmark dump.
+        return {"label": Path(spec).name, "benchmarks": normalize(data)}
+    return {
+        "label": data.get("label", Path(spec).name),
+        "benchmarks": data["benchmarks"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single-round smoke run (CI); numbers are noisy, trend only",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="normalized report path (default: repo-root BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="auto",
+        help=(
+            "'auto' (reuse the existing output file's numbers), 'none', "
+            "or a path to a previous report / raw pytest-benchmark JSON"
+        ),
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="free-form label recorded in the report (e.g. a commit subject)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.baseline, args.output)
+    raw = run_benchmarks(args.quick)
+    benchmarks = normalize(raw)
+
+    report = {
+        "schema": SCHEMA,
+        "label": args.label or ("quick smoke" if args.quick else "full run"),
+        "quick": args.quick,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmarks": benchmarks,
+    }
+    if baseline is not None:
+        report["baseline"] = baseline
+        report["speedup"] = {
+            name: round(
+                benchmarks[name]["ops_per_sec"] / base["ops_per_sec"], 3
+            )
+            for name, base in baseline["benchmarks"].items()
+            if name in benchmarks and base["ops_per_sec"] > 0
+        }
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for name, stats in sorted(benchmarks.items()):
+        line = f"  {name}: {stats['ops_per_sec']:.2f} ops/s"
+        if baseline is not None and name in report.get("speedup", {}):
+            line += f"  ({report['speedup'][name]:.2f}x vs baseline)"
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
