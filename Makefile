@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-report verify examples api-docs experiments all
+.PHONY: install test bench bench-report bench-gate clean-cache verify examples api-docs experiments all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,16 @@ bench:
 # the committed report always carries before/after speedups.
 bench-report:
 	$(PYTHON) tools/bench_report.py
+
+# Compare a fresh quick run against the committed report (what CI does).
+bench-gate:
+	$(PYTHON) tools/bench_report.py --quick --baseline none --output /tmp/bench_gate.json
+	$(PYTHON) tools/bench_gate.py /tmp/bench_gate.json
+
+# Wipe the content-addressed instance/cell cache used by --resume.
+# Honors REPRO_CACHE the same way the experiment CLI does.
+clean-cache:
+	rm -rf "$${REPRO_CACHE:-.repro_cache}"
 
 verify:
 	$(PYTHON) -m repro.experiments verify

@@ -64,6 +64,14 @@ from repro.dag import (
     random_layered_dag,
     single_node,
 )
+from repro.dag import (
+    FlatInstance,
+    content_hash,
+    flatten_jobset,
+    load_flat,
+    save_flat,
+    to_jobset,
+)
 from repro.sim import (
     ScheduleResult,
     SimulationStats,
@@ -106,6 +114,13 @@ __all__ = [
     "map_reduce",
     "adversarial_fork",
     "random_layered_dag",
+    # flat interchange format
+    "FlatInstance",
+    "flatten_jobset",
+    "to_jobset",
+    "content_hash",
+    "save_flat",
+    "load_flat",
     # sim
     "ScheduleResult",
     "SimulationStats",

@@ -59,6 +59,14 @@ from repro.dag.analysis import (
     total_work,
     validate_dag,
 )
+from repro.dag.flat import (
+    FlatInstance,
+    content_hash,
+    flatten_jobset,
+    load_flat,
+    save_flat,
+    to_jobset,
+)
 from repro.dag.programs import Program, record_program
 from repro.dag.serialization import (
     dag_from_dict,
@@ -113,4 +121,10 @@ __all__ = [
     "load_jobset",
     "Program",
     "record_program",
+    "FlatInstance",
+    "content_hash",
+    "flatten_jobset",
+    "to_jobset",
+    "save_flat",
+    "load_flat",
 ]

@@ -109,6 +109,45 @@ class JobDag:
         self._total_work: int = sum(self._works)
         self._span: int = self._compute_span()
 
+    @classmethod
+    def from_csr(cls, works, edge_offsets, edge_targets) -> "JobDag":
+        """Trusted construction from CSR arrays (no structural validation).
+
+        ``works[v]`` is node ``v``'s work; node ``v``'s successors are
+        ``edge_targets[edge_offsets[v]:edge_offsets[v+1]]``.  The caller
+        guarantees the arrays describe a valid DAG -- this path exists
+        for :mod:`repro.dag.flat`, whose arrays were produced by
+        flattening an already-validated :class:`JobDag`, so repeating the
+        duplicate-edge / range / type checks of ``__init__`` would only
+        re-pay the validation cost on every cache hit or shared-memory
+        attach.  Derived structure (in-degrees, roots, topological
+        order, span) is still computed, and Kahn's algorithm still
+        raises :class:`DagValidationError` on a cyclic input.
+        """
+        self = object.__new__(cls)
+        n = len(works)
+        if n == 0:
+            raise DagValidationError("a job DAG must contain at least one node")
+        works_t = tuple(int(w) for w in works)
+        offsets = [int(o) for o in edge_offsets]
+        targets = [int(t) for t in edge_targets]
+        successors = tuple(
+            tuple(targets[offsets[v] : offsets[v + 1]]) for v in range(n)
+        )
+        pred_counts = [0] * n
+        for u in targets:
+            pred_counts[u] += 1
+        self._works = works_t
+        self._successors = successors
+        self._predecessor_counts = tuple(pred_counts)
+        self._roots = tuple(v for v in range(n) if pred_counts[v] == 0)
+        if not self._roots:
+            raise DagValidationError("DAG has no root node; it must be cyclic")
+        self._topo_order = self._compute_topo_order()
+        self._total_work = sum(works_t)
+        self._span = self._compute_span()
+        return self
+
     # ------------------------------------------------------------------
     # Structure accessors
     # ------------------------------------------------------------------

@@ -23,8 +23,20 @@ Experiment cells fan out across a process pool (``--jobs`` / the
 ``REPRO_JOBS`` environment variable / CPU count, in that order of
 precedence); cell seeds derive from cell coordinates, so parallel and
 serial runs are bit-identical.  See :mod:`repro.experiments.parallel`.
+
+With ``--resume`` (or ``REPRO_RESUME=1``) previously computed cells are
+served from the content-addressed cache (``--cache-dir`` / the
+``REPRO_CACHE`` environment variable / ``.repro_cache/``); cached
+values are the exact floats of the original run.  See
+:mod:`repro.experiments.cache`.
 """
 
+from repro.experiments.cache import (
+    SweepCache,
+    cell_key,
+    resolve_cache_dir,
+    resume_enabled_by_env,
+)
 from repro.experiments.config import (
     EXPERIMENTS,
     ExperimentScale,
@@ -79,6 +91,10 @@ __all__ = [
     "SCALE_PAPER",
     "SCALE_QUICK",
     "SCALE_STANDARD",
+    "SweepCache",
+    "cell_key",
+    "resolve_cache_dir",
+    "resume_enabled_by_env",
     "default_workers",
     "parallel_map",
     "run_figure2_cell",

@@ -126,6 +126,25 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help=(
+            "content-addressed cache directory for instances and cell "
+            "results (default: the REPRO_CACHE environment variable, "
+            "else .repro_cache/)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "serve previously computed cells from the cache instead of "
+            "recomputing them; cached values are the exact floats of "
+            "the original run, so results are bit-identical"
+        ),
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="also render each series experiment as an ASCII chart",
@@ -142,13 +161,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.jobs is not None:
-        # Route through the REPRO_JOBS override rather than threading a
-        # parameter into every dispatch entry; parallel cells resolve
-        # their worker count via repro.experiments.parallel.
-        import os
+    # Route runtime knobs through their environment overrides rather
+    # than threading parameters into every dispatch entry; parallel
+    # cells and caches resolve them via repro.experiments.parallel and
+    # repro.experiments.cache.
+    import os
 
+    if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.cache_dir is not None:
+        from repro.experiments.cache import CACHE_ENV
+
+        os.environ[CACHE_ENV] = args.cache_dir
+    if args.resume:
+        from repro.experiments.cache import RESUME_ENV
+
+        os.environ[RESUME_ENV] = "1"
 
     scale = ExperimentScale(n_jobs=args.n_jobs, reps=args.reps)
     if args.experiment == "verify":

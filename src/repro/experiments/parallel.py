@@ -18,19 +18,51 @@ Worker-count resolution (first match wins):
 ``max_workers <= 1`` -- or any failure to stand up or use the pool
 (sandboxed platforms without process support, unpicklable callables such
 as lambda factories) -- degrades gracefully to the plain serial loop,
-which is always semantically equivalent.
+which is always semantically equivalent.  Losing parallelism that was
+implicitly requested is worth knowing about, so the fallback emits a
+one-time :class:`RuntimeWarning` naming the callable.
+
+Zero-copy dispatch
+------------------
+
+Shipping a whole :class:`~repro.dag.job.JobSet` object graph to each
+worker (the pre-ISSUE-2 design) pays pickling cost proportional to the
+instance's node count *per task*.  :class:`SharedInstance` instead
+publishes the instance's flat CSR arrays (:mod:`repro.dag.flat`) into a
+``multiprocessing.shared_memory`` block once; tasks then carry only a
+tiny layout dict, and each worker attaches the block and rebuilds the
+object view once, caching it for every subsequent task that references
+the same block (:func:`attach_jobset`).
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from pickle import PicklingError
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.dag.flat import FlatInstance, pack_into, to_jobset, unpack_from
+from repro.dag.job import JobSet
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Callables already warned about (by identity token), so a sweep with
+#: hundreds of cells warns once, not per call.
+_FALLBACK_WARNED: set = set()
 
 
 def default_workers() -> int:
@@ -51,6 +83,32 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+def _warn_serial_fallback(fn: Callable, exc: BaseException) -> None:
+    """One-time warning that a pool attempt degraded to the serial loop.
+
+    The silent version of this fallback cost users real time: a lambda
+    factory quietly serialized a sweep that looked parallel.  The
+    warning names the callable and the triggering error so the fix
+    (module-level function) is obvious; results are unaffected.
+    """
+    token = (
+        getattr(fn, "__module__", "?"),
+        getattr(fn, "__qualname__", repr(fn)),
+    )
+    if token in _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED.add(token)
+    warnings.warn(
+        f"parallel_map: process pool unusable for {fn!r} "
+        f"({type(exc).__name__}: {exc}); falling back to serial "
+        f"execution. Results are identical but nothing runs in "
+        f"parallel -- use a module-level (picklable) callable to "
+        f"restore pool execution.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -67,9 +125,10 @@ def parallel_map(
     Serial execution is used when ``max_workers`` resolves to 1, when
     there are fewer than two items, or when the pool cannot be used at
     all (no OS support, unpicklable ``fn``/items -- e.g. lambda
-    factories); exceptions raised by ``fn`` itself always propagate,
-    re-raised from the serial loop if the pool attempt was the one that
-    surfaced them ambiguously.
+    factories); the last case emits a one-time :class:`RuntimeWarning`
+    naming the callable.  Exceptions raised by ``fn`` itself always
+    propagate, re-raised from the serial loop if the pool attempt was
+    the one that surfaced them ambiguously.
     """
     work: Sequence[T] = list(items)
     workers = default_workers() if max_workers is None else int(max_workers)
@@ -79,8 +138,129 @@ def parallel_map(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, work, chunksize=chunksize))
     except (PicklingError, AttributeError, TypeError, ImportError,
-            BrokenProcessPool, OSError, NotImplementedError):
+            BrokenProcessPool, OSError, NotImplementedError) as exc:
         # Pool machinery failed (not necessarily fn itself: pickling
         # errors surface here too).  The serial loop is semantically
         # identical and re-raises any genuine error from fn directly.
+        _warn_serial_fallback(fn, exc)
         return [fn(item) for item in work]
+
+
+# ----------------------------------------------------------------------
+# Shared-memory instance transport
+# ----------------------------------------------------------------------
+
+try:  # pragma: no cover - stdlib since 3.8; guarded for exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform can publish instances via shared memory."""
+    return _shared_memory is not None
+
+
+#: Jobsets rebuilt from attached shared-memory blocks, keyed by block
+#: name.  Lives at module level so a pool worker pays the attach +
+#: rebuild cost once per instance, not once per task.
+_ATTACH_CACHE: Dict[str, Tuple[Any, JobSet]] = {}
+
+#: Instances published by THIS process (the sweep parent), keyed by
+#: block name.  The serial fallback path resolves against it directly,
+#: avoiding a same-process re-attach.
+_PUBLISHED_LOCAL: Dict[str, JobSet] = {}
+
+#: Attach-cache bound: a sweep references one block per repetition, so
+#: a handful is plenty; the bound keeps long-lived workers from pinning
+#: every instance they ever saw.
+_ATTACH_CACHE_LIMIT = 8
+
+
+class SharedInstance:
+    """A :class:`FlatInstance` published in a shared-memory block.
+
+    Created by the sweep parent.  ``handle`` is the tiny picklable
+    payload tasks carry; :func:`attach_jobset` turns it back into a
+    (cached) :class:`JobSet` inside any process.  The parent must keep
+    the object alive until every task referencing it has finished, then
+    :meth:`close` it (also unlinks the block).
+    """
+
+    def __init__(self, flat: FlatInstance, jobset: Optional[JobSet] = None):
+        if _shared_memory is None:  # pragma: no cover - exotic builds
+            raise NotImplementedError("shared memory is unavailable")
+        self._shm = _shared_memory.SharedMemory(
+            create=True, size=max(1, flat.nbytes)
+        )
+        meta = pack_into(flat, self._shm.buf)
+        meta["shm_name"] = self._shm.name
+        self.handle: Dict[str, Any] = meta
+        # Parent-side shortcut for the serial path: reuse the already
+        # materialized object view instead of re-attaching in-process.
+        _PUBLISHED_LOCAL[self._shm.name] = (
+            jobset if jobset is not None else to_jobset(flat)
+        )
+
+    @property
+    def jobset(self) -> JobSet:
+        """The parent-side object view of the published instance."""
+        return _PUBLISHED_LOCAL[self._shm.name]
+
+    def close(self) -> None:
+        """Release and unlink the block (idempotent)."""
+        _PUBLISHED_LOCAL.pop(self._shm.name, None)
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedInstance":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _evict_attach_cache() -> None:
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_LIMIT:
+        name, (shm, _) = next(iter(_ATTACH_CACHE.items()))
+        del _ATTACH_CACHE[name]
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+def attach_jobset(handle: Dict[str, Any]) -> JobSet:
+    """Resolve a :attr:`SharedInstance.handle` into a :class:`JobSet`.
+
+    Zero-copy on the wire: only the handle dict crosses the process
+    boundary; the arrays are read directly out of the shared block.  The
+    rebuilt object view is cached per process, so repeated tasks over
+    the same instance (every cell of a sweep repetition) share one
+    reconstruction.
+    """
+    name = handle["shm_name"]
+    local = _PUBLISHED_LOCAL.get(name)
+    if local is not None:  # serial path inside the publishing process
+        return local
+    cached = _ATTACH_CACHE.get(name)
+    if cached is not None:
+        return cached[1]
+    shm = _shared_memory.SharedMemory(name=name)
+    # Workers only borrow the block; unregister it from the resource
+    # tracker so worker exit does not try to destroy (or warn about)
+    # a segment the parent still owns.
+    try:  # pragma: no cover - tracker internals vary across versions
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    flat = unpack_from(shm.buf, handle)
+    jobset = to_jobset(flat)
+    _ATTACH_CACHE[name] = (shm, jobset)
+    _evict_attach_cache()
+    return jobset

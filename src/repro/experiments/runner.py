@@ -29,6 +29,11 @@ from repro.core.fifo import FifoScheduler
 from repro.core.opt import OptLowerBound
 from repro.core.work_stealing import WorkStealingScheduler
 from repro.dag.job import JobSet
+from repro.experiments.cache import (
+    SweepCache,
+    cell_key,
+    resume_enabled_by_env,
+)
 from repro.experiments.config import ExperimentScale, Figure2Config
 from repro.experiments.parallel import parallel_map
 from repro.sim.result import ScheduleResult
@@ -122,6 +127,8 @@ def run_figure2_cells(
     seed: int = 0,
     include_fifo: bool = False,
     max_workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+    resume: Optional[bool] = None,
 ) -> List[Dict[str, float]]:
     """All QPS cells of one Figure 2 panel, fanned out over processes.
 
@@ -130,11 +137,44 @@ def run_figure2_cells(
     the returned list (in ``qps_values`` order) is bit-identical to a
     serial loop.  ``max_workers`` follows the resolution rules of
     :func:`repro.experiments.parallel.parallel_map`.
+
+    With ``resume`` (default: the ``REPRO_RESUME`` environment variable,
+    i.e. the CLI's ``--resume`` flag) previously computed cells are
+    served from the content-addressed cell cache
+    (:mod:`repro.experiments.cache`) and only cold cells run; cached
+    values are the exact floats of the original run.  Cell keys cover
+    the full config (a frozen dataclass with a canonical repr), scale,
+    seed and lineup, so any parameter change misses cleanly.
     """
-    tasks: List[Figure2CellTask] = [
-        (cfg, qps, scale, seed, include_fifo) for qps in qps_values
+    if resume is None:
+        resume = resume_enabled_by_env()
+    if resume and cache is None:
+        cache = SweepCache()
+
+    keys = [
+        cell_key(
+            "fig2-cell", repr(cfg), float(qps), scale.n_jobs, scale.reps,
+            seed, include_fifo,
+        )
+        for qps in qps_values
     ]
-    return parallel_map(_figure2_cell_task, tasks, max_workers=max_workers)
+    results: List[Optional[Dict[str, float]]] = [None] * len(qps_values)
+    if resume and cache is not None:
+        for i, key in enumerate(keys):
+            results[i] = cache.load_cell(key)
+
+    cold = [i for i in range(len(qps_values)) if results[i] is None]
+    tasks: List[Figure2CellTask] = [
+        (cfg, qps_values[i], scale, seed, include_fifo) for i in cold
+    ]
+    cold_results = parallel_map(
+        _figure2_cell_task, tasks, max_workers=max_workers
+    )
+    for i, value in zip(cold, cold_results):
+        results[i] = value
+        if cache is not None:
+            cache.store_cell(keys[i], value)
+    return results  # type: ignore[return-value]
 
 
 def mean_and_spread(values: List[float]) -> Dict[str, float]:

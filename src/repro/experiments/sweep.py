@@ -11,23 +11,38 @@ Example -- re-deriving the paper's k sweep in three lines::
     sweep = grid_sweep(
         lambda k: WorkStealingScheduler(k=k, steals_per_tick=64),
         {"k": [0, 4, 16, 64]},
-        lambda rep_seed: WorkloadSpec(BingDistribution(), 1200, 1500).build(rep_seed),
+        WorkloadSpec(BingDistribution(), 1200, 1500),
         m=16, reps=3, seed=0,
     )
     print(sweep.render())
+
+Execution pipeline (ISSUE 2): each repetition's instance is built (or
+loaded from the content-addressed cache) **once** in the parent -- not
+once per cell as the object-graph design did -- then published to pool
+workers through shared memory as flat CSR arrays
+(:class:`repro.experiments.parallel.SharedInstance`), so tasks carry
+kilobytes of coordinates instead of pickled object graphs.  With
+``resume=True`` previously computed cells are served from the cell
+cache; both paths are bit-identical to a cold serial sweep
+(``tests/experiments/test_cache.py``).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Sequence, Tuple
-
-import numpy as np
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.base import Scheduler
+from repro.dag.flat import content_hash, flatten_jobset, to_jobset
 from repro.dag.job import JobSet
-from repro.experiments.parallel import parallel_map
+from repro.experiments.cache import SweepCache, cell_key
+from repro.experiments.parallel import (
+    SharedInstance,
+    attach_jobset,
+    parallel_map,
+    shared_memory_available,
+)
 from repro.sim.result import ScheduleResult
 from repro.sim.rng import derive_seed
 
@@ -81,21 +96,68 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _callable_token(fn: Callable) -> str:
+    """A stable identity string for a factory, for cell-cache keys."""
+    return (
+        f"{getattr(fn, '__module__', '?')}."
+        f"{getattr(fn, '__qualname__', repr(fn))}"
+    )
+
+
 def _sweep_rep_task(task) -> Dict[str, float]:
     """One (grid point, repetition) cell, as a picklable top-level task.
 
-    ``task`` is ``(scheduler_factory, params, jobset_factory, m, speed,
-    jobset_seed, run_seed, metrics)``.  Both seeds arrive precomputed
-    from the cell coordinates, so where (or in what order) the task runs
-    cannot affect its result.  Returns the extracted metric values --
-    cheaper to ship between processes than a full ScheduleResult.
+    ``task`` is ``(scheduler_factory, params, instance_handle, m, speed,
+    run_seed, metrics)``.  ``instance_handle`` is either a
+    :attr:`SharedInstance.handle` dict (zero-copy path) or a pickled
+    :class:`JobSet` (fallback when shared memory is unavailable).  The
+    run seed arrives precomputed from the cell coordinates, so where (or
+    in what order) the task runs cannot affect its result.  Returns the
+    extracted metric values -- cheaper to ship between processes than a
+    full ScheduleResult.
     """
-    (factory, params, jobset_factory, m, speed, jobset_seed, run_seed,
-     metrics) = task
+    (factory, params, instance_handle, m, speed, run_seed, metrics) = task
+    if isinstance(instance_handle, dict):
+        jobset = attach_jobset(instance_handle)
+    else:
+        jobset = instance_handle
     scheduler = factory(**params)
-    jobset = jobset_factory(jobset_seed)
     result = scheduler.run(jobset, m=m, speed=speed, seed=run_seed)
     return {name: METRICS[name](result) for name in metrics}
+
+
+def _materialize_rep_instance(
+    jobset_factory: Callable[[int], JobSet],
+    jobset_seed: int,
+    cache: Optional[SweepCache],
+):
+    """Build or cache-load one repetition's instance.
+
+    Returns ``(jobset, flat, from_cache)``.  The instance cache engages
+    only for factories exposing ``cache_key`` (e.g.
+    :class:`~repro.workloads.generator.WorkloadSpec`): arbitrary
+    callables have no stable content identity to key on.  A flat view is
+    always produced -- the dispatch and cell-cache layers both need it.
+    """
+    key_fn = getattr(jobset_factory, "cache_key", None)
+    instance_key = key_fn(jobset_seed) if callable(key_fn) else None
+
+    if cache is not None and instance_key is not None:
+        flat = cache.load_instance(instance_key)
+        if flat is not None:
+            return to_jobset(flat), flat, True
+
+    build_flat = getattr(jobset_factory, "build_flat", None)
+    if callable(build_flat):
+        # Vectorized path: CSR arrays straight from the generator.
+        flat = build_flat(jobset_seed)
+        jobset = to_jobset(flat)
+    else:
+        jobset = jobset_factory(jobset_seed)
+        flat = flatten_jobset(jobset)
+    if cache is not None and instance_key is not None:
+        cache.store_instance(instance_key, flat)
+    return jobset, flat, False
 
 
 def grid_sweep(
@@ -108,6 +170,8 @@ def grid_sweep(
     speed: float = 1.0,
     metrics: Sequence[str] = ("max_flow", "mean_flow"),
     max_workers: int | None = None,
+    cache: Union[SweepCache, str, None] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run the full parameter cross product with paired comparisons.
 
@@ -121,7 +185,11 @@ def grid_sweep(
     jobset_factory:
         Called with a derived rep seed; must return the instance for
         that repetition.  The same rep seeds are used for every cell,
-        so comparisons across cells are paired.
+        so comparisons across cells are paired.  Each repetition's
+        instance is built once in the parent and shared with workers
+        through shared memory.  A :class:`WorkloadSpec` works directly
+        (it is callable) and additionally unlocks the instance cache
+        and the fully vectorized flat build path.
     m, speed:
         Machine configuration shared by every cell.
     reps:
@@ -135,8 +203,17 @@ def grid_sweep(
         :func:`repro.experiments.parallel.parallel_map` for resolution
         and fallback rules.  Results are aggregated in deterministic
         (cell, rep) order, so parallel and serial sweeps are
-        bit-identical.  Lambda factories (as in the module example)
-        cannot cross process boundaries and silently run serially.
+        bit-identical.  Lambda scheduler factories cannot cross process
+        boundaries and run serially (with a one-time warning).
+    cache:
+        A :class:`~repro.experiments.cache.SweepCache`, a directory
+        path, or None.  When set, generated instances (for factories
+        with ``cache_key``) and computed cell results are stored in it.
+    resume:
+        With a cache, serve previously computed (cell, rep) results
+        from it instead of recomputing; cold cells still run and are
+        stored.  Cached numbers are the exact floats of the original
+        run, so resumed sweeps are bit-identical to cold ones.
 
     Returns
     -------
@@ -154,25 +231,104 @@ def grid_sweep(
         raise ValueError(
             f"unknown metrics {unknown}; available: {sorted(METRICS)}"
         )
+    if isinstance(cache, (str,)) or hasattr(cache, "__fspath__"):
+        cache = SweepCache(cache)
 
     param_names = list(grid)
     combos = list(itertools.product(*grid.values()))
     metric_names = list(metrics)
-    tasks = []
+
+    # One instance per repetition, built (or cache-loaded) in the
+    # parent.  The old design shipped `jobset_factory` into every task,
+    # regenerating the *same* rep instance once per grid point.
+    rep_jobsets: List[JobSet] = []
+    rep_hashes: List[str] = []
+    for rep in range(reps):
+        jobset_seed = derive_seed(seed, 9000, rep)
+        jobset, flat, _ = _materialize_rep_instance(
+            jobset_factory, jobset_seed, cache
+        )
+        rep_jobsets.append(jobset)
+        rep_hashes.append(content_hash(flat))
+
+    factory_token = _callable_token(scheduler_factory)
+    tasks: List[tuple] = []
+    task_keys: List[Optional[str]] = []
+    cached_results: Dict[int, Dict[str, float]] = {}
     for cell_idx, combo in enumerate(combos):
         params = dict(zip(param_names, combo))
         for rep in range(reps):
-            tasks.append((
+            run_seed = derive_seed(seed, cell_idx, rep)
+            key = None
+            if cache is not None:
+                key = cell_key(
+                    "grid-cell",
+                    rep_hashes[rep],
+                    factory_token,
+                    sorted(params.items()),
+                    m,
+                    speed,
+                    run_seed,
+                    metric_names,
+                )
+            task_index = len(tasks)
+            task_keys.append(key)
+            if resume and key is not None:
+                hit = cache.load_cell(key)
+                if hit is not None and set(hit) >= set(metric_names):
+                    cached_results[task_index] = {
+                        name: hit[name] for name in metric_names
+                    }
+            tasks.append((params, rep, run_seed))
+
+    # Fan out only the cold tasks.
+    cold_indices = [i for i in range(len(tasks)) if i not in cached_results]
+    shared: List[SharedInstance] = []
+    try:
+        use_shm = shared_memory_available() and len(cold_indices) > 0
+        if use_shm:
+            try:
+                for rep, jobset in enumerate(rep_jobsets):
+                    shared.append(
+                        SharedInstance(flatten_jobset(jobset), jobset=jobset)
+                    )
+            except (OSError, NotImplementedError):
+                # Shared memory can fail at runtime on locked-down
+                # platforms (no /dev/shm); fall back to pickling.
+                for s in shared:
+                    s.close()
+                shared = []
+                use_shm = False
+
+        def handle_for(rep: int):
+            return shared[rep].handle if use_shm else rep_jobsets[rep]
+
+        cold_tasks = [
+            (
                 scheduler_factory,
-                params,
-                jobset_factory,
+                tasks[i][0],
+                handle_for(tasks[i][1]),
                 m,
                 speed,
-                derive_seed(seed, 9000, rep),
-                derive_seed(seed, cell_idx, rep),
+                tasks[i][2],
                 metric_names,
-            ))
-    rep_metrics = parallel_map(_sweep_rep_task, tasks, max_workers=max_workers)
+            )
+            for i in cold_indices
+        ]
+        cold_results = parallel_map(
+            _sweep_rep_task, cold_tasks, max_workers=max_workers
+        )
+    finally:
+        for s in shared:
+            s.close()
+
+    rep_metrics: List[Dict[str, float]] = [None] * len(tasks)  # type: ignore
+    for i, values in zip(cold_indices, cold_results):
+        rep_metrics[i] = values
+        if cache is not None and task_keys[i] is not None:
+            cache.store_cell(task_keys[i], values)
+    for i, values in cached_results.items():
+        rep_metrics[i] = values
 
     # Aggregate in (cell, rep) task order -- the same float summation
     # order as the serial loop, keeping means bit-identical.

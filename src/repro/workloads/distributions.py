@@ -68,6 +68,21 @@ class WorkDistribution(ABC):
     def name(self) -> str:
         """Short identifier used in reports (``"bing"`` etc.)."""
 
+    def token(self) -> str:
+        """Canonical parameter string for the instance-cache spec hash.
+
+        Excludes underscore-prefixed attributes (lazily computed caches
+        such as the calibration ``_scale``), which are derived state, not
+        identity: two distributions with equal tokens sample identically
+        from identical seeds.
+        """
+        params = ",".join(
+            f"{k}={v!r}"
+            for k, v in sorted(vars(self).items())
+            if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"
+
     # -- calibration ------------------------------------------------------
 
     def _ensure_scale(self) -> float:
@@ -363,6 +378,15 @@ class MixtureDistribution(WorkDistribution):
     def name(self) -> str:
         inner = "+".join(d.name for _, d in self.components)
         return f"mixture({inner})"
+
+    def token(self) -> str:
+        inner = ",".join(
+            f"({p!r},{d.token()})" for p, d in self.components
+        )
+        return (
+            f"{type(self).__name__}(mean_ms={self.mean_ms!r},"
+            f"components=[{inner}])"
+        )
 
     def _sample_canonical(self, rng: np.random.Generator, size: int) -> np.ndarray:
         choices = rng.choice(len(self.components), size=size, p=self._probs)

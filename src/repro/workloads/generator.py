@@ -23,10 +23,14 @@ Utilization accounting (how the paper's QPS labels map to load):
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.dag.builders import parallel_for
+from repro.dag.flat import FlatInstance
 from repro.dag.job import Job, JobSet
 from repro.sim.rng import SeedLike, spawn_rngs
 from repro.workloads.arrivals import ArrivalProcess, PoissonProcess
@@ -112,21 +116,43 @@ class WorkloadSpec:
         """Expected offered load of this spec on its ``m`` processors."""
         return expected_utilization(self.qps, self.distribution.mean_ms, self.m)
 
-    def build(self, seed: SeedLike = None) -> JobSet:
-        """Materialize the workload into a :class:`JobSet`.
+    def __call__(self, seed: SeedLike = None) -> JobSet:
+        """Alias for :meth:`build`, so a spec *is* a jobset factory.
+
+        ``grid_sweep`` and friends accept any ``Callable[[int], JobSet]``;
+        passing the spec itself (instead of a lambda around it) keeps the
+        factory picklable for process pools and lets the sweep layer
+        discover :meth:`cache_key`/:meth:`build_flat` for instance
+        caching and zero-copy dispatch.
+        """
+        return self.build(seed)
+
+    def _sample(self, seed: SeedLike) -> "tuple[np.ndarray, np.ndarray]":
+        """Draw (works, arrivals) -- the only randomness in a build.
 
         The seed fans out into independent streams for work sampling and
         arrival generation, so changing one never perturbs the other
         (paired-comparison hygiene across sweeps).
         """
         work_rng, arrival_rng = spawn_rngs(seed, 2)
-
         works = self.distribution.sample_units(
             work_rng, self.n_jobs, units_per_ms=self.units_per_ms
         )
         process = self.arrival_process or PoissonProcess(self.rate)
-        arrivals = process.generate(arrival_rng, self.n_jobs)
+        arrivals = np.asarray(
+            process.generate(arrival_rng, self.n_jobs), dtype=np.float64
+        )
+        return works, arrivals
 
+    def build(self, seed: SeedLike = None) -> JobSet:
+        """Materialize the workload into a :class:`JobSet`.
+
+        Identical bodies share one :class:`JobDag` (``parallel_for`` is
+        memoized): integer works drawn from a distribution repeat
+        constantly, so large instances construct only the distinct
+        shapes.
+        """
+        works, arrivals = self._sample(seed)
         jobs = []
         for i in range(self.n_jobs):
             body = int(works[i])
@@ -141,6 +167,106 @@ class WorkloadSpec:
                 Job(job_id=i, dag=dag, arrival=float(arrivals[i]), weight=1.0)
             )
         return JobSet(jobs)
+
+    def build_flat(self, seed: SeedLike = None) -> FlatInstance:
+        """Materialize the workload directly as a :class:`FlatInstance`.
+
+        Constructs the CSR arrays of every parallel-for job in one batch
+        of numpy operations -- no per-job Python loop, no intermediate
+        object graph.  Produces bit-identical arrays to
+        ``flatten_jobset(self.build(seed))`` (asserted by
+        ``tests/workloads/test_generator.py``); ``to_jobset`` recovers
+        the object view when an engine needs it.
+        """
+        works, arrivals = self._sample(seed)
+        # JobSet orders jobs by (arrival, generation index); mirror it so
+        # the flat layout matches the object path job for job.
+        order = np.argsort(arrivals, kind="stable")
+        works = works[order].astype(np.int64, copy=False)
+        arrivals = arrivals[order]
+        n = self.n_jobs
+
+        # Per-job parallel-for decomposition (same arithmetic as
+        # parallel_for): ceil-split the body into chunks of <= grain.
+        grains = np.maximum(1, works // self.target_chunks)
+        n_full = works // grains
+        rem = works - n_full * grains
+        n_chunks = n_full + (rem > 0)
+
+        # Node layout per job: [setup, chunk_1..chunk_c, finalize].
+        nodes_per_job = n_chunks + 2
+        job_node_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(nodes_per_job, out=job_node_offsets[1:])
+        n_nodes = int(job_node_offsets[-1])
+        setup_pos = job_node_offsets[:-1]
+        fin_pos = job_node_offsets[1:] - 1
+
+        # Global ids of every chunk node, jobs concatenated in order.
+        total_chunks = int(n_chunks.sum())
+        chunk_starts = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(n_chunks, out=chunk_starts[1:])
+        within = np.arange(total_chunks, dtype=np.int64) - np.repeat(
+            chunk_starts[:-1], n_chunks
+        )
+        chunk_global = np.repeat(setup_pos + 1, n_chunks) + within
+
+        # Chunk works: `grain` everywhere, the job's last chunk holds the
+        # remainder when the split is uneven.
+        chunk_works = np.repeat(grains, n_chunks)
+        has_rem = rem > 0
+        chunk_works[chunk_starts[1:][has_rem] - 1] = rem[has_rem]
+
+        node_works = np.empty(n_nodes, dtype=np.int64)
+        node_works[setup_pos] = self.setup_units
+        node_works[fin_pos] = self.finalize_units
+        node_works[chunk_global] = chunk_works
+
+        # CSR edges: setup -> every chunk, every chunk -> finalize.
+        out_degree = np.zeros(n_nodes, dtype=np.int64)
+        out_degree[setup_pos] = n_chunks
+        out_degree[chunk_global] = 1
+        edge_offsets = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(out_degree, out=edge_offsets[1:])
+        edge_targets = np.empty(2 * total_chunks, dtype=np.int64)
+        fork_slots = np.repeat(edge_offsets[setup_pos], n_chunks) + within
+        edge_targets[fork_slots] = chunk_global
+        edge_targets[edge_offsets[chunk_global]] = np.repeat(fin_pos, n_chunks)
+
+        return FlatInstance(
+            node_works=node_works,
+            edge_offsets=edge_offsets,
+            edge_targets=edge_targets,
+            job_node_offsets=job_node_offsets,
+            arrivals=arrivals,
+            weights=np.ones(n, dtype=np.float64),
+        )
+
+    # -- cache identity ---------------------------------------------------
+
+    def spec_token(self) -> str:
+        """Canonical string capturing everything generation depends on."""
+        process = self.arrival_process or PoissonProcess(self.rate)
+        return (
+            f"WorkloadSpec(distribution={self.distribution.token()},"
+            f"qps={self.qps!r},n_jobs={self.n_jobs!r},"
+            f"units_per_ms={self.units_per_ms!r},"
+            f"target_chunks={self.target_chunks!r},"
+            f"setup_units={self.setup_units!r},"
+            f"finalize_units={self.finalize_units!r},"
+            f"arrivals={process.token()})"
+        )
+
+    def cache_key(self, seed: int) -> str:
+        """Content key for the instance cache: spec hash + derived seed.
+
+        Two specs produce the same key iff their tokens and seeds agree,
+        in which case their built instances are identical -- the
+        invariant :mod:`repro.experiments.cache` relies on.
+        """
+        digest = hashlib.sha256(
+            f"{self.spec_token()}|seed={int(seed)}".encode()
+        ).hexdigest()
+        return digest
 
     def describe(self) -> str:
         """One-line human-readable summary for experiment logs."""

@@ -1,0 +1,259 @@
+"""Content-addressed cache + resume: equivalence is the whole contract.
+
+The cache (:mod:`repro.experiments.cache`) may only ever change *when*
+a number is computed, never *what* it is: a resumed sweep must be
+bit-identical to a cold serial run.  These tests pin that contract for
+the store itself (exact float round-trips, corrupt files miss, atomic
+layout), for :func:`grid_sweep` and for
+:func:`run_figure2_cells`.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.dag.flat import content_hash
+from repro.experiments.cache import (
+    CACHE_ENV,
+    RESUME_ENV,
+    SweepCache,
+    cell_key,
+    resolve_cache_dir,
+    resume_enabled_by_env,
+)
+from repro.experiments.config import ExperimentScale, Figure2Config
+from repro.experiments.runner import run_figure2_cells
+from repro.experiments.sweep import grid_sweep
+from repro.workloads.distributions import BingDistribution
+from repro.workloads.generator import WorkloadSpec
+
+SPEC = WorkloadSpec(BingDistribution(), qps=800.0, n_jobs=30, m=4, target_chunks=8)
+
+
+def _make_scheduler(k):  # top-level: picklable
+    return WorkStealingScheduler(k=k, steals_per_tick=16)
+
+
+class TestResolution:
+    def test_explicit_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "env"))
+        assert resolve_cache_dir(tmp_path / "arg") == tmp_path / "arg"
+
+    def test_env_beats_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "env"))
+        assert resolve_cache_dir() == tmp_path / "env"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert str(resolve_cache_dir()) == ".repro_cache"
+
+    def test_resume_env_parsing(self, monkeypatch):
+        for value, expected in [
+            ("1", True), ("true", True), ("yes", True),
+            ("0", False), ("false", False), ("", False), ("no", False),
+        ]:
+            monkeypatch.setenv(RESUME_ENV, value)
+            assert resume_enabled_by_env() is expected
+        monkeypatch.delenv(RESUME_ENV)
+        assert resume_enabled_by_env() is False
+
+
+class TestCellKey:
+    def test_deterministic_and_sensitive(self):
+        base = cell_key("grid-cell", "hash", "factory", [("k", 4)], 4, 1.0)
+        assert base == cell_key("grid-cell", "hash", "factory", [("k", 4)], 4, 1.0)
+        assert base != cell_key("grid-cell", "hash", "factory", [("k", 5)], 4, 1.0)
+        assert base != cell_key("grid-cell", "hash2", "factory", [("k", 4)], 4, 1.0)
+
+
+class TestSweepCacheStore:
+    def test_instance_round_trip_exact(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        flat = SPEC.build_flat(seed=7)
+        key = SPEC.cache_key(7)
+        assert cache.load_instance(key) is None
+        cache.store_instance(key, flat)
+        loaded = cache.load_instance(key)
+        assert loaded == flat
+        assert content_hash(loaded) == content_hash(flat)
+
+    def test_cell_round_trip_exact_floats(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        # Awkward floats: JSON repr round-trips them exactly in py3.
+        metrics = {"max_flow": 0.1 + 0.2, "mean_flow": 1e-17, "p99_flow": np.float64(3.7) ** 0.5}
+        metrics = {k: float(v) for k, v in metrics.items()}
+        key = cell_key("x")
+        assert cache.load_cell(key) is None
+        cache.store_cell(key, metrics)
+        loaded = cache.load_cell(key)
+        assert loaded == metrics  # bit-identical, not approx
+
+    def test_cell_preserves_key_order(self, tmp_path):
+        # Figure series follow the scheduler-lineup order of the metric
+        # dict; a resumed cell must render exactly like a computed one,
+        # so the cache may not re-sort keys.
+        cache = SweepCache(tmp_path)
+        metrics = {"opt-lb": 1.0, "steal-16-first": 2.0, "admit-first": 3.0}
+        key = cell_key("order")
+        cache.store_cell(key, metrics)
+        assert list(cache.load_cell(key)) == list(metrics)
+
+    def test_corrupt_files_are_misses(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = cell_key("corrupt")
+        cache.cells_dir.mkdir(parents=True, exist_ok=True)
+        cache.cell_path(key).write_text("{not json")
+        assert cache.load_cell(key) is None
+        cache.instances_dir.mkdir(parents=True, exist_ok=True)
+        cache.instance_path(key).write_bytes(b"\x00garbage")
+        assert cache.load_instance(key) is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = cell_key("schema")
+        cache.cells_dir.mkdir(parents=True, exist_ok=True)
+        cache.cell_path(key).write_text(
+            json.dumps({"schema": "repro-cell/999", "metrics": {"max_flow": 1.0}})
+        )
+        assert cache.load_cell(key) is None
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = SweepCache(tmp_path / "c")
+        assert cache.stats() == {"instances": 0, "cells": 0}
+        cache.store_cell(cell_key("a"), {"max_flow": 1.0})
+        cache.store_instance(SPEC.cache_key(1), SPEC.build_flat(seed=1))
+        assert cache.stats() == {"instances": 1, "cells": 1}
+        cache.clear()
+        assert cache.stats() == {"instances": 0, "cells": 0}
+        assert not (tmp_path / "c").exists()
+
+
+class TestGridSweepResume:
+    KWARGS = dict(
+        grid={"k": [0, 4]},
+        jobset_factory=SPEC,
+        m=4,
+        reps=2,
+        seed=3,
+        metrics=("max_flow", "mean_flow"),
+        max_workers=1,
+    )
+
+    def test_resumed_sweep_bit_identical_to_cold_serial(self, tmp_path):
+        cold = grid_sweep(_make_scheduler, **self.KWARGS)
+        cache = SweepCache(tmp_path)
+        warm_fill = grid_sweep(
+            _make_scheduler, cache=cache, resume=True, **self.KWARGS
+        )
+        stats = cache.stats()
+        assert stats["cells"] == 4  # 2 grid points x 2 reps
+        assert stats["instances"] == 2  # one per rep
+        resumed = grid_sweep(
+            _make_scheduler, cache=cache, resume=True, **self.KWARGS
+        )
+        for a, b, c in zip(cold.cells, warm_fill.cells, resumed.cells):
+            assert a.params == b.params == c.params
+            assert a.metrics == b.metrics == c.metrics  # exact floats
+
+    def test_resume_only_runs_cold_cells(self, tmp_path, monkeypatch):
+        cache = SweepCache(tmp_path)
+        grid_sweep(_make_scheduler, cache=cache, resume=True, **self.KWARGS)
+
+        # A scheduler run on a fully warm sweep would prove the cache
+        # was bypassed.
+        def boom(self, *a, **kw):  # pragma: no cover - must not run
+            raise AssertionError("cache bypassed: scheduler ran")
+
+        monkeypatch.setattr(WorkStealingScheduler, "run", boom)
+        resumed = grid_sweep(
+            _make_scheduler, cache=cache, resume=True, **self.KWARGS
+        )
+        assert len(resumed.cells) == 2
+
+    def test_cache_accepts_path_string(self, tmp_path):
+        grid_sweep(
+            _make_scheduler, cache=str(tmp_path / "p"), resume=True, **self.KWARGS
+        )
+        assert SweepCache(tmp_path / "p").stats()["cells"] == 4
+
+    def test_changed_metrics_miss_cleanly(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        grid_sweep(_make_scheduler, cache=cache, resume=True, **self.KWARGS)
+        kwargs = dict(self.KWARGS, metrics=("max_flow", "p99_flow"))
+        widened = grid_sweep(
+            _make_scheduler, cache=cache, resume=True, **kwargs
+        )
+        baseline = grid_sweep(_make_scheduler, **kwargs)
+        for a, b in zip(widened.cells, baseline.cells):
+            assert a.metrics == b.metrics
+
+    def test_lambda_factory_skips_instance_cache(self, tmp_path):
+        # Arbitrary callables have no content identity: cells still
+        # cache (keyed by instance content hash) but instances do not.
+        cache = SweepCache(tmp_path)
+        kwargs = dict(self.KWARGS, jobset_factory=lambda s: SPEC.build(seed=s))
+        grid_sweep(_make_scheduler, cache=cache, resume=True, **kwargs)
+        stats = cache.stats()
+        assert stats["instances"] == 0
+        assert stats["cells"] == 4
+
+
+class TestFigure2Resume:
+    CFG = Figure2Config(
+        name="tiny-bing",
+        distribution_factory=BingDistribution,
+        qps_values=(600.0, 900.0),
+        m=4,
+        k=4,
+        steals_per_tick=16,
+        target_chunks=8,
+    )
+    SCALE = ExperimentScale(n_jobs=30, reps=2)
+
+    def test_resumed_cells_bit_identical(self, tmp_path):
+        cold = run_figure2_cells(
+            self.CFG, self.CFG.qps_values, self.SCALE, seed=5, max_workers=1
+        )
+        cache = SweepCache(tmp_path)
+        warm_fill = run_figure2_cells(
+            self.CFG, self.CFG.qps_values, self.SCALE, seed=5,
+            max_workers=1, cache=cache, resume=True,
+        )
+        assert cache.stats()["cells"] == len(self.CFG.qps_values)
+        resumed = run_figure2_cells(
+            self.CFG, self.CFG.qps_values, self.SCALE, seed=5,
+            max_workers=1, cache=cache, resume=True,
+        )
+        assert cold == warm_fill == resumed
+
+    def test_env_var_enables_resume(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        monkeypatch.setenv(RESUME_ENV, "1")
+        first = run_figure2_cells(
+            self.CFG, self.CFG.qps_values, self.SCALE, seed=5, max_workers=1
+        )
+        assert SweepCache().root == tmp_path
+        assert SweepCache().stats()["cells"] == len(self.CFG.qps_values)
+
+        def boom(self, *a, **kw):  # pragma: no cover - must not run
+            raise AssertionError("cache bypassed: scheduler ran")
+
+        monkeypatch.setattr(WorkStealingScheduler, "run", boom)
+        second = run_figure2_cells(
+            self.CFG, self.CFG.qps_values, self.SCALE, seed=5, max_workers=1
+        )
+        assert first == second
+
+    def test_seed_change_misses(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_figure2_cells(
+            self.CFG, self.CFG.qps_values, self.SCALE, seed=5,
+            max_workers=1, cache=cache, resume=True,
+        )
+        run_figure2_cells(
+            self.CFG, self.CFG.qps_values, self.SCALE, seed=6,
+            max_workers=1, cache=cache, resume=True,
+        )
+        assert cache.stats()["cells"] == 2 * len(self.CFG.qps_values)

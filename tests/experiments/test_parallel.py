@@ -4,8 +4,10 @@ The contract under test (see :mod:`repro.experiments.parallel`): cell
 seeds derive from cell *coordinates*, so fanning cells across a process
 pool is bit-identical to the serial loop -- same floats, same order --
 and anything that prevents pooling (one worker, unpicklable callables)
-degrades to that serial loop silently.
+degrades to that serial loop, warning once about the lost parallelism.
 """
+
+import warnings
 
 import numpy as np
 import pytest
@@ -64,6 +66,22 @@ class TestParallelMap:
             2, 3, 4,
         ]
 
+    def test_fallback_warns_once_naming_the_callable(self):
+        # Losing parallelism should be visible: the first fallback for a
+        # given callable warns (naming it); repeats stay quiet so a
+        # thousand-cell sweep does not warn a thousand times.
+        from repro.experiments import parallel as parallel_mod
+
+        def not_picklable(x):  # local function: cannot cross processes
+            return x - 1
+
+        parallel_mod._FALLBACK_WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="not_picklable"):
+            assert parallel_map(not_picklable, [1, 2], max_workers=2) == [0, 1]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert parallel_map(not_picklable, [3, 4], max_workers=2) == [2, 3]
+
     def test_fn_exceptions_propagate(self):
         with pytest.raises(ValueError, match="boom"):
             parallel_map(_boom, [1, 2], max_workers=2)
@@ -71,6 +89,49 @@ class TestParallelMap:
     def test_empty_and_singleton(self):
         assert parallel_map(_square, [], max_workers=4) == []
         assert parallel_map(_square, [5], max_workers=4) == [25]
+
+
+class TestSharedInstanceTransport:
+    """Shared-memory publication of flat instances (zero-copy dispatch)."""
+
+    def test_publish_attach_round_trip(self):
+        from repro.dag.flat import flatten_jobset
+        from repro.experiments.parallel import (
+            SharedInstance,
+            attach_jobset,
+            shared_memory_available,
+        )
+
+        if not shared_memory_available():  # pragma: no cover
+            pytest.skip("no shared memory on this platform")
+        js = _build_jobset(seed=4)
+        with SharedInstance(flatten_jobset(js), jobset=js) as shared:
+            # In the publishing process the attach resolves locally to
+            # the very same object -- no rebuild, no copy.
+            assert attach_jobset(shared.handle) is js
+            assert shared.handle["shm_name"]
+            assert shared.handle["layout"]
+
+    def test_handle_is_small(self):
+        import pickle
+
+        from repro.dag.flat import flatten_jobset
+        from repro.experiments.parallel import (
+            SharedInstance,
+            shared_memory_available,
+        )
+
+        if not shared_memory_available():  # pragma: no cover
+            pytest.skip("no shared memory on this platform")
+        js = _build_jobset(seed=4)
+        flat = flatten_jobset(js)
+        with SharedInstance(flat, jobset=js) as shared:
+            handle_bytes = len(pickle.dumps(shared.handle))
+            jobset_bytes = len(pickle.dumps(js))
+        # The whole point: tasks carry a tiny layout dict, not the
+        # object graph.
+        assert handle_bytes < 1024
+        assert handle_bytes * 10 < jobset_bytes
 
 
 class TestDefaultWorkers:

@@ -2,9 +2,13 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.core.fifo import FifoScheduler
+from repro.dag.flat import content_hash, flatten_jobset, to_jobset
+from repro.sim.engine import run_work_stealing
+from repro.sim.rng import derive_seed
 from repro.workloads.adversarial import (
     adversarial_instance,
     adversarial_machine_size,
@@ -81,3 +85,79 @@ class TestClosedForms:
         job before the next arrives (the paper's isolation argument)."""
         js, m = adversarial_instance(64)
         assert js.arrivals[1] - js.arrivals[0] > sequential_execution_flow(m)
+
+
+class TestFlatRoundTrip:
+    """The flat CSR format must carry the lower-bound instance exactly."""
+
+    def test_round_trip_exact(self):
+        js, m = adversarial_instance(128, fanout=5)
+        rebuilt = to_jobset(flatten_jobset(js))
+        assert len(rebuilt) == len(js)
+        for a, b in zip(js.jobs, rebuilt.jobs):
+            assert a.job_id == b.job_id
+            assert a.arrival == b.arrival
+            assert a.weight == b.weight
+            assert a.dag.works == b.dag.works
+            assert a.dag.successors == b.dag.successors
+
+    def test_shared_dag_stays_shared(self):
+        # The construction backs all n jobs with ONE immutable dag;
+        # flatten dedupes it on the way out and to_jobset dedupes by
+        # content on the way back, so the rebuilt instance is as
+        # compact as the original.
+        js, _ = adversarial_instance(256)
+        flat = flatten_jobset(js)
+        assert flat.n_nodes == len(js) * len(js.jobs[0].dag.works)
+        rebuilt = to_jobset(flat)
+        assert len({id(job.dag) for job in rebuilt.jobs}) == 1
+
+    def test_content_hash_sensitive_to_fanout(self):
+        a, _ = adversarial_instance(64, fanout=3)
+        b, _ = adversarial_instance(64, fanout=4)
+        assert content_hash(flatten_jobset(a)) != content_hash(flatten_jobset(b))
+
+    def test_scheduler_results_identical_on_rebuilt_instance(self):
+        js, m = adversarial_instance(128, fanout=5)
+        rebuilt = to_jobset(flatten_jobset(js))
+        original = run_work_stealing(js, m=m, k=0, seed=7, steals_per_tick=1)
+        again = run_work_stealing(rebuilt, m=m, k=0, seed=7, steals_per_tick=1)
+        assert original.max_flow == again.max_flow
+        assert np.array_equal(original.flows, again.flows)
+
+
+class TestLowerBoundGap:
+    """Lemma 5.1's mechanism, end to end under the tick engine."""
+
+    def test_work_stealing_shows_the_expected_gap(self):
+        # The lb5 configuration at test scale: theory-mode work stealing
+        # (unit-time steals, admit-first) on the instance with the
+        # visible-constant fan-out m // 2.  Random steals must miss
+        # often enough that SOME job runs far past OPT's 2 steps; the
+        # worst observed flow should land between OPT and the
+        # sequential-execution ceiling the bound engineers.
+        n = 256
+        m = adversarial_machine_size(n)
+        fanout = max(1, m // 2)
+        js, m = adversarial_instance(n, fanout=fanout)
+        opt = adversarial_opt_max_flow(m)
+        ceiling = sequential_execution_flow(m, fanout=fanout)
+
+        worst = max(
+            run_work_stealing(
+                js, m=m, k=0, seed=derive_seed(0, n, rep), steals_per_tick=1
+            ).max_flow
+            for rep in range(3)
+        )
+        assert worst >= 1.5 * opt  # a measurable gap, not jitter
+        assert worst <= ceiling + js.arrivals[1] - js.arrivals[0]
+
+    def test_gap_vanishes_with_enough_steals(self):
+        # Control: with m steal attempts per tick the children are found
+        # almost immediately, so the same instance runs near OPT --
+        # pinning the gap on steal misses, not on the instance shape.
+        n = 256
+        m = adversarial_machine_size(n)
+        js, m = adversarial_instance(n, fanout=max(1, m // 2))
+        res = run_work_stealing(js, m=m, k=0, seed=3, steals_per_tick=m)
+        assert res.max_flow <= 2 * adversarial_opt_max_flow(m)

@@ -114,3 +114,80 @@ class TestWorkloadSpec:
         a, b = poisson.build(seed=3), uniform.build(seed=3)
         assert a.works == b.works
         assert a.arrivals != b.arrivals
+
+
+class TestBuildFlat:
+    """The vectorized flat path must mirror the object path exactly."""
+
+    def _specs(self):
+        from repro.workloads.arrivals import BurstyProcess
+        from repro.workloads.distributions import (
+            ConstantDistribution,
+            LogNormalDistribution,
+        )
+
+        return [
+            WorkloadSpec(BingDistribution(), qps=900.0, n_jobs=80, m=4),
+            WorkloadSpec(
+                ConstantDistribution(mean_ms=8.0),
+                qps=500.0,
+                n_jobs=5,
+                m=4,
+                target_chunks=4,
+            ),
+            WorkloadSpec(
+                LogNormalDistribution(),
+                qps=700.0,
+                n_jobs=40,
+                m=8,
+                target_chunks=3,
+                setup_units=2,
+                finalize_units=3,
+            ),
+            # Tied arrivals (bursts) exercise the stable sort path.
+            WorkloadSpec(
+                BingDistribution(),
+                qps=600.0,
+                n_jobs=24,
+                m=4,
+                arrival_process=BurstyProcess(rate=0.2, batch=6),
+            ),
+        ]
+
+    def test_build_flat_matches_flattened_build(self):
+        from repro.dag.flat import content_hash, flatten_jobset
+
+        for spec in self._specs():
+            flat = spec.build_flat(seed=11)
+            reference = flatten_jobset(spec.build(seed=11))
+            assert flat == reference, spec.describe()
+            assert content_hash(flat) == content_hash(reference)
+
+    def test_build_flat_round_trips_to_equal_jobset(self):
+        from repro.dag.flat import to_jobset
+
+        spec = WorkloadSpec(BingDistribution(), qps=900.0, n_jobs=50, m=4)
+        js = spec.build(seed=2)
+        js2 = to_jobset(spec.build_flat(seed=2))
+        assert js.works == js2.works
+        assert js.arrivals == js2.arrivals
+        assert js.spans == js2.spans
+        for a, b in zip(js, js2):
+            assert a.dag.works == b.dag.works
+            assert a.dag.successors == b.dag.successors
+
+    def test_spec_is_callable_factory(self):
+        spec = WorkloadSpec(BingDistribution(), qps=900.0, n_jobs=10, m=4)
+        assert spec(3).works == spec.build(3).works
+
+    def test_cache_key_stability(self):
+        spec = WorkloadSpec(BingDistribution(), qps=900.0, n_jobs=10, m=4)
+        same = WorkloadSpec(BingDistribution(), qps=900.0, n_jobs=10, m=4)
+        other = WorkloadSpec(BingDistribution(), qps=901.0, n_jobs=10, m=4)
+        assert spec.cache_key(5) == same.cache_key(5)
+        assert spec.cache_key(5) != same.cache_key(6)
+        assert spec.cache_key(5) != other.cache_key(5)
+        # Sampling must not perturb the key (lazy calibration state is
+        # excluded from the token).
+        spec.build(seed=1)
+        assert spec.cache_key(5) == same.cache_key(5)

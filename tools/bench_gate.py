@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""CI gate: fail when benchmark throughput regresses past a threshold.
+
+Compares a freshly measured report (``tools/bench_report.py`` output or
+a raw ``pytest-benchmark --benchmark-json`` dump) against a baseline
+report -- normally the committed ``BENCH_engine.json`` -- and exits
+non-zero if any benchmark present in both lost more than
+``--max-regression`` of its ops/sec (default 30%).
+
+Benchmarks only present on one side are reported but never fail the
+gate (new benchmarks have no baseline; retired ones have no current
+number).  CI timing is noisy, hence the generous default threshold:
+the gate exists to catch order-of-magnitude accidents (a quadratic
+sneaking into a hot loop), not 5% jitter.
+
+Usage::
+
+    python tools/bench_gate.py current.json                # vs BENCH_engine.json
+    python tools/bench_gate.py current.json --baseline old.json
+    python tools/bench_gate.py current.json --max-regression 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_ops(path: Path) -> Dict[str, float]:
+    """Read ``{benchmark name: ops/sec}`` from either report format."""
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"{path}: cannot read ({exc})")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path}: not valid JSON ({exc})")
+    benchmarks = data.get("benchmarks")
+    if benchmarks is None:
+        raise SystemExit(f"{path}: no 'benchmarks' key")
+    if isinstance(benchmarks, list):  # raw pytest-benchmark dump
+        return {b["name"]: float(b["stats"]["ops"]) for b in benchmarks}
+    return {
+        name: float(stats["ops_per_sec"]) for name, stats in benchmarks.items()
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="fresh benchmark report")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="baseline report (default: committed BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help=(
+            "maximum tolerated fractional ops/sec loss per benchmark "
+            "(0.30 = fail below 70%% of baseline)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    current = load_ops(args.current)
+    baseline = load_ops(args.baseline)
+    floor = 1.0 - args.max_regression
+
+    failures = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in current:
+            print(f"  {name}: no current measurement (skipped)")
+            continue
+        if base <= 0:
+            continue
+        ratio = current[name] / base
+        status = "ok" if ratio >= floor else "REGRESSED"
+        print(
+            f"  {name}: {current[name]:.2f} vs {base:.2f} ops/s "
+            f"({ratio:.2f}x) {status}"
+        )
+        if ratio < floor:
+            failures.append((name, ratio))
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name}: new benchmark (no baseline, skipped)")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) below "
+            f"{floor:.0%} of baseline:"
+        )
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nOK: no benchmark below {floor:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,11 @@
 #!/usr/bin/env python
-"""Engine throughput trajectory: run the benchmarks, write BENCH_engine.json.
+"""Benchmark trajectory: run the benchmark suite, write BENCH_engine.json.
 
-Runs ``benchmarks/test_engine_throughput.py`` under pytest-benchmark,
-normalizes the JSON output (ops/sec per engine plus host metadata) and
-writes it to ``BENCH_engine.json`` at the repository root, so every PR
-can compare engine throughput against the committed numbers of the
-previous one.
+Runs every file in ``benchmarks/`` (engine throughput, workload
+generation, sweep dispatch + cache) under pytest-benchmark, normalizes
+the JSON output (ops/sec per benchmark plus host metadata) and writes
+it to ``BENCH_engine.json`` at the repository root, so every PR can
+compare throughput against the committed numbers of the previous one.
 
 Baseline handling: by default, if the output file already exists, its
 current numbers become the new file's ``baseline`` and per-benchmark
@@ -21,8 +21,11 @@ Usage::
     python tools/bench_report.py --baseline old.json --output BENCH_engine.json
 
 Interpreting the file: ``benchmarks.<name>.ops_per_sec`` is the
-headline number (higher is better; 1 op = one full simulated run of the
-500-job reference workload); ``speedup.<name>`` is current vs baseline.
+headline number (higher is better; for the engine benchmarks 1 op = one
+full simulated run of the 500-job reference workload);
+``speedup.<name>`` is current vs baseline; ``derived.<name>`` are
+named cross-benchmark ratios (e.g. ``warm_vs_cold_sweep`` is the
+end-to-end grid-sweep speedup a warm ``--resume`` cache delivers).
 """
 
 from __future__ import annotations
@@ -38,19 +41,59 @@ from pathlib import Path
 from typing import Dict, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_FILE = "benchmarks/test_engine_throughput.py"
-SCHEMA = "repro-bench-engine/1"
+BENCH_FILES = [
+    "benchmarks/test_engine_throughput.py",
+    "benchmarks/test_workload_generation.py",
+    "benchmarks/test_sweep_dispatch.py",
+]
+SCHEMA = "repro-bench-engine/2"
+
+#: Cross-benchmark ratios worth tracking by name: ratio of the first
+#: benchmark's ops/sec over the second's (higher is better).
+DERIVED_RATIOS = {
+    # End-to-end serial grid sweep resumed from a warm cache vs cold.
+    "warm_vs_cold_sweep": ("test_sweep_warm_cache", "test_sweep_cold"),
+    # Per-task transport: shared-memory handle + attach vs pickling the
+    # whole JobSet object graph (the pre-flat dispatch design).
+    "flat_vs_pickle_dispatch": (
+        "test_dispatch_shared_handle",
+        "test_dispatch_pickled_jobset",
+    ),
+    # Vectorized CSR workload build vs the per-job object builder.
+    "build_flat_vs_build": (
+        "test_generate_build_flat",
+        "test_generate_build_objects",
+    ),
+}
+
+
+def effective_jobs() -> int:
+    """The worker count sweeps would actually use on this host.
+
+    Mirrors :func:`repro.experiments.parallel.default_workers` (REPRO_JOBS
+    override, else CPU count) so the report records the parallelism the
+    numbers were taken under, not just the hardware.
+    """
+    env = os.environ.get("REPRO_JOBS")
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError:
+            value = 0
+        if value >= 1:
+            return value
+    return os.cpu_count() or 1
 
 
 def run_benchmarks(quick: bool) -> dict:
-    """Run the engine benchmarks; return the raw pytest-benchmark JSON."""
+    """Run the benchmark files; return the raw pytest-benchmark JSON."""
     with tempfile.TemporaryDirectory() as tmp:
         json_path = Path(tmp) / "bench.json"
         cmd = [
             sys.executable,
             "-m",
             "pytest",
-            BENCH_FILE,
+            *BENCH_FILES,
             "--benchmark-only",
             f"--benchmark-json={json_path}",
             "-q",
@@ -159,8 +202,20 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
+            "jobs": effective_jobs(),
         },
         "benchmarks": benchmarks,
+        "derived": {
+            name: round(
+                benchmarks[num]["ops_per_sec"]
+                / benchmarks[den]["ops_per_sec"],
+                3,
+            )
+            for name, (num, den) in DERIVED_RATIOS.items()
+            if num in benchmarks
+            and den in benchmarks
+            and benchmarks[den]["ops_per_sec"] > 0
+        },
     }
     if baseline is not None:
         report["baseline"] = baseline
@@ -179,6 +234,8 @@ def main(argv=None) -> int:
         if baseline is not None and name in report.get("speedup", {}):
             line += f"  ({report['speedup'][name]:.2f}x vs baseline)"
         print(line)
+    for name, ratio in sorted(report["derived"].items()):
+        print(f"  derived {name}: {ratio:.2f}x")
     return 0
 
 
