@@ -193,14 +193,21 @@ class SharedInstance:
         self._shm = _shared_memory.SharedMemory(
             create=True, size=max(1, flat.nbytes)
         )
-        meta = pack_into(flat, self._shm.buf)
-        meta["shm_name"] = self._shm.name
-        self.handle: Dict[str, Any] = meta
-        # Parent-side shortcut for the serial path: reuse the already
-        # materialized object view instead of re-attaching in-process.
-        _PUBLISHED_LOCAL[self._shm.name] = (
-            jobset if jobset is not None else to_jobset(flat)
-        )
+        try:
+            meta = pack_into(flat, self._shm.buf)
+            meta["shm_name"] = self._shm.name
+            self.handle: Dict[str, Any] = meta
+            # Parent-side shortcut for the serial path: reuse the
+            # already materialized object view instead of re-attaching
+            # in-process.
+            _PUBLISHED_LOCAL[self._shm.name] = (
+                jobset if jobset is not None else to_jobset(flat)
+            )
+        except BaseException:
+            # A failed publish must not leak the freshly created block
+            # (it would otherwise pin /dev/shm until interpreter exit).
+            self.close()
+            raise
 
     @property
     def jobset(self) -> JobSet:

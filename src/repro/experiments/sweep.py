@@ -29,12 +29,21 @@ cache; both paths are bit-identical to a cold serial sweep
 
 from __future__ import annotations
 
+import functools
+import hashlib
 import itertools
+import types
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.base import Scheduler
-from repro.dag.flat import content_hash, flatten_jobset, to_jobset
+from repro.dag.flat import (
+    FlatInstance,
+    content_hash,
+    flatten_jobset,
+    to_jobset,
+)
 from repro.dag.job import JobSet
 from repro.experiments.cache import SweepCache, cell_key
 from repro.experiments.parallel import (
@@ -96,12 +105,82 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def _callable_token(fn: Callable) -> str:
-    """A stable identity string for a factory, for cell-cache keys."""
-    return (
+def _digest_code(code: types.CodeType, h) -> None:
+    """Fold a code object's behavior (recursively) into ``h``."""
+    h.update(code.co_code)
+    h.update(repr(code.co_names).encode())
+    h.update(repr(code.co_varnames).encode())
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            _digest_code(const, h)
+        else:
+            h.update(repr(const).encode())
+
+
+def _freeze_value(value: Any) -> Optional[str]:
+    """A run-stable string for a captured value, or None if none exists.
+
+    ``repr`` is stable for the plain parameter values factories actually
+    capture (numbers, strings, tuples, classes).  The default object
+    repr embeds a memory address, which changes between runs -- a key
+    built from it could never hit, so it counts as uncapturable.
+    """
+    if isinstance(value, types.FunctionType):
+        return _callable_token(value)
+    r = repr(value)
+    return None if " at 0x" in r else r
+
+
+def _callable_token(fn: Callable) -> Optional[str]:
+    """A content-based identity string for a factory, for cell-cache keys.
+
+    Module + qualname alone is not an identity: every lambda (or nested
+    function) defined in the same scope shares one qualname, and any
+    configuration it captures is invisible -- two factories that build
+    *different* schedulers would collide and serve each other's cached
+    cells under ``resume``.  The token therefore also folds in the
+    factory's bytecode, constants, argument defaults, and captured
+    closure values.  Returns None when the behavior cannot be captured
+    stably (e.g. a closure over an object whose repr embeds a memory
+    address); callers must then bypass the cell cache rather than risk
+    a collision.
+    """
+    base = (
         f"{getattr(fn, '__module__', '?')}."
-        f"{getattr(fn, '__qualname__', repr(fn))}"
+        f"{getattr(fn, '__qualname__', '?')}"
     )
+    if isinstance(fn, functools.partial):
+        inner = _callable_token(fn.func)
+        frozen = [_freeze_value(a) for a in fn.args]
+        for name in sorted(fn.keywords or {}):
+            value = _freeze_value(fn.keywords[name])
+            frozen.append(None if value is None else f"{name}={value}")
+        if inner is None or any(f is None for f in frozen):
+            return None
+        return "\x1f".join([f"partial({inner})", *frozen])
+    if isinstance(fn, type):
+        # A named class: the dotted name is its identity.
+        return base
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        # A callable object: identified by its (address-free) repr.
+        return _freeze_value(fn)
+    h = hashlib.sha256()
+    _digest_code(code, h)
+    frozen = []
+    for value in getattr(fn, "__defaults__", None) or ():
+        frozen.append(_freeze_value(value))
+    for name in sorted(getattr(fn, "__kwdefaults__", None) or {}):
+        value = _freeze_value(fn.__kwdefaults__[name])
+        frozen.append(None if value is None else f"{name}={value}")
+    for cell in getattr(fn, "__closure__", None) or ():
+        try:
+            frozen.append(_freeze_value(cell.cell_contents))
+        except ValueError:  # pragma: no cover - not-yet-filled cell
+            frozen.append("<empty-cell>")
+    if any(f is None for f in frozen):
+        return None
+    return "\x1f".join([base, h.hexdigest(), *frozen])
 
 
 def _sweep_rep_task(task) -> Dict[str, float]:
@@ -213,7 +292,12 @@ def grid_sweep(
         With a cache, serve previously computed (cell, rep) results
         from it instead of recomputing; cold cells still run and are
         stored.  Cached numbers are the exact floats of the original
-        run, so resumed sweeps are bit-identical to cold ones.
+        run, so resumed sweeps are bit-identical to cold ones.  Cell
+        keys include a content token of ``scheduler_factory`` (bytecode,
+        defaults, captured closure values -- not just its name), so two
+        different lambdas never serve each other's cells; a factory
+        whose captured state cannot be keyed stably bypasses the cell
+        cache entirely, with a :class:`RuntimeWarning`.
 
     Returns
     -------
@@ -242,6 +326,7 @@ def grid_sweep(
     # parent.  The old design shipped `jobset_factory` into every task,
     # regenerating the *same* rep instance once per grid point.
     rep_jobsets: List[JobSet] = []
+    rep_flats: List[FlatInstance] = []
     rep_hashes: List[str] = []
     for rep in range(reps):
         jobset_seed = derive_seed(seed, 9000, rep)
@@ -249,9 +334,21 @@ def grid_sweep(
             jobset_factory, jobset_seed, cache
         )
         rep_jobsets.append(jobset)
+        rep_flats.append(flat)
         rep_hashes.append(content_hash(flat))
 
     factory_token = _callable_token(scheduler_factory)
+    if cache is not None and factory_token is None:
+        warnings.warn(
+            f"grid_sweep: cannot derive a stable content key for "
+            f"scheduler factory {scheduler_factory!r} (it captures state "
+            f"whose identity is not reproducible across runs); the cell "
+            f"cache is bypassed for this sweep. Use a module-level "
+            f"function, class, or functools.partial over plain values "
+            f"to enable cell caching.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     tasks: List[tuple] = []
     task_keys: List[Optional[str]] = []
     cached_results: Dict[int, Dict[str, float]] = {}
@@ -260,7 +357,7 @@ def grid_sweep(
         for rep in range(reps):
             run_seed = derive_seed(seed, cell_idx, rep)
             key = None
-            if cache is not None:
+            if cache is not None and factory_token is not None:
                 key = cell_key(
                     "grid-cell",
                     rep_hashes[rep],
@@ -290,7 +387,7 @@ def grid_sweep(
             try:
                 for rep, jobset in enumerate(rep_jobsets):
                     shared.append(
-                        SharedInstance(flatten_jobset(jobset), jobset=jobset)
+                        SharedInstance(rep_flats[rep], jobset=jobset)
                     )
             except (OSError, NotImplementedError):
                 # Shared memory can fail at runtime on locked-down

@@ -199,6 +199,63 @@ class TestGridSweepResume:
         assert stats["instances"] == 0
         assert stats["cells"] == 4
 
+    def test_distinct_lambdas_never_share_cells(self, tmp_path):
+        # Same module, same qualname ("<lambda>"), different behavior:
+        # a name-only factory token served one lambda's cached metrics
+        # to the other under resume.  Tokens are content-based now.
+        cache = SweepCache(tmp_path)
+        grid_sweep(
+            lambda k: WorkStealingScheduler(k=k, steals_per_tick=1),
+            cache=cache, resume=True, **self.KWARGS,
+        )
+        resumed = grid_sweep(
+            lambda k: WorkStealingScheduler(k=k, steals_per_tick=64),
+            cache=cache, resume=True, **self.KWARGS,
+        )
+        cold = grid_sweep(
+            lambda k: WorkStealingScheduler(k=k, steals_per_tick=64),
+            **self.KWARGS,
+        )
+        assert cache.stats()["cells"] == 8  # two disjoint key sets
+        for a, b in zip(resumed.cells, cold.cells):
+            assert a.metrics == b.metrics
+
+    def test_closure_captured_config_is_keyed(self, tmp_path):
+        # Two closures over the *same* code but different captured
+        # values must key (and cache) independently.
+        def make_factory(spt):
+            return lambda k: WorkStealingScheduler(k=k, steals_per_tick=spt)
+
+        cache = SweepCache(tmp_path)
+        grid_sweep(make_factory(1), cache=cache, resume=True, **self.KWARGS)
+        resumed = grid_sweep(
+            make_factory(64), cache=cache, resume=True, **self.KWARGS
+        )
+        cold = grid_sweep(make_factory(64), **self.KWARGS)
+        assert cache.stats()["cells"] == 8
+        for a, b in zip(resumed.cells, cold.cells):
+            assert a.metrics == b.metrics
+
+    def test_unkeyable_factory_bypasses_cell_cache(self, tmp_path):
+        # A closure over an object with an address-based repr cannot be
+        # keyed stably across runs; the sweep must warn and skip the
+        # cell cache instead of writing unreliable keys.
+        opaque = object()
+
+        def factory(k):
+            assert opaque is not None
+            return WorkStealingScheduler(k=k, steals_per_tick=16)
+
+        cache = SweepCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="cell cache is bypassed"):
+            bypassed = grid_sweep(
+                factory, cache=cache, resume=True, **self.KWARGS
+            )
+        assert cache.stats()["cells"] == 0
+        baseline = grid_sweep(_make_scheduler, **self.KWARGS)
+        for a, b in zip(bypassed.cells, baseline.cells):
+            assert a.metrics == b.metrics
+
 
 class TestFigure2Resume:
     CFG = Figure2Config(

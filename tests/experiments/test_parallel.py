@@ -112,6 +112,40 @@ class TestSharedInstanceTransport:
             assert shared.handle["shm_name"]
             assert shared.handle["layout"]
 
+    def test_failed_publish_releases_block(self, monkeypatch):
+        # If packing raises after the block is created, the block must
+        # be closed and unlinked -- not leaked until interpreter exit.
+        from repro.dag.flat import flatten_jobset
+        from repro.experiments import parallel as parallel_mod
+        from repro.experiments.parallel import (
+            SharedInstance,
+            shared_memory_available,
+        )
+
+        if not shared_memory_available():  # pragma: no cover
+            pytest.skip("no shared memory on this platform")
+        created = []
+        real_cls = parallel_mod._shared_memory.SharedMemory
+
+        class Recording(real_cls):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self.name)
+
+        def boom(*args, **kwargs):
+            raise ValueError("pack failed")
+
+        monkeypatch.setattr(
+            parallel_mod._shared_memory, "SharedMemory", Recording
+        )
+        monkeypatch.setattr(parallel_mod, "pack_into", boom)
+        flat = flatten_jobset(_build_jobset(seed=4))
+        with pytest.raises(ValueError, match="pack failed"):
+            SharedInstance(flat)
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):  # unlinked: gone
+            real_cls(name=created[0])
+
     def test_handle_is_small(self):
         import pickle
 

@@ -44,6 +44,29 @@ class TestCommonContract:
             proc.generate(0, -1)
 
 
+class TestToken:
+    """Tokens feed the instance-cache spec hash: parameter-complete,
+    immune to lazily created private state."""
+
+    @pytest.mark.parametrize("proc", ALL_PROCESSES)
+    def test_private_attrs_do_not_perturb_token(self, proc):
+        before = proc.token()
+        proc._lazy_cache = [1, 2, 3]  # e.g. memoized derived state
+        assert proc.token() == before
+        del proc._lazy_cache
+
+    def test_parameters_behind_properties_still_keyed(self):
+        # PoissonProcess stores its rate as `_rate` behind a property;
+        # filtering underscores must not erase it from the token.
+        a, b = PoissonProcess(1.0).token(), PoissonProcess(2.0).token()
+        assert a != b
+        assert "rate=1.0" in a
+
+    @pytest.mark.parametrize("proc", ALL_PROCESSES)
+    def test_token_deterministic(self, proc):
+        assert proc.token() == proc.token()
+
+
 class TestPoisson:
     def test_exponential_gaps(self):
         times = PoissonProcess(2.0).generate(0, 50_000)
