@@ -15,10 +15,10 @@ tangible on workflow-shaped jobs:
 Run:  python examples/model_comparison.py
 """
 
+import repro
 from repro import FifoScheduler, jobs_from_dags
 from repro.dag.builders import staged_pipeline, wide_then_narrow
 from repro.speedup.convert import jobset_to_speedup
-from repro.speedup.engine import run_speedup_equi, run_speedup_fifo
 from repro.speedup.model import (
     LinearCapped,
     Phase,
@@ -43,8 +43,8 @@ def main() -> None:
           "speedup-curves model")
     print(f"{'m':>4} {'dag':>10} {'speedup':>10} {'ratio':>7}")
     for m in (2, 4, 8, 16, 32):
-        d = fifo.run(jobs, m=m).max_flow
-        s = run_speedup_fifo(converted, m=m).max_flow
+        d = repro.run(fifo, jobs, m=m).max_flow
+        s = repro.run("speedup-fifo", converted, m=m).max_flow
         print(f"{m:>4} {d:>10.2f} {s:>10.2f} {d / s:>7.3f}")
     print(
         "\nreading: ratio 1.0 where the conversion is faithful (very\n"
@@ -67,8 +67,8 @@ def main() -> None:
     print("allocation policy inside the speedup model (4 jobs, m=16):")
     print(f"{'curve':<14} {'fifo max/mean':>16} {'equi max/mean':>16}")
     for name, js in (("sqrt(p)", sqrt_jobs), ("min(p, 4)", cap_jobs)):
-        f = run_speedup_fifo(js, m=16)
-        e = run_speedup_equi(js, m=16)
+        f = repro.run("speedup-fifo", js, m=16)
+        e = repro.run("speedup-equi", js, m=16)
         print(f"{name:<14} {f.max_flow:>8.2f}/{f.mean_flow:<7.2f} "
               f"{e.max_flow:>8.2f}/{e.mean_flow:<7.2f}")
     print(

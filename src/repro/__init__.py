@@ -25,14 +25,20 @@ The library provides:
 
 Quickstart
 ----------
+>>> import repro
 >>> from repro import (FifoScheduler, WorkStealingScheduler, OptLowerBound,
 ...                    parallel_for, jobs_from_dags)
 >>> dags = [parallel_for(total_body_work=64, grain=8) for _ in range(20)]
 >>> jobs = jobs_from_dags(dags, arrivals=[2.0 * i for i in range(20)])
->>> opt = OptLowerBound().run(jobs, m=4)
->>> ws = WorkStealingScheduler(k=4).run(jobs, m=4, seed=0)
+>>> opt = repro.run(OptLowerBound(), jobs, m=4)
+>>> ws = repro.run(WorkStealingScheduler(k=4), jobs, m=4, seed=0)
 >>> opt.max_flow <= ws.max_flow
 True
+
+:func:`repro.run` is the single entrypoint for every engine (scheduler
+instances, ``"work-stealing"``, ``"speedup-fifo"``, ``"speedup-equi"``)
+and the attachment point for :class:`repro.obs.Telemetry`
+observability; see docs/OBSERVABILITY.md.
 """
 
 from repro.core import (
@@ -80,13 +86,19 @@ from repro.sim import (
     derive_seed,
     make_rng,
     run_centralized,
-    run_work_stealing,
+    run_work_stealing,  # deprecated shim; importable, not in __all__
 )
+from repro.api import run
+from repro.obs import Telemetry
+from repro.workloads import WorkloadSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # unified entrypoint + observability (ISSUE 3)
+    "run",
+    "Telemetry",
     # core
     "Scheduler",
     "FifoScheduler",
@@ -121,6 +133,8 @@ __all__ = [
     "content_hash",
     "save_flat",
     "load_flat",
+    # workloads
+    "WorkloadSpec",
     # sim
     "ScheduleResult",
     "SimulationStats",
@@ -129,5 +143,4 @@ __all__ = [
     "derive_seed",
     "make_rng",
     "run_centralized",
-    "run_work_stealing",
 ]

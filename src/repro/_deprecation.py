@@ -1,0 +1,38 @@
+"""Deprecation plumbing for the pre-:func:`repro.run` entrypoints.
+
+ISSUE 3 folded the four divergent entrypoints (``Scheduler.run``,
+``run_work_stealing``, ``run_speedup_fifo``, ``run_speedup_equi``)
+behind the single :func:`repro.run` facade.  The module-level engine
+functions remain importable as thin shims that forward to their private
+implementations, but each warns -- once per process, not once per call,
+so a sweep over thousands of cells stays readable -- that new code
+should go through the facade.
+
+Tier-1 CI runs with ``-W error::DeprecationWarning``: internal code must
+never route through a shim.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Shim names that have already warned this process.  Tests reset this
+#: to assert the exactly-once behavior.
+_WARNED: set = set()
+
+
+def warn_once(name: str, replacement: str) -> None:
+    """Emit one :class:`DeprecationWarning` per process for ``name``.
+
+    ``stacklevel=3`` points the warning at the shim's *caller* (user
+    code), skipping both this helper and the shim frame.
+    """
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; call {replacement} instead. "
+        f"Results are bit-identical.",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -1,0 +1,206 @@
+"""The :func:`repro.run` facade: one entrypoint for every engine.
+
+Before ISSUE 3 the package exposed four divergent ways to simulate a
+schedule -- :meth:`repro.core.base.Scheduler.run`,
+``run_work_stealing``, ``run_speedup_fifo`` and ``run_speedup_equi`` --
+with inconsistently named knobs (``m`` vs ``num_workers``, ``speed`` vs
+``augmentation``).  :func:`run` folds them behind a single call:
+
+* pass a :class:`~repro.core.base.Scheduler` *instance* (or a Scheduler
+  subclass, instantiated with defaults) to dispatch through its
+  polymorphic ``run``;
+* pass an *engine name string* to reach an engine directly:
+  ``"work-stealing"`` (the tick engine; extra keyword arguments such as
+  ``k``, ``steals_per_tick``, ``trace`` forward to it) or
+  ``"speedup-fifo"`` / ``"speedup-equi"`` (the speedup-curves engines,
+  which take a :class:`~repro.speedup.model.SpeedupJobSet`).
+
+The old module-level entrypoints survive as thin shims that emit one
+:class:`DeprecationWarning` per process and forward unchanged -- results
+stay bit-identical, and tier-1 CI runs with ``-W
+error::DeprecationWarning`` to keep internal code off them.
+
+The facade is also where observability attaches: pass
+``telemetry=Telemetry(...)`` and the run emits ``run.start`` /
+``run.done`` events (scheduler label, machine size, wall time, and the
+full :class:`~repro.sim.result.SimulationStats` snapshot).  With
+``telemetry=None`` nothing is recorded and the schedule is
+bit-identical -- the engines never see the telemetry object at all.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Union
+
+from repro.core.base import Scheduler
+from repro.sim.result import ScheduleResult
+from repro.sim.rng import SeedLike
+
+#: Engine-name strings accepted by :func:`run`.
+ENGINE_NAMES = ("work-stealing", "speedup-fifo", "speedup-equi")
+
+
+def _resolve_size(m: Optional[int], num_workers: Optional[int]) -> int:
+    """Normalize the machine-size aliases (``m`` wins the docs)."""
+    if m is not None and num_workers is not None and m != num_workers:
+        raise TypeError(
+            f"got both m={m} and num_workers={num_workers}; "
+            f"they are aliases -- pass exactly one"
+        )
+    size = m if m is not None else num_workers
+    if size is None:
+        raise TypeError("run() requires a machine size: pass m=...")
+    return int(size)
+
+
+def _resolve_speed(
+    speed: Optional[float], augmentation: Optional[float]
+) -> float:
+    """Normalize the speed aliases (``speed`` is canonical)."""
+    if speed is not None and augmentation is not None and speed != augmentation:
+        raise TypeError(
+            f"got both speed={speed} and augmentation={augmentation}; "
+            f"they are aliases -- pass exactly one"
+        )
+    if speed is not None:
+        return float(speed)
+    if augmentation is not None:
+        return float(augmentation)
+    return 1.0
+
+
+def run(
+    scheduler: Union[Scheduler, type, str],
+    jobset: Any,
+    *,
+    m: Optional[int] = None,
+    num_workers: Optional[int] = None,
+    speed: Optional[float] = None,
+    augmentation: Optional[float] = None,
+    seed: SeedLike = None,
+    telemetry: Optional[Any] = None,
+    **engine_kwargs: Any,
+) -> ScheduleResult:
+    """Simulate ``scheduler`` on ``jobset`` (see module docstring).
+
+    Parameters
+    ----------
+    scheduler:
+        A :class:`~repro.core.base.Scheduler` instance, a Scheduler
+        subclass (instantiated with its defaults), or an engine name
+        from :data:`ENGINE_NAMES`.
+    jobset:
+        A :class:`~repro.dag.job.JobSet` (DAG engines) or
+        :class:`~repro.speedup.model.SpeedupJobSet` (speedup engines).
+    m, num_workers:
+        Machine size; ``num_workers`` is an accepted alias, pass exactly
+        one.
+    speed, augmentation:
+        Resource augmentation factor (default 1.0); ``augmentation`` is
+        an accepted alias, pass exactly one.
+    seed:
+        Seed for randomized policies.  The deterministic speedup engines
+        take no seed and reject a non-None one loudly rather than
+        silently ignoring it.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`; when given, ``run.start``
+        and ``run.done`` events are emitted around the simulation.
+        Never alters the schedule.
+    **engine_kwargs:
+        Forwarded to the dispatch target (e.g. ``k=16`` for
+        ``"work-stealing"``, ``trace=...``/``sampler=...`` for
+        schedulers that accept them).
+
+    Returns
+    -------
+    ScheduleResult
+        Bit-identical to calling the underlying engine directly.
+    """
+    size = _resolve_size(m, num_workers)
+    s = _resolve_speed(speed, augmentation)
+
+    if isinstance(scheduler, type) and issubclass(scheduler, Scheduler):
+        scheduler = scheduler()
+
+    if isinstance(scheduler, Scheduler):
+        label = scheduler.name
+        engine = "scheduler"
+
+        def dispatch() -> ScheduleResult:
+            return scheduler.run(
+                jobset, m=size, speed=s, seed=seed, **engine_kwargs
+            )
+
+    elif isinstance(scheduler, str):
+        label = scheduler
+        engine = scheduler
+        if scheduler == "work-stealing":
+            from repro.sim.engine import _run_work_stealing
+
+            def dispatch() -> ScheduleResult:
+                return _run_work_stealing(
+                    jobset, m=size, speed=s, seed=seed, **engine_kwargs
+                )
+
+        elif scheduler in ("speedup-fifo", "speedup-equi"):
+            from repro.speedup.engine import (
+                _run_speedup_equi,
+                _run_speedup_fifo,
+            )
+
+            target = (
+                _run_speedup_fifo
+                if scheduler == "speedup-fifo"
+                else _run_speedup_equi
+            )
+            if seed is not None:
+                raise TypeError(
+                    f"{scheduler!r} is deterministic and takes no seed; "
+                    f"got seed={seed!r}"
+                )
+            if engine_kwargs:
+                raise TypeError(
+                    f"{scheduler!r} accepts no extra engine arguments; "
+                    f"got {sorted(engine_kwargs)}"
+                )
+
+            def dispatch() -> ScheduleResult:
+                return target(jobset, m=size, speed=s)
+
+        else:
+            raise ValueError(
+                f"unknown engine name {scheduler!r}; "
+                f"expected one of {ENGINE_NAMES} or a Scheduler"
+            )
+    else:
+        raise TypeError(
+            f"scheduler must be a Scheduler, a Scheduler subclass, or an "
+            f"engine name string, got {type(scheduler).__name__}"
+        )
+
+    if telemetry is None:
+        return dispatch()
+
+    telemetry.emit(
+        "run.start",
+        scheduler=label,
+        engine=engine,
+        m=size,
+        speed=s,
+        seed=seed,
+        n_jobs=len(jobset),
+    )
+    t0 = time.perf_counter()
+    result = dispatch()
+    telemetry.emit(
+        "run.done",
+        scheduler=result.scheduler,
+        engine=engine,
+        m=size,
+        speed=s,
+        wall_s=round(time.perf_counter() - t0, 6),
+        max_flow=result.max_flow,
+        stats=result.stats.as_dict(),
+    )
+    return result

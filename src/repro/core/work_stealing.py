@@ -26,7 +26,7 @@ from typing import Optional
 
 from repro.core.base import Scheduler
 from repro.dag.job import JobSet
-from repro.sim.engine import run_work_stealing
+from repro.sim.engine import _run_work_stealing
 from repro.sim.result import ScheduleResult
 from repro.sim.rng import SeedLike
 from repro.sim.sampling import SystemSampler
@@ -106,7 +106,7 @@ class WorkStealingScheduler(Scheduler):
         trace: Optional[TraceRecorder] = None,
         sampler: Optional[SystemSampler] = None,
     ) -> ScheduleResult:
-        return run_work_stealing(
+        return _run_work_stealing(
             jobset,
             m=m,
             speed=speed,

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.experiments fig2a [--n-jobs N] [--reps R] [--seed S]
     python -m repro.experiments all --n-jobs 1000 --jobs 4
+    python -m repro.experiments fig2a --telemetry events.jsonl
+    python -m repro.experiments telemetry events.jsonl
 
 Experiment ids and what they regenerate are listed in
 ``repro.experiments.config.EXPERIMENTS`` and in DESIGN.md's
@@ -102,8 +104,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "verify"],
-        help="experiment id, 'all', or 'verify' (smoke-check every shape)",
+        choices=sorted(EXPERIMENTS) + ["all", "verify", "telemetry"],
+        help=(
+            "experiment id, 'all', 'verify' (smoke-check every shape), "
+            "or 'telemetry' (summarize + audit an event log)"
+        ),
+    )
+    parser.add_argument(
+        "log",
+        nargs="?",
+        default=None,
+        help="event log to summarize (the 'telemetry' command only)",
     )
     parser.add_argument(
         "--n-jobs", type=int, default=SCALE_STANDARD.n_jobs,
@@ -145,6 +156,19 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--telemetry",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append structured run telemetry (JSONL events; see "
+            "docs/OBSERVABILITY.md) to PATH while experiments run, and "
+            "write run manifests next to the cache dir; summarize the "
+            "log afterwards with 'python -m repro.experiments "
+            "telemetry PATH'.  Never changes any result."
+        ),
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="also render each series experiment as an ASCII chart",
@@ -161,10 +185,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.experiment == "telemetry":
+        if args.log is None:
+            parser.error("telemetry requires an event-log path")
+        from repro.obs import audit_events, read_events, summarize_events
+
+        log_path = Path(args.log)
+        if not log_path.exists():
+            parser.error(f"no such event log: {log_path}")
+        events = read_events(log_path)
+        print(summarize_events(events))
+        print()
+        problems = audit_events(events)
+        if problems:
+            print(f"audit: {len(problems)} problem(s)")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("audit: ok")
+        return 0
+    if args.log is not None:
+        parser.error("a log path only accompanies the 'telemetry' command")
+
     # Route runtime knobs through their environment overrides rather
     # than threading parameters into every dispatch entry; parallel
     # cells and caches resolve them via repro.experiments.parallel and
-    # repro.experiments.cache.
+    # repro.experiments.cache (and repro.obs.telemetry for --telemetry).
     import os
 
     if args.jobs is not None:
@@ -177,6 +223,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.cache import RESUME_ENV
 
         os.environ[RESUME_ENV] = "1"
+    if args.telemetry is not None:
+        from repro.obs.telemetry import TELEMETRY_ENV
+
+        os.environ[TELEMETRY_ENV] = args.telemetry
 
     scale = ExperimentScale(n_jobs=args.n_jobs, reps=args.reps)
     if args.experiment == "verify":
@@ -188,6 +238,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(render_verification(checks))
         print(f"-- verify done in {time.perf_counter() - t0:.1f}s")
+        _close_env_telemetry(args)
         return 0 if all(c.passed for c in checks) else 1
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -220,7 +271,20 @@ def main(argv: list[str] | None = None) -> int:
                 path.write_text(json.dumps(payload, indent=2))
                 print(f"(series written to {path})")
         print(f"-- {exp_id} done in {time.perf_counter() - t0:.1f}s\n")
+    _close_env_telemetry(args)
     return 0
+
+
+def _close_env_telemetry(args) -> None:
+    """Flush and close the ``--telemetry`` sink, printing where it went."""
+    if getattr(args, "telemetry", None) is None:
+        return
+    from repro.obs.telemetry import default_telemetry
+
+    tel = default_telemetry()
+    if tel is not None:
+        tel.close()
+        print(f"(telemetry written to {tel.path})")
 
 
 if __name__ == "__main__":

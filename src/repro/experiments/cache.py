@@ -39,6 +39,17 @@ from typing import Any, Dict, Optional, Union
 
 from repro.dag.flat import FlatInstance, load_flat, save_flat
 
+__all__ = [
+    "CACHE_ENV",
+    "CELL_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "RESUME_ENV",
+    "SweepCache",
+    "cell_key",
+    "resolve_cache_dir",
+    "resume_enabled_by_env",
+]
+
 PathLike = Union[str, Path]
 
 #: Environment variable overriding the default cache directory.
@@ -91,8 +102,18 @@ class SweepCache:
     merely rewrites identical content.
     """
 
-    def __init__(self, root: Optional[PathLike] = None) -> None:
+    def __init__(
+        self, root: Optional[PathLike] = None, telemetry: Optional[Any] = None
+    ) -> None:
         self.root = resolve_cache_dir(root)
+        #: Optional :class:`repro.obs.Telemetry`; when bound (directly or
+        #: by ``grid_sweep(telemetry=...)``), every load/store emits a
+        #: ``cache.*`` event.  Never affects what is stored or returned.
+        self.telemetry = telemetry
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(event, **fields)
 
     @property
     def instances_dir(self) -> Path:
@@ -116,11 +137,15 @@ class SweepCache:
         """
         path = self.instance_path(key)
         if not path.exists():
+            self._emit("cache.instance_miss", key=key)
             return None
         try:
-            return load_flat(path)
+            flat = load_flat(path)
         except Exception:
+            self._emit("cache.instance_miss", key=key, corrupt=True)
             return None
+        self._emit("cache.instance_hit", key=key)
+        return flat
 
     def store_instance(self, key: str, flat: FlatInstance) -> Path:
         path = self.instance_path(key)
@@ -135,6 +160,9 @@ class SweepCache:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        self._emit(
+            "cache.instance_store", key=key, nbytes=path.stat().st_size
+        )
         return path
 
     # -- cell results -----------------------------------------------------
@@ -146,13 +174,17 @@ class SweepCache:
         """The cached metric dict for ``key``, or None on a miss."""
         path = self.cell_path(key)
         if not path.exists():
+            self._emit("cache.cell_miss", key=key)
             return None
         try:
             data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
+            self._emit("cache.cell_miss", key=key, corrupt=True)
             return None
         if data.get("schema") != CELL_SCHEMA:
+            self._emit("cache.cell_miss", key=key, stale_schema=True)
             return None
+        self._emit("cache.cell_hit", key=key)
         return {str(k): float(v) for k, v in data["metrics"].items()}
 
     def store_cell(self, key: str, metrics: Dict[str, float]) -> Path:
@@ -172,6 +204,7 @@ class SweepCache:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        self._emit("cache.cell_store", key=key)
         return path
 
     # -- maintenance ------------------------------------------------------

@@ -651,7 +651,7 @@ def speedup_contrast_experiment(
     conversion is exact).
     """
     from repro.speedup.convert import jobset_to_speedup
-    from repro.speedup.engine import run_speedup_fifo
+    from repro.speedup.engine import _run_speedup_fifo as run_speedup_fifo
 
     spec = WorkloadSpec(
         BingDistribution(), qps=700.0, n_jobs=n_jobs, m=16, target_chunks=16

@@ -114,6 +114,7 @@ def parallel_map(
     items: Iterable[T],
     max_workers: Optional[int] = None,
     chunksize: int = 1,
+    telemetry: Optional[Any] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, using a process pool when it pays off.
 
@@ -129,13 +130,28 @@ def parallel_map(
     naming the callable.  Exceptions raised by ``fn`` itself always
     propagate, re-raised from the serial loop if the pool attempt was
     the one that surfaced them ambiguously.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records how
+    the batch was actually dispatched -- ``dispatch.serial``,
+    ``dispatch.pool``, or ``dispatch.fallback`` with the triggering
+    error -- which is how a sweep that silently lost its parallelism
+    shows up in a telemetry summary.
     """
     work: Sequence[T] = list(items)
     workers = default_workers() if max_workers is None else int(max_workers)
     if workers <= 1 or len(work) <= 1:
+        if telemetry is not None:
+            telemetry.emit("dispatch.serial", n_tasks=len(work))
         return [fn(item) for item in work]
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
+            if telemetry is not None:
+                telemetry.emit(
+                    "dispatch.pool",
+                    n_tasks=len(work),
+                    workers=workers,
+                    chunksize=chunksize,
+                )
             return list(pool.map(fn, work, chunksize=chunksize))
     except (PicklingError, AttributeError, TypeError, ImportError,
             BrokenProcessPool, OSError, NotImplementedError) as exc:
@@ -143,6 +159,12 @@ def parallel_map(
         # errors surface here too).  The serial loop is semantically
         # identical and re-raises any genuine error from fn directly.
         _warn_serial_fallback(fn, exc)
+        if telemetry is not None:
+            telemetry.emit(
+                "dispatch.fallback",
+                n_tasks=len(work),
+                error=f"{type(exc).__name__}: {exc}",
+            )
         return [fn(item) for item in work]
 
 

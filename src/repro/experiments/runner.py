@@ -20,7 +20,9 @@ are bit-identical.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -114,10 +116,23 @@ def run_figure2_cell(
 Figure2CellTask = Tuple[Figure2Config, float, ExperimentScale, int, bool]
 
 
-def _figure2_cell_task(task: Figure2CellTask) -> Dict[str, float]:
-    """Top-level (hence picklable) adapter around :func:`run_figure2_cell`."""
+def _figure2_cell_task(task: Figure2CellTask) -> Dict[str, Any]:
+    """Top-level (hence picklable) adapter around :func:`run_figure2_cell`.
+
+    Returns the cell's metric dict wrapped with worker-side telemetry
+    (wall time measured inside the worker, worker pid); the parent turns
+    the wrapper into a ``cell.run`` event and stores only the metrics.
+    """
     cfg, qps, scale, seed, include_fifo = task
-    return run_figure2_cell(cfg, qps, scale, seed=seed, include_fifo=include_fifo)
+    t0 = time.perf_counter()
+    metrics = run_figure2_cell(
+        cfg, qps, scale, seed=seed, include_fifo=include_fifo
+    )
+    return {
+        "metrics": metrics,
+        "wall_s": round(time.perf_counter() - t0, 6),
+        "pid": os.getpid(),
+    }
 
 
 def run_figure2_cells(
@@ -129,6 +144,7 @@ def run_figure2_cells(
     max_workers: Optional[int] = None,
     cache: Optional[SweepCache] = None,
     resume: Optional[bool] = None,
+    telemetry: Optional[Any] = None,
 ) -> List[Dict[str, float]]:
     """All QPS cells of one Figure 2 panel, fanned out over processes.
 
@@ -145,11 +161,26 @@ def run_figure2_cells(
     values are the exact floats of the original run.  Cell keys cover
     the full config (a frozen dataclass with a canonical repr), scale,
     seed and lineup, so any parameter change misses cleanly.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) records the
+    sweep as structured events -- ``sweep.start``, per-cell ``cell.run``
+    (worker-measured wall time + pid) / ``cell.cached``, ``cache.*``,
+    ``sweep.done`` -- and writes a run manifest next to the cache dir
+    (or the telemetry log).  Results are bit-identical either way.
     """
+    t_start = time.perf_counter()
     if resume is None:
         resume = resume_enabled_by_env()
     if resume and cache is None:
         cache = SweepCache()
+    if telemetry is None:
+        # CLI path: the --telemetry flag routes through REPRO_TELEMETRY
+        # rather than threading a parameter into every figure function.
+        from repro.obs.telemetry import default_telemetry
+
+        telemetry = default_telemetry()
+    if cache is not None and telemetry is not None and cache.telemetry is None:
+        cache.telemetry = telemetry
 
     keys = [
         cell_key(
@@ -164,16 +195,79 @@ def run_figure2_cells(
             results[i] = cache.load_cell(key)
 
     cold = [i for i in range(len(qps_values)) if results[i] is None]
+    if telemetry is not None:
+        telemetry.emit(
+            "sweep.start",
+            kind="run_figure2_cells",
+            n_cells=len(qps_values),
+            n_tasks=len(qps_values),
+            n_cold=len(cold),
+            m=cfg.m,
+            reps=scale.reps,
+            include_fifo=include_fifo,
+        )
+        for i in range(len(qps_values)):
+            if results[i] is not None:
+                telemetry.emit(
+                    "cell.cached",
+                    params={"qps": qps_values[i]},
+                    metrics=results[i],
+                )
     tasks: List[Figure2CellTask] = [
         (cfg, qps_values[i], scale, seed, include_fifo) for i in cold
     ]
     cold_results = parallel_map(
-        _figure2_cell_task, tasks, max_workers=max_workers
+        _figure2_cell_task, tasks, max_workers=max_workers,
+        telemetry=telemetry,
     )
-    for i, value in zip(cold, cold_results):
+    for i, payload in zip(cold, cold_results):
+        value = payload["metrics"]
         results[i] = value
+        if telemetry is not None:
+            telemetry.emit(
+                "cell.run",
+                params={"qps": qps_values[i]},
+                seed=seed,
+                wall_s=payload["wall_s"],
+                pid=payload["pid"],
+                metrics=value,
+            )
         if cache is not None:
             cache.store_cell(keys[i], value)
+
+    manifest_path = None
+    log_path = telemetry.path if telemetry is not None else None
+    if cache is not None or log_path is not None:
+        from repro.obs.manifest import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            kind="run_figure2_cells",
+            config={
+                "config": repr(cfg),
+                "qps_values": [float(q) for q in qps_values],
+                "n_jobs": scale.n_jobs,
+                "reps": scale.reps,
+                "include_fifo": include_fifo,
+            },
+            seed=seed,
+            timings={"wall_s": round(time.perf_counter() - t_start, 6)},
+            event_log=log_path,
+            cache_dir=cache.root if cache is not None else None,
+            extra={"n_cells": len(qps_values), "n_cold": len(cold)},
+        )
+        directory = (
+            cache.root if cache is not None else log_path.parent
+        ) / "manifests"
+        manifest_path = write_manifest(manifest, directory)
+    if telemetry is not None:
+        telemetry.emit(
+            "sweep.done",
+            kind="run_figure2_cells",
+            wall_s=round(time.perf_counter() - t_start, 6),
+            n_cold=len(cold),
+            n_cached=len(qps_values) - len(cold),
+            manifest=str(manifest_path) if manifest_path else None,
+        )
     return results  # type: ignore[return-value]
 
 

@@ -32,6 +32,8 @@ from __future__ import annotations
 import functools
 import hashlib
 import itertools
+import os
+import time
 import types
 import warnings
 from dataclasses import dataclass
@@ -183,7 +185,7 @@ def _callable_token(fn: Callable) -> Optional[str]:
     return "\x1f".join([base, h.hexdigest(), *frozen])
 
 
-def _sweep_rep_task(task) -> Dict[str, float]:
+def _sweep_rep_task(task) -> Dict[str, Any]:
     """One (grid point, repetition) cell, as a picklable top-level task.
 
     ``task`` is ``(scheduler_factory, params, instance_handle, m, speed,
@@ -191,9 +193,14 @@ def _sweep_rep_task(task) -> Dict[str, float]:
     :attr:`SharedInstance.handle` dict (zero-copy path) or a pickled
     :class:`JobSet` (fallback when shared memory is unavailable).  The
     run seed arrives precomputed from the cell coordinates, so where (or
-    in what order) the task runs cannot affect its result.  Returns the
-    extracted metric values -- cheaper to ship between processes than a
-    full ScheduleResult.
+    in what order) the task runs cannot affect its result.
+
+    Returns ``{"metrics", "wall_s", "pid", "stats"}``: the extracted
+    metric values (the only part results depend on -- cheaper to ship
+    between processes than a full ScheduleResult) plus the worker-side
+    observability payload the parent turns into ``cell.run`` telemetry
+    events.  Wall time is measured around the simulation only, inside
+    the worker, so pool queueing never inflates it.
     """
     (factory, params, instance_handle, m, speed, run_seed, metrics) = task
     if isinstance(instance_handle, dict):
@@ -201,8 +208,15 @@ def _sweep_rep_task(task) -> Dict[str, float]:
     else:
         jobset = instance_handle
     scheduler = factory(**params)
+    t0 = time.perf_counter()
     result = scheduler.run(jobset, m=m, speed=speed, seed=run_seed)
-    return {name: METRICS[name](result) for name in metrics}
+    wall = time.perf_counter() - t0
+    return {
+        "metrics": {name: METRICS[name](result) for name in metrics},
+        "wall_s": round(wall, 6),
+        "pid": os.getpid(),
+        "stats": result.stats.as_dict(),
+    }
 
 
 def _materialize_rep_instance(
@@ -251,6 +265,7 @@ def grid_sweep(
     max_workers: int | None = None,
     cache: Union[SweepCache, str, None] = None,
     resume: bool = False,
+    telemetry: Optional[Any] = None,
 ) -> SweepResult:
     """Run the full parameter cross product with paired comparisons.
 
@@ -298,12 +313,23 @@ def grid_sweep(
         different lambdas never serve each other's cells; a factory
         whose captured state cannot be keyed stably bypasses the cell
         cache entirely, with a :class:`RuntimeWarning`.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`.  When given, the sweep
+        emits structured events (``sweep.start``, ``shm.publish``,
+        ``dispatch.*``, ``cache.*``, ``cell.run`` with per-cell wall
+        time / worker pid / engine stats, ``cell.cached``,
+        ``sweep.done``) and writes a run manifest (config hash, rep
+        seeds, instance content hashes, package versions, timings) under
+        ``<cache>/manifests/`` -- or next to the telemetry log file when
+        no cache is in play.  Telemetry never changes any result: the
+        sweep is bit-identical with it on or off.
 
     Returns
     -------
     SweepResult
         Cells in cross-product order (last grid key varies fastest).
     """
+    t_start = time.perf_counter()
     if m < 1:
         raise ValueError(f"need m >= 1, got {m}")
     if reps < 1:
@@ -317,6 +343,16 @@ def grid_sweep(
         )
     if isinstance(cache, (str,)) or hasattr(cache, "__fspath__"):
         cache = SweepCache(cache)
+    if telemetry is None:
+        # CLI path: the --telemetry flag routes through REPRO_TELEMETRY
+        # rather than threading a parameter into every figure function.
+        from repro.obs.telemetry import default_telemetry
+
+        telemetry = default_telemetry()
+    if cache is not None and telemetry is not None and cache.telemetry is None:
+        # Bind the sweep's sink to the cache layer so instance/cell
+        # loads and stores show up in the same event stream.
+        cache.telemetry = telemetry
 
     param_names = list(grid)
     combos = list(itertools.product(*grid.values()))
@@ -349,6 +385,10 @@ def grid_sweep(
             RuntimeWarning,
             stacklevel=2,
         )
+        if telemetry is not None:
+            telemetry.emit(
+                "cache.bypass", factory=repr(scheduler_factory)
+            )
     tasks: List[tuple] = []
     task_keys: List[Optional[str]] = []
     cached_results: Dict[int, Dict[str, float]] = {}
@@ -380,6 +420,19 @@ def grid_sweep(
 
     # Fan out only the cold tasks.
     cold_indices = [i for i in range(len(tasks)) if i not in cached_results]
+    if telemetry is not None:
+        telemetry.emit(
+            "sweep.start",
+            kind="grid_sweep",
+            n_cells=len(combos),
+            reps=reps,
+            n_tasks=len(tasks),
+            n_cold=len(cold_indices),
+            m=m,
+            speed=speed,
+            metrics=metric_names,
+            factory=factory_token or repr(scheduler_factory),
+        )
     shared: List[SharedInstance] = []
     try:
         use_shm = shared_memory_available() and len(cold_indices) > 0
@@ -389,6 +442,13 @@ def grid_sweep(
                     shared.append(
                         SharedInstance(rep_flats[rep], jobset=jobset)
                     )
+                    if telemetry is not None:
+                        telemetry.emit(
+                            "shm.publish",
+                            rep=rep,
+                            nbytes=rep_flats[rep].nbytes,
+                            instance=rep_hashes[rep],
+                        )
             except (OSError, NotImplementedError):
                 # Shared memory can fail at runtime on locked-down
                 # platforms (no /dev/shm); fall back to pickling.
@@ -413,19 +473,42 @@ def grid_sweep(
             for i in cold_indices
         ]
         cold_results = parallel_map(
-            _sweep_rep_task, cold_tasks, max_workers=max_workers
+            _sweep_rep_task,
+            cold_tasks,
+            max_workers=max_workers,
+            telemetry=telemetry,
         )
     finally:
         for s in shared:
             s.close()
 
     rep_metrics: List[Dict[str, float]] = [None] * len(tasks)  # type: ignore
-    for i, values in zip(cold_indices, cold_results):
+    for i, payload in zip(cold_indices, cold_results):
+        values = payload["metrics"]
         rep_metrics[i] = values
+        if telemetry is not None:
+            telemetry.emit(
+                "cell.run",
+                params=tasks[i][0],
+                rep=tasks[i][1],
+                seed=tasks[i][2],
+                wall_s=payload["wall_s"],
+                pid=payload["pid"],
+                stats=payload["stats"],
+                metrics=values,
+            )
         if cache is not None and task_keys[i] is not None:
             cache.store_cell(task_keys[i], values)
     for i, values in cached_results.items():
         rep_metrics[i] = values
+        if telemetry is not None:
+            telemetry.emit(
+                "cell.cached",
+                params=tasks[i][0],
+                rep=tasks[i][1],
+                seed=tasks[i][2],
+                metrics=values,
+            )
 
     # Aggregate in (cell, rep) task order -- the same float summation
     # order as the serial loop, keeping means bit-identical.
@@ -442,6 +525,51 @@ def grid_sweep(
                 metrics={name: sums[name] / reps for name in metric_names},
             )
         )
+    # Run manifest: written whenever there is a durable place to put it
+    # (a cache dir, or the telemetry log's directory); a purely in-memory
+    # run leaves no artifact, so there is nothing to make reproducible.
+    manifest_path = None
+    log_path = telemetry.path if telemetry is not None else None
+    if cache is not None or log_path is not None:
+        from repro.obs.manifest import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            kind="grid_sweep",
+            config={
+                "grid": {name: list(vals) for name, vals in grid.items()},
+                "m": m,
+                "speed": speed,
+                "reps": reps,
+                "metrics": metric_names,
+                "factory": factory_token or repr(scheduler_factory),
+            },
+            seed=seed,
+            rep_seeds=[derive_seed(seed, 9000, rep) for rep in range(reps)],
+            instance_hashes=rep_hashes,
+            timings={"wall_s": round(time.perf_counter() - t_start, 6)},
+            event_log=log_path,
+            cache_dir=cache.root if cache is not None else None,
+            extra={
+                "n_cells": len(combos),
+                "n_tasks": len(tasks),
+                "n_cold": len(cold_indices),
+                "n_cached": len(cached_results),
+            },
+        )
+        directory = (
+            cache.root if cache is not None else log_path.parent
+        ) / "manifests"
+        manifest_path = write_manifest(manifest, directory)
+    if telemetry is not None:
+        telemetry.emit(
+            "sweep.done",
+            kind="grid_sweep",
+            wall_s=round(time.perf_counter() - t_start, 6),
+            n_cold=len(cold_indices),
+            n_cached=len(cached_results),
+            manifest=str(manifest_path) if manifest_path else None,
+        )
+
     return SweepResult(
         param_names=param_names,
         metric_names=metric_names,

@@ -9,7 +9,7 @@ burned on steal attempts at each load level.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.dag.job import JobSet
 from repro.sim.result import ScheduleResult
@@ -52,26 +52,31 @@ def offered_load(jobset: JobSet, m: int) -> float:
     return jobset.utilization(m)
 
 
-def utilization_report(result: ScheduleResult, jobset: JobSet) -> Dict[str, float]:
+def utilization_report(
+    result: ScheduleResult, jobset: JobSet
+) -> Dict[str, Optional[float]]:
     """Flat utilization summary for one run (keys stable for reports).
 
     For centralized-engine results the tick-based fields are reported as
-    0.0 (they have no tick accounting), while work conservation and
-    offered load remain meaningful.
+    ``None`` -- they were not measured, which is not the same as being
+    zero; report renderers show them as ``-``.  ``busy_fraction`` keeps
+    its historical 0.0 (the tick denominator is genuinely absent), while
+    work conservation and offered load remain meaningful everywhere.
     """
     stats = result.stats
     has_ticks = stats.elapsed_ticks > 0
     machine_ticks = result.m * stats.elapsed_ticks if has_ticks else 0
+    has_steals = stats.steal_attempts is not None
     return {
         "offered_load": offered_load(jobset, result.m),
         "busy_steps": float(stats.busy_steps),
         "total_work": float(jobset.total_work),
         "busy_fraction": (stats.busy_steps / machine_ticks) if has_ticks else 0.0,
-        "steal_attempts": float(stats.steal_attempts),
+        "steal_attempts": float(stats.steal_attempts) if has_steals else None,
         "failed_steal_rate": (
-            stats.failed_steals / stats.steal_attempts
+            (stats.failed_steals or 0) / stats.steal_attempts
             if stats.steal_attempts
-            else 0.0
+            else (0.0 if has_steals else None)
         ),
         "idle_steps": float(stats.idle_steps),
     }

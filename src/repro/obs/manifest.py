@@ -1,0 +1,139 @@
+"""Run manifests: the reproducibility record of one sweep invocation.
+
+A manifest is a small JSON document written next to the sweep's cache
+directory (``<cache>/manifests/``) -- or next to the telemetry event log
+when no cache is in play -- recording everything needed to re-derive the
+run from the artifact alone:
+
+* the run *coordinates*: experiment kind, parameter grid / config repr,
+  machine size, speed, base seed and the derived per-repetition seeds;
+* the *instances*: the content hash of every repetition's flat instance
+  (:func:`repro.dag.flat.content_hash`), which keys the instance cache;
+* the *environment*: python / numpy / repro versions and host facts, so
+  a number that fails to reproduce can be triaged to an environment
+  drift instead of a code change;
+* the *timings*: total wall time and the cell count, tying the manifest
+  to its telemetry event log.
+
+Manifests are content-named (``manifest-<digest>.json`` over the run
+coordinates), so re-running the same sweep overwrites its own manifest
+instead of accumulating duplicates, and two different runs never
+collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+#: Version stamp; bump on any field-semantics change.
+MANIFEST_SCHEMA = "repro-manifest/1"
+
+
+def _versions() -> Dict[str, str]:
+    """Package versions that can change a run's floats."""
+    import numpy
+
+    from repro import __version__ as repro_version
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "repro": repro_version,
+    }
+
+
+def _host() -> Dict[str, Any]:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def manifest_key(kind: str, config: Dict[str, Any], seed: Any) -> str:
+    """Stable short digest of a run's coordinates, used as the file name."""
+    text = "\x1f".join(
+        [kind, json.dumps(config, sort_keys=True, default=repr), repr(seed)]
+    )
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def build_manifest(
+    kind: str,
+    config: Dict[str, Any],
+    seed: Any,
+    rep_seeds: Sequence[int] = (),
+    instance_hashes: Sequence[str] = (),
+    timings: Optional[Dict[str, float]] = None,
+    event_log: Optional[PathLike] = None,
+    cache_dir: Optional[PathLike] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a manifest dict (see the module docstring for fields).
+
+    ``config`` holds the run coordinates (grid, m, speed, metric names,
+    scheduler-factory token / config repr); it must be JSON-serializable
+    up to ``repr`` fallbacks.  ``extra`` is merged in verbatim for
+    caller-specific fields (e.g. cache hit counts).
+    """
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": kind,
+        "key": manifest_key(kind, config, seed),
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "config": config,
+        "seed": seed,
+        "rep_seeds": list(rep_seeds),
+        "instances": list(instance_hashes),
+        "versions": _versions(),
+        "host": _host(),
+        "timings": dict(timings or {}),
+    }
+    if event_log is not None:
+        manifest["event_log"] = str(event_log)
+    if cache_dir is not None:
+        manifest["cache_dir"] = str(cache_dir)
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(manifest: Dict[str, Any], directory: PathLike) -> Path:
+    """Write ``manifest`` into ``directory`` as ``manifest-<key>.json``.
+
+    The write is atomic (temp file + rename), matching the cache's
+    torn-file guarantees; the final path is returned.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"manifest-{manifest['key']}.json"
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, default=repr) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(path: PathLike) -> Dict[str, Any]:
+    """Read one manifest; raises ``ValueError`` on a foreign schema."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {data.get('schema')!r} is not {MANIFEST_SCHEMA!r}"
+        )
+    return data
+
+
+def list_manifests(directory: PathLike) -> List[Path]:
+    """All manifest files under ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("manifest-*.json"))

@@ -87,7 +87,7 @@ def _scheduler_label(
     return label
 
 
-def run_work_stealing(
+def _run_work_stealing(
     jobset: JobSet,
     m: int,
     speed: float = 1.0,
@@ -179,8 +179,12 @@ def run_work_stealing(
     ScheduleResult
         With work-stealing statistics: ``busy_steps`` (== total work),
         ``steal_attempts``, ``failed_steals``, ``admissions`` (== n),
-        ``idle_steps`` (ticks idled while the whole system was empty) and
-        ``elapsed_ticks``.
+        ``idle_steps`` (ticks idled while the whole system was empty),
+        ``elapsed_ticks``, plus the observability counters
+        ``admission_wait_ticks`` (summed release-to-admission latency),
+        ``ff_skipped_ticks`` (ticks the fast-forwards skipped) and
+        ``max_queue_depth`` (peak global-queue length).  All counters are
+        maintained off the hot path, so they cost nothing measurable.
     """
     if m < 1:
         raise ValueError(f"need at least one worker, got m={m}")
@@ -208,6 +212,8 @@ def run_work_stealing(
 
     if n == 0:
         # Nothing ever arrives: zero ticks elapse, no decisions exist.
+        # Work-stealing fields are real zeros (the engine *did* measure
+        # them), unlike the None of engines that cannot.
         return ScheduleResult(
             scheduler=label,
             m=m,
@@ -215,7 +221,14 @@ def run_work_stealing(
             arrivals=arrivals,
             completions=completions,
             weights=weights,
-            stats=SimulationStats(),
+            stats=SimulationStats(
+                steal_attempts=0,
+                failed_steals=0,
+                admissions=0,
+                admission_wait_ticks=0,
+                ff_skipped_ticks=0,
+                max_queue_depth=0,
+            ),
             seed=recorded_seed,
         )
 
@@ -269,6 +282,13 @@ def run_work_stealing(
     st_fail = 0
     st_idle = 0
     st_adm = 0
+    # Observability counters (ISSUE 3).  None lives in the per-tick hot
+    # path: queue depth is sampled only when arrivals were just released
+    # (the only place the queue grows), admission wait only per admission,
+    # fast-forward savings only inside the fast-forward branches.
+    st_admwait = 0  # summed release->admission latency, in ticks
+    st_ff = 0  # ticks skipped by the lossless fast-forwards
+    st_maxq = 0  # peak global-queue depth
 
     ff = _fast_forward
     boundary = False  # force a sampler snapshot at the next loop top
@@ -342,6 +362,11 @@ def run_work_stealing(
                 queue_release(JobExecution(pending[next_arr]))
                 next_arr += 1
             next_at = arr_ticks[next_arr] if next_arr < n else max_ticks + 1
+            # The queue only ever grows here (admissions pop), so its
+            # peak is always observed right after a release batch.
+            ql = len(queue)
+            if ql > st_maxq:
+                st_maxq = ql
 
         if t >= max_ticks:
             raise RuntimeError(
@@ -367,6 +392,7 @@ def run_work_stealing(
                     f = fails[i] + gap * sigma
                     fails[i] = f if f < k else k
                 st_idle += gap * m
+                st_ff += gap
                 if sampler is not None:
                     sampler.record_boundary(t, 0, 0, stealable, completed)
                     boundary = True
@@ -380,6 +406,7 @@ def run_work_stealing(
                 # cap at arrivals (no idle worker can react to the queue).
                 blind = min(rem) - 1
                 if blind > 0:
+                    st_ff += blind
                     for i in range(m):
                         rem[i] -= blind
                     if sampler is not None:
@@ -416,6 +443,7 @@ def run_work_stealing(
                             wsteal[i] += blind
                     st_att += blind * n_idle * sigma
                     st_fail += blind * n_idle * sigma
+                    st_ff += blind
                     if sampler is not None:
                         sampler.record_boundary(
                             t, n_busy, 0, 0, completed
@@ -517,6 +545,10 @@ def run_work_stealing(
                     n_busy += 1
                     wadmit[i] += 1
                     st_adm += 1
+                    # Admission latency: the job was present in the queue
+                    # from its release tick (job ids are dense, so the
+                    # arrival array indexes directly).
+                    st_admwait += t - arr_ticks[je.job.job_id]
                     admitted = True
                     if sigma > 1:
                         # Sub-tick admission: execute one unit this tick.
@@ -593,6 +625,9 @@ def run_work_stealing(
     stats.admissions = st_adm
     stats.idle_steps = st_idle
     stats.elapsed_ticks = t
+    stats.admission_wait_ticks = st_admwait
+    stats.ff_skipped_ticks = st_ff
+    stats.max_queue_depth = st_maxq
     return ScheduleResult(
         scheduler=label,
         m=m,
@@ -603,3 +638,18 @@ def run_work_stealing(
         stats=stats,
         seed=recorded_seed,
     )
+
+
+def run_work_stealing(*args, **kwargs) -> ScheduleResult:
+    """Deprecated alias of the tick engine; use :func:`repro.run`.
+
+    Forwards every argument unchanged to the private implementation, so
+    results stay bit-identical; emits one :class:`DeprecationWarning`
+    per process.  Schedulers should be run through :func:`repro.run`
+    (or :meth:`repro.core.base.Scheduler.run`), which also accepts
+    ``telemetry=``.
+    """
+    from repro._deprecation import warn_once
+
+    warn_once("repro.sim.engine.run_work_stealing", "repro.run")
+    return _run_work_stealing(*args, **kwargs)

@@ -22,6 +22,12 @@ class SimulationStats:
     the event engine (where a "step" is one unit of one processor's work)
     and ticks for the work-stealing engine.
 
+    Fields that only one engine family can measure default to ``None``
+    ("not applicable"), never to a sentinel zero: a centralized run did
+    not perform *zero* steal attempts, it performed none at all, and
+    reports render the distinction as ``-``.  The work-stealing engine
+    always sets every field (to real zeros where nothing happened).
+
     Attributes
     ----------
     busy_steps:
@@ -41,18 +47,47 @@ class SimulationStats:
         Event engine only: number of scheduling events processed.
     elapsed_ticks:
         Work-stealing only: total ticks simulated.
+    admission_wait_ticks:
+        Work-stealing only: summed ticks jobs spent in the global queue
+        between release and admission -- the empirical counterpart of the
+        admission-latency terms in Theorem 4.1's flow-time bound.
+        ``admission_wait_ticks / admissions`` is the mean admission
+        latency.
+    ff_skipped_ticks:
+        Work-stealing only: ticks the lossless fast-forward modes skipped
+        instead of simulating (0 under ``_fast_forward=False``).  The
+        ratio to ``elapsed_ticks`` is the fast-forward saving.
+    max_queue_depth:
+        Work-stealing only: peak length of the global admission queue.
     """
 
     busy_steps: int = 0
-    steal_attempts: int = 0
-    failed_steals: int = 0
-    admissions: int = 0
+    steal_attempts: Optional[int] = None
+    failed_steals: Optional[int] = None
+    admissions: Optional[int] = None
     idle_steps: int = 0
     n_events: int = 0
     elapsed_ticks: int = 0
+    admission_wait_ticks: Optional[int] = None
+    ff_skipped_ticks: Optional[int] = None
+    max_queue_depth: Optional[int] = None
 
-    def as_dict(self) -> Dict[str, int]:
-        """Plain-dict view, used by the experiment reports."""
+    @property
+    def steal_success_ratio(self) -> Optional[float]:
+        """Fraction of steal attempts that found work, or None if N/A.
+
+        The quantity Theorem 4.1's analysis tracks per admission window;
+        ``None`` when the engine measured no attempts (not work-stealing,
+        or a run where no worker ever went idle).
+        """
+        if not self.steal_attempts:
+            return None
+        return (self.steal_attempts - (self.failed_steals or 0)) / (
+            self.steal_attempts
+        )
+
+    def as_dict(self) -> Dict[str, Optional[int]]:
+        """Plain-dict view, used by the experiment reports and telemetry."""
         return {
             "busy_steps": self.busy_steps,
             "steal_attempts": self.steal_attempts,
@@ -61,6 +96,9 @@ class SimulationStats:
             "idle_steps": self.idle_steps,
             "n_events": self.n_events,
             "elapsed_ticks": self.elapsed_ticks,
+            "admission_wait_ticks": self.admission_wait_ticks,
+            "ff_skipped_ticks": self.ff_skipped_ticks,
+            "max_queue_depth": self.max_queue_depth,
         }
 
 

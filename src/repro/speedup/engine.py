@@ -162,7 +162,7 @@ def _run_speedup(
     )
 
 
-def run_speedup_fifo(
+def _run_speedup_fifo(
     jobset: SpeedupJobSet, m: int, speed: float = 1.0
 ) -> ScheduleResult:
     """FIFO-greedy allocation -- the analogue of the paper's FIFO.
@@ -174,8 +174,24 @@ def run_speedup_fifo(
     return _run_speedup(jobset, m, speed, _fifo_greedy_allocation, "speedup-fifo")
 
 
-def run_speedup_equi(
+def _run_speedup_equi(
     jobset: SpeedupJobSet, m: int, speed: float = 1.0
 ) -> ScheduleResult:
     """EQUI (equal-split) allocation -- the classic average-flow policy."""
     return _run_speedup(jobset, m, speed, _equi_allocation, "speedup-equi")
+
+
+def run_speedup_fifo(*args, **kwargs) -> ScheduleResult:
+    """Deprecated alias; use ``repro.run("speedup-fifo", jobset, m=...)``."""
+    from repro._deprecation import warn_once
+
+    warn_once("repro.speedup.engine.run_speedup_fifo", "repro.run")
+    return _run_speedup_fifo(*args, **kwargs)
+
+
+def run_speedup_equi(*args, **kwargs) -> ScheduleResult:
+    """Deprecated alias; use ``repro.run("speedup-equi", jobset, m=...)``."""
+    from repro._deprecation import warn_once
+
+    warn_once("repro.speedup.engine.run_speedup_equi", "repro.run")
+    return _run_speedup_equi(*args, **kwargs)

@@ -65,3 +65,59 @@ class TestCli:
         assert data["experiment"] == "thm71"
         assert data["x_values"]
         assert set(data["series"])
+
+
+class TestTelemetryCli:
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        import repro.obs.telemetry as telemetry_mod
+        from repro.obs.telemetry import TELEMETRY_ENV
+
+        monkeypatch.setenv(TELEMETRY_ENV, "")  # registers restore-on-exit
+        monkeypatch.setattr(telemetry_mod, "_ENV_TELEMETRY", None)
+
+    def test_telemetry_flag_records_and_command_summarizes(
+        self, tmp_path, capsys
+    ):
+        log = tmp_path / "events.jsonl"
+        rc = main([
+            "fig2a", "--n-jobs", "60", "--reps", "1", "--jobs", "1",
+            "--telemetry", str(log),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert log.exists()
+        assert "telemetry written to" in out
+
+        rc = main(["telemetry", str(log)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "telemetry summary" in out
+        assert "cell.run" in out
+        assert "audit: ok" in out
+
+    def test_telemetry_command_flags_inconsistent_log(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "bad.jsonl"
+        events = [
+            {"event": "sweep.start", "t": 0.0, "n_tasks": 5},
+            {"event": "cell.run", "t": 0.1, "wall_s": 0.5, "pid": 1},
+        ]
+        log.write_text("".join(json.dumps(e) + "\n" for e in events))
+        rc = main(["telemetry", str(log)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "problem" in out
+
+    def test_telemetry_command_requires_log(self):
+        with pytest.raises(SystemExit):
+            main(["telemetry"])
+
+    def test_telemetry_command_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["telemetry", str(tmp_path / "nope.jsonl")])
+
+    def test_log_path_rejected_for_experiments(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig3", str(tmp_path / "events.jsonl")])

@@ -28,5 +28,6 @@ def test_api_reference_covers_every_package():
         "repro.metrics",
         "repro.theory",
         "repro.experiments",
+        "repro.obs",
     ):
         assert f"## `{pkg}`" in text

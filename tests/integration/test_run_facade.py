@@ -1,0 +1,316 @@
+"""The repro.run() facade: dispatch, aliases, shims, telemetry identity.
+
+Pins the ISSUE-3 API contract:
+
+* every dispatch path of ``repro.run`` is bit-identical to calling the
+  underlying engine directly;
+* the historical keyword spellings (``num_workers``/``m``,
+  ``augmentation``/``speed``) normalize, and conflicts fail loudly;
+* the deprecated module-level entrypoints still work, stay
+  bit-identical, and warn exactly once per process;
+* telemetry is observationally inert: schedules with a live sink are
+  bit-identical to uninstrumented ones, and a sweep's event log passes
+  the audit and agrees with its own SimulationStats.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import _deprecation
+from repro.core.fifo import FifoScheduler
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.obs import Telemetry, audit_events, list_manifests, load_manifest
+from repro.sim.engine import _run_work_stealing
+from repro.speedup.engine import _run_speedup_equi, _run_speedup_fifo
+from repro.speedup.model import (
+    LinearCapped,
+    Phase,
+    SpeedupJob,
+    SpeedupJobSet,
+)
+
+
+@pytest.fixture
+def jobset():
+    dags = [repro.parallel_for(total_body_work=48, grain=8) for _ in range(12)]
+    return repro.jobs_from_dags(
+        dags, arrivals=[1.5 * i for i in range(12)]
+    )
+
+
+@pytest.fixture
+def speedup_jobset():
+    return SpeedupJobSet(
+        [
+            SpeedupJob(
+                job_id=i,
+                phases=(Phase(8.0, LinearCapped(4)),),
+                arrival=float(i),
+            )
+            for i in range(6)
+        ]
+    )
+
+
+def same_result(a, b):
+    assert list(a.completions) == list(b.completions)
+    assert a.max_flow == b.max_flow
+    assert a.stats == b.stats
+
+
+class TestDispatch:
+    def test_scheduler_instance(self, jobset):
+        direct = WorkStealingScheduler(k=4).run(jobset, m=4, seed=0)
+        via = repro.run(WorkStealingScheduler(k=4), jobset, m=4, seed=0)
+        same_result(direct, via)
+
+    def test_scheduler_class_instantiates_defaults(self, jobset):
+        direct = FifoScheduler().run(jobset, m=4)
+        via = repro.run(FifoScheduler, jobset, m=4)
+        same_result(direct, via)
+
+    def test_engine_name_work_stealing_forwards_kwargs(self, jobset):
+        direct = _run_work_stealing(jobset, m=4, seed=7, k=2)
+        via = repro.run("work-stealing", jobset, m=4, seed=7, k=2)
+        same_result(direct, via)
+
+    def test_engine_name_speedup_fifo(self, speedup_jobset):
+        direct = _run_speedup_fifo(speedup_jobset, m=4)
+        via = repro.run("speedup-fifo", speedup_jobset, m=4)
+        same_result(direct, via)
+
+    def test_engine_name_speedup_equi(self, speedup_jobset):
+        direct = _run_speedup_equi(speedup_jobset, m=4, speed=2.0)
+        via = repro.run("speedup-equi", speedup_jobset, m=4, speed=2.0)
+        same_result(direct, via)
+
+    def test_unknown_engine_name(self, jobset):
+        with pytest.raises(ValueError, match="unknown engine"):
+            repro.run("quantum", jobset, m=4)
+
+    def test_bad_scheduler_type(self, jobset):
+        with pytest.raises(TypeError, match="Scheduler"):
+            repro.run(42, jobset, m=4)
+
+
+class TestAliases:
+    def test_num_workers_is_an_alias_for_m(self, jobset):
+        a = repro.run(FifoScheduler(), jobset, m=4)
+        b = repro.run(FifoScheduler(), jobset, num_workers=4)
+        same_result(a, b)
+
+    def test_conflicting_sizes_fail(self, jobset):
+        with pytest.raises(TypeError, match="aliases"):
+            repro.run(FifoScheduler(), jobset, m=4, num_workers=8)
+
+    def test_agreeing_sizes_allowed(self, jobset):
+        repro.run(FifoScheduler(), jobset, m=4, num_workers=4)
+
+    def test_missing_size_fails(self, jobset):
+        with pytest.raises(TypeError, match="machine size"):
+            repro.run(FifoScheduler(), jobset)
+
+    def test_augmentation_is_an_alias_for_speed(self, speedup_jobset):
+        a = repro.run("speedup-fifo", speedup_jobset, m=4, speed=2.0)
+        b = repro.run("speedup-fifo", speedup_jobset, m=4, augmentation=2.0)
+        same_result(a, b)
+
+    def test_conflicting_speeds_fail(self, speedup_jobset):
+        with pytest.raises(TypeError, match="aliases"):
+            repro.run(
+                "speedup-fifo", speedup_jobset, m=4,
+                speed=1.0, augmentation=2.0,
+            )
+
+    def test_speedup_engines_reject_seed(self, speedup_jobset):
+        with pytest.raises(TypeError, match="no seed"):
+            repro.run("speedup-fifo", speedup_jobset, m=4, seed=1)
+
+    def test_speedup_engines_reject_extra_kwargs(self, speedup_jobset):
+        with pytest.raises(TypeError, match="no extra"):
+            repro.run("speedup-equi", speedup_jobset, m=4, k=4)
+
+
+class TestDeprecatedShims:
+    @pytest.fixture(autouse=True)
+    def _fresh_warn_state(self, monkeypatch):
+        monkeypatch.setattr(_deprecation, "_WARNED", set())
+
+    def test_run_work_stealing_shim_bit_identical(self, jobset):
+        from repro.sim.engine import run_work_stealing
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = run_work_stealing(jobset, m=4, seed=3, k=2)
+        new = repro.run("work-stealing", jobset, m=4, seed=3, k=2)
+        same_result(old, new)
+
+    def test_speedup_shims_bit_identical(self, speedup_jobset):
+        from repro.speedup.engine import run_speedup_equi, run_speedup_fifo
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old_fifo = run_speedup_fifo(speedup_jobset, m=4)
+            old_equi = run_speedup_equi(speedup_jobset, m=4)
+        same_result(old_fifo, repro.run("speedup-fifo", speedup_jobset, m=4))
+        same_result(old_equi, repro.run("speedup-equi", speedup_jobset, m=4))
+
+    def test_shim_warns_exactly_once(self, jobset):
+        from repro.sim.engine import run_work_stealing
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_work_stealing(jobset, m=2, seed=0)
+            run_work_stealing(jobset, m=2, seed=0)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.run" in str(deprecations[0].message)
+
+    def test_each_shim_warns_independently(self, speedup_jobset):
+        from repro.speedup.engine import run_speedup_equi, run_speedup_fifo
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_speedup_fifo(speedup_jobset, m=2)
+            run_speedup_equi(speedup_jobset, m=2)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2
+
+    def test_facade_itself_never_warns(self, jobset):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.run(WorkStealingScheduler(k=2), jobset, m=4, seed=0)
+            repro.run("work-stealing", jobset, m=4, seed=0)
+
+
+class TestTelemetryIdentity:
+    def test_schedule_identical_with_telemetry_on(self, jobset):
+        off = repro.run(WorkStealingScheduler(k=4), jobset, m=4, seed=5)
+        tel = Telemetry()
+        on = repro.run(
+            WorkStealingScheduler(k=4), jobset, m=4, seed=5, telemetry=tel
+        )
+        same_result(off, on)
+
+    def test_run_events_bracket_the_simulation(self, jobset):
+        tel = Telemetry()
+        result = repro.run(
+            WorkStealingScheduler(k=4), jobset, m=4, seed=5, telemetry=tel
+        )
+        (start,) = tel.of_kind("run.start")
+        (done,) = tel.of_kind("run.done")
+        assert start["m"] == 4
+        assert start["n_jobs"] == len(jobset)
+        assert done["max_flow"] == result.max_flow
+        assert done["stats"] == result.stats.as_dict()
+        assert done["t"] >= start["t"]
+
+    def test_no_events_without_telemetry(self, jobset):
+        # The contract is structural: engines never see the sink at all.
+        result = repro.run(WorkStealingScheduler(k=2), jobset, m=4, seed=0)
+        assert result.stats.steal_attempts is not None
+
+
+class TestSweepTelemetryEndToEnd:
+    def test_grid_sweep_log_audits_clean_and_matches_stats(self, tmp_path):
+        from repro.experiments.cache import SweepCache
+        from repro.experiments.sweep import grid_sweep
+        from repro.workloads.generator import WorkloadSpec
+        from repro.workloads.distributions import ExponentialDistribution
+
+        spec = WorkloadSpec(
+            distribution=ExponentialDistribution(mean_ms=6.0),
+            qps=200.0,
+            n_jobs=16,
+            m=4,
+        )
+        log = tmp_path / "events.jsonl"
+        cache = SweepCache(tmp_path / "cache")
+
+        def sweep(telemetry=None, resume=False):
+            return grid_sweep(
+                WorkStealingScheduler,
+                {"k": [0, 4]},
+                spec,
+                m=4,
+                reps=2,
+                seed=11,
+                metrics=("max_flow",),
+                max_workers=1,
+                cache=cache,
+                resume=resume,
+                telemetry=telemetry,
+            )
+
+        with Telemetry(log, label="e2e") as tel:
+            instrumented = sweep(telemetry=tel)
+            resumed = sweep(telemetry=tel, resume=True)
+        plain = sweep()
+
+        # Telemetry and resume are observationally inert.
+        assert [c.metrics for c in instrumented.cells] == [
+            c.metrics for c in plain.cells
+        ]
+        assert [c.metrics for c in resumed.cells] == [
+            c.metrics for c in plain.cells
+        ]
+
+        from repro.obs import read_events
+
+        events = read_events(log)
+        assert audit_events(events) == []
+
+        # 2 cells x 2 reps, cold then fully cached.
+        assert sum(e["event"] == "cell.run" for e in events) == 4
+        assert sum(e["event"] == "cell.cached" for e in events) == 4
+        assert sum(e["event"] == "shm.publish" for e in events) >= 1
+
+        # Event-embedded stats are real SimulationStats snapshots.
+        for e in events:
+            if e["event"] == "cell.run":
+                stats = e["stats"]
+                assert stats["steal_attempts"] >= stats["failed_steals"]
+                assert stats["busy_steps"] > 0
+                assert e["wall_s"] >= 0
+                assert e["metrics"]["max_flow"] > 0
+
+        # The manifest records the sweep's coordinates and instances.
+        manifests = list_manifests(cache.root / "manifests")
+        assert len(manifests) == 1  # same coordinates -> same manifest
+        manifest = load_manifest(manifests[0])
+        assert manifest["kind"] == "grid_sweep"
+        assert manifest["seed"] == 11
+        assert len(manifest["rep_seeds"]) == 2
+        assert len(manifest["instances"]) == 2
+        assert manifest["timings"]["wall_s"] > 0
+
+    def test_figure2_cells_telemetry(self, tmp_path):
+        from repro.experiments.config import FIG2A, ExperimentScale
+        from repro.experiments.runner import run_figure2_cells
+
+        log = tmp_path / "events.jsonl"
+        scale = ExperimentScale(n_jobs=12, reps=1)
+        with Telemetry(log) as tel:
+            with_tel = run_figure2_cells(
+                FIG2A, [100.0, 200.0], scale, seed=2,
+                max_workers=1, telemetry=tel,
+            )
+        without = run_figure2_cells(
+            FIG2A, [100.0, 200.0], scale, seed=2, max_workers=1,
+        )
+        assert with_tel == without
+
+        from repro.obs import read_events
+
+        events = read_events(log)
+        assert audit_events(events) == []
+        assert sum(e["event"] == "cell.run" for e in events) == 2
+        # No cache in play: the manifest lands next to the log.
+        manifests = list_manifests(tmp_path / "manifests")
+        assert len(manifests) == 1

@@ -1,0 +1,105 @@
+"""Run manifests: keying, round trips, schema guarding."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    list_manifests,
+    load_manifest,
+    manifest_key,
+    write_manifest,
+)
+
+
+class TestManifestKey:
+    def test_deterministic(self):
+        config = {"grid": {"k": [0, 4]}, "m": 8}
+        assert manifest_key("grid_sweep", config, 7) == manifest_key(
+            "grid_sweep", dict(config), 7
+        )
+
+    def test_key_order_insensitive(self):
+        a = manifest_key("s", {"m": 8, "speed": 1.0}, 0)
+        b = manifest_key("s", {"speed": 1.0, "m": 8}, 0)
+        assert a == b
+
+    def test_distinguishes_every_coordinate(self):
+        base = manifest_key("s", {"m": 8}, 0)
+        assert manifest_key("t", {"m": 8}, 0) != base
+        assert manifest_key("s", {"m": 4}, 0) != base
+        assert manifest_key("s", {"m": 8}, 1) != base
+
+    def test_short_hex(self):
+        key = manifest_key("s", {}, None)
+        assert len(key) == 16
+        int(key, 16)
+
+
+class TestBuildManifest:
+    def test_core_fields(self):
+        manifest = build_manifest(
+            kind="grid_sweep",
+            config={"m": 4},
+            seed=3,
+            rep_seeds=[11, 12],
+            instance_hashes=["abc", "def"],
+            timings={"wall_s": 1.25},
+            event_log="events.jsonl",
+            cache_dir="/tmp/cache",
+            extra={"n_cold": 5},
+        )
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["kind"] == "grid_sweep"
+        assert manifest["key"] == manifest_key("grid_sweep", {"m": 4}, 3)
+        assert manifest["rep_seeds"] == [11, 12]
+        assert manifest["instances"] == ["abc", "def"]
+        assert manifest["timings"] == {"wall_s": 1.25}
+        assert manifest["event_log"] == "events.jsonl"
+        assert manifest["cache_dir"] == "/tmp/cache"
+        assert manifest["n_cold"] == 5
+
+    def test_environment_record(self):
+        manifest = build_manifest(kind="s", config={}, seed=0)
+        assert set(manifest["versions"]) == {"python", "numpy", "repro"}
+        assert manifest["host"]["cpu_count"] >= 1
+        assert manifest["created_at"]
+
+    def test_optional_locations_omitted(self):
+        manifest = build_manifest(kind="s", config={}, seed=0)
+        assert "event_log" not in manifest
+        assert "cache_dir" not in manifest
+
+
+class TestWriteLoadList:
+    def test_roundtrip(self, tmp_path):
+        manifest = build_manifest(kind="s", config={"m": 2}, seed=1)
+        path = write_manifest(manifest, tmp_path / "manifests")
+        assert path.name == f"manifest-{manifest['key']}.json"
+        assert load_manifest(path) == json.loads(json.dumps(manifest, default=repr))
+
+    def test_rerun_overwrites_not_accumulates(self, tmp_path):
+        manifest = build_manifest(kind="s", config={"m": 2}, seed=1)
+        write_manifest(manifest, tmp_path)
+        write_manifest(manifest, tmp_path)
+        assert len(list_manifests(tmp_path)) == 1
+
+    def test_different_runs_do_not_collide(self, tmp_path):
+        write_manifest(build_manifest(kind="s", config={"m": 2}, seed=1), tmp_path)
+        write_manifest(build_manifest(kind="s", config={"m": 4}, seed=1), tmp_path)
+        assert len(list_manifests(tmp_path)) == 2
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        write_manifest(build_manifest(kind="s", config={}, seed=0), tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        bad = tmp_path / "manifest-bad.json"
+        bad.write_text(json.dumps({"schema": "other/9"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_manifest(bad)
+
+    def test_list_missing_directory_is_empty(self, tmp_path):
+        assert list_manifests(tmp_path / "nope") == []

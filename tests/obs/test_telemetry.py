@@ -1,0 +1,139 @@
+"""The Telemetry sink: events, counters, JSONL files, env resolution."""
+
+import json
+
+import pytest
+
+import repro.obs.telemetry as telemetry_mod
+from repro.obs import (
+    EVENT_SCHEMA,
+    TELEMETRY_ENV,
+    Telemetry,
+    default_telemetry,
+    iter_events,
+    read_events,
+)
+
+
+class TestEmission:
+    def test_open_event_is_first_and_stamped(self):
+        tel = Telemetry(label="unit")
+        assert tel.events[0]["event"] == "telemetry.open"
+        assert tel.events[0]["schema"] == EVENT_SCHEMA
+        assert tel.events[0]["label"] == "unit"
+
+    def test_emit_records_fields_and_returns_event(self):
+        tel = Telemetry()
+        record = tel.emit("cell.run", params={"k": 4}, wall_s=0.25)
+        assert record["event"] == "cell.run"
+        assert record["params"] == {"k": 4}
+        assert record["wall_s"] == 0.25
+        assert tel.events[-1] is record
+
+    def test_timestamps_are_monotone(self):
+        tel = Telemetry()
+        for i in range(5):
+            tel.emit("tick", i=i)
+        ts = [e["t"] for e in tel.events]
+        assert ts == sorted(ts)
+
+    def test_counters_track_kinds(self):
+        tel = Telemetry()
+        tel.emit("a")
+        tel.emit("a")
+        tel.emit("b")
+        assert tel.count("a") == 2
+        assert tel.count("b") == 1
+        assert tel.count("missing") == 0
+
+    def test_of_kind_filters_in_order(self):
+        tel = Telemetry()
+        tel.emit("x", i=0)
+        tel.emit("y")
+        tel.emit("x", i=1)
+        assert [e["i"] for e in tel.of_kind("x")] == [0, 1]
+
+    def test_non_jsonable_fields_degrade_to_repr(self):
+        tel = Telemetry()
+        record = tel.emit("odd", thing=object(), nested={"s": {1, 2}})
+        json.dumps(record)  # must not raise
+        assert "object" in record["thing"]
+
+    def test_close_is_idempotent_and_emits_once(self):
+        tel = Telemetry()
+        tel.close()
+        tel.close()
+        assert tel.count("telemetry.close") == 1
+
+
+class TestFileSink:
+    def test_memory_only_without_path(self):
+        tel = Telemetry()
+        tel.emit("e")
+        assert tel.path is None
+
+    def test_lazy_file_creation_and_jsonl_roundtrip(self, tmp_path):
+        log = tmp_path / "sub" / "events.jsonl"
+        with Telemetry(log, label="file") as tel:
+            tel.emit("cell.run", wall_s=1.5)
+        events = read_events(log)
+        assert [e["event"] for e in events] == [
+            "telemetry.open", "cell.run", "telemetry.close",
+        ]
+        assert events == tel.events
+
+    def test_append_mode_across_sessions(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        with Telemetry(log):
+            pass
+        with Telemetry(log):
+            pass
+        events = read_events(log)
+        assert sum(e["event"] == "telemetry.open" for e in events) == 2
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        with Telemetry(log) as tel:
+            tel.emit("ok")
+        with log.open("a") as fh:
+            fh.write('{"event": "torn", "t"')  # killed mid-append
+        events = read_events(log)
+        assert [e["event"] for e in events] == [
+            "telemetry.open", "ok", "telemetry.close",
+        ]
+
+    def test_torn_middle_line_raises(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        log.write_text('{"event": "a", "t"\n{"event": "b", "t": 1}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_events(log)
+
+    def test_iter_events_matches_read_events(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        with Telemetry(log) as tel:
+            tel.emit("one")
+        assert list(iter_events(log)) == read_events(log)
+
+
+class TestDefaultTelemetry:
+    @pytest.fixture(autouse=True)
+    def _reset_singleton(self, monkeypatch):
+        monkeypatch.setattr(telemetry_mod, "_ENV_TELEMETRY", None)
+        monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+
+    def test_none_when_env_unset(self):
+        assert default_telemetry() is None
+
+    def test_none_when_env_empty(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV, "  ")
+        assert default_telemetry() is None
+
+    def test_singleton_per_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV, str(tmp_path / "a.jsonl"))
+        first = default_telemetry()
+        assert first is not None
+        assert default_telemetry() is first
+        monkeypatch.setenv(TELEMETRY_ENV, str(tmp_path / "b.jsonl"))
+        second = default_telemetry()
+        assert second is not first
+        assert second.path == tmp_path / "b.jsonl"

@@ -26,7 +26,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.dag.builders import single_node
 from repro.dag.job import Job, JobSet
-from repro.sim.engine import run_work_stealing
+from repro.sim.engine import _run_work_stealing as run_work_stealing
 
 
 @st.composite

@@ -4,7 +4,10 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.speedup.convert import dag_to_speedup_job
-from repro.speedup.engine import run_speedup_equi, run_speedup_fifo
+from repro.speedup.engine import (
+    _run_speedup_equi as run_speedup_equi,
+    _run_speedup_fifo as run_speedup_fifo,
+)
 from repro.speedup.model import (
     LinearCapped,
     Phase,

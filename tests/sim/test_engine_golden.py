@@ -20,7 +20,7 @@ import pytest
 
 from repro.dag.builders import chain, fork_join, single_node
 from repro.dag.job import jobs_from_dags
-from repro.sim.engine import run_work_stealing
+from repro.sim.engine import _run_work_stealing as run_work_stealing
 from repro.workloads.distributions import BingDistribution, FinanceDistribution
 from repro.workloads.generator import WorkloadSpec
 

@@ -26,7 +26,7 @@ import pytest
 
 from repro.dag.builders import chain, fork_join, random_layered_dag, single_node
 from repro.dag.job import jobs_from_dags
-from repro.sim.engine import run_work_stealing
+from repro.sim.engine import _run_work_stealing as run_work_stealing
 
 
 def random_instance(seed, n_jobs=6, gap_scale=4.0):

@@ -5,7 +5,7 @@ import pytest
 
 from repro.dag.builders import fork_join, single_node
 from repro.dag.job import jobs_from_dags
-from repro.sim.engine import run_work_stealing
+from repro.sim.engine import _run_work_stealing as run_work_stealing
 from repro.sim.policies import (
     MaxDequeVictim,
     RoundRobinVictim,

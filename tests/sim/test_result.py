@@ -92,10 +92,18 @@ class TestMetrics:
 
 
 class TestSimulationStats:
-    def test_defaults_zero(self):
+    def test_defaults(self):
+        # Universal counters default to real zeros; engine-specific
+        # counters default to None ("not measured"), never sentinel 0.
         s = SimulationStats()
         assert s.busy_steps == 0
-        assert s.steal_attempts == 0
+        assert s.idle_steps == 0
+        assert s.steal_attempts is None
+        assert s.failed_steals is None
+        assert s.admissions is None
+        assert s.admission_wait_ticks is None
+        assert s.ff_skipped_ticks is None
+        assert s.max_queue_depth is None
 
     def test_as_dict_roundtrip(self):
         s = SimulationStats(busy_steps=10, steal_attempts=3)
@@ -110,4 +118,14 @@ class TestSimulationStats:
             "idle_steps",
             "n_events",
             "elapsed_ticks",
+            "admission_wait_ticks",
+            "ff_skipped_ticks",
+            "max_queue_depth",
         }
+        assert SimulationStats(**d) == s
+
+    def test_steal_success_ratio(self):
+        assert SimulationStats().steal_success_ratio is None
+        assert SimulationStats(steal_attempts=0).steal_success_ratio is None
+        s = SimulationStats(steal_attempts=8, failed_steals=2)
+        assert s.steal_success_ratio == 0.75

@@ -106,7 +106,7 @@ class TestEngineIntegration:
         """
         from repro.dag.builders import single_node
         from repro.dag.job import jobs_from_dags
-        from repro.sim.engine import run_work_stealing
+        from repro.sim.engine import _run_work_stealing as run_work_stealing
 
         js = jobs_from_dags([single_node(5), single_node(3)], [0.0, 1000.0])
         sampler = SystemSampler(every=10**9)

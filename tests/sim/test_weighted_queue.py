@@ -10,7 +10,7 @@ from repro.core.work_stealing import (
     WeightedWorkStealingScheduler,
     WorkStealingScheduler,
 )
-from repro.sim.engine import run_work_stealing
+from repro.sim.engine import _run_work_stealing as run_work_stealing
 from repro.sim.queue import WeightedAdmissionQueue
 from repro.sim.trace import TraceRecorder, audit_trace
 from repro.workloads.weights import class_weights, reweight

@@ -12,7 +12,7 @@ import pytest
 
 from repro.dag.builders import adversarial_fork, chain, fork_join, single_node
 from repro.dag.job import Job, JobSet, jobs_from_dags
-from repro.sim.engine import run_work_stealing
+from repro.sim.engine import _run_work_stealing as run_work_stealing
 from repro.sim.trace import TraceRecorder, audit_trace
 
 

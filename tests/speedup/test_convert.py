@@ -18,7 +18,7 @@ from repro.dag.builders import (
 )
 from repro.dag.job import jobs_from_dags
 from repro.speedup.convert import dag_to_speedup_job, jobset_to_speedup, profile_phases
-from repro.speedup.engine import run_speedup_fifo
+from repro.speedup.engine import _run_speedup_fifo as run_speedup_fifo
 
 
 class TestProfilePhases:

@@ -3,7 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.speedup.engine import run_speedup_equi, run_speedup_fifo
+from repro.speedup.engine import (
+    _run_speedup_equi as run_speedup_equi,
+    _run_speedup_fifo as run_speedup_fifo,
+)
 from repro.speedup.model import (
     LinearCapped,
     Phase,

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.fifo import FifoScheduler
 from repro.dag.flat import content_hash, flatten_jobset, to_jobset
-from repro.sim.engine import run_work_stealing
+from repro.sim.engine import _run_work_stealing as run_work_stealing
 from repro.sim.rng import derive_seed
 from repro.workloads.adversarial import (
     adversarial_instance,

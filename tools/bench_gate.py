@@ -67,11 +67,29 @@ def main(argv=None) -> int:
             "(0.30 = fail below 70%% of baseline)"
         ),
     )
+    parser.add_argument(
+        "--engine-budget",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "tighter loss budget applied to the engine-throughput "
+            "benchmarks only (names containing 'engine_throughput'). "
+            "The observability counters (ISSUE 3) are budgeted at 2%% "
+            "engine cost: pass 0.02 to enforce it.  Engine benches run "
+            "hundreds of long rounds, so a tight floor is meaningful "
+            "where it would be pure noise for the micro-benchmarks."
+        ),
+    )
     args = parser.parse_args(argv)
 
     current = load_ops(args.current)
     baseline = load_ops(args.baseline)
-    floor = 1.0 - args.max_regression
+
+    def floor_for(name: str) -> float:
+        if args.engine_budget is not None and "engine_throughput" in name:
+            return 1.0 - args.engine_budget
+        return 1.0 - args.max_regression
 
     failures = []
     for name in sorted(baseline):
@@ -81,26 +99,24 @@ def main(argv=None) -> int:
             continue
         if base <= 0:
             continue
+        floor = floor_for(name)
         ratio = current[name] / base
         status = "ok" if ratio >= floor else "REGRESSED"
         print(
             f"  {name}: {current[name]:.2f} vs {base:.2f} ops/s "
-            f"({ratio:.2f}x) {status}"
+            f"({ratio:.2f}x, floor {floor:.2f}) {status}"
         )
         if ratio < floor:
-            failures.append((name, ratio))
+            failures.append((name, ratio, floor))
     for name in sorted(set(current) - set(baseline)):
         print(f"  {name}: new benchmark (no baseline, skipped)")
 
     if failures:
-        print(
-            f"\nFAIL: {len(failures)} benchmark(s) below "
-            f"{floor:.0%} of baseline:"
-        )
-        for name, ratio in failures:
-            print(f"  {name}: {ratio:.2f}x")
+        print(f"\nFAIL: {len(failures)} benchmark(s) below their floor:")
+        for name, ratio, floor in failures:
+            print(f"  {name}: {ratio:.2f}x (floor {floor:.2f})")
         return 1
-    print(f"\nOK: no benchmark below {floor:.0%} of baseline")
+    print("\nOK: no benchmark below its floor")
     return 0
 
 

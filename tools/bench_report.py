@@ -19,6 +19,7 @@ Usage::
     python tools/bench_report.py                 # full run, repo-root output
     python tools/bench_report.py --quick         # CI smoke (one round each)
     python tools/bench_report.py --baseline old.json --output BENCH_engine.json
+    python tools/bench_report.py --telemetry events.jsonl   # summarize a log
 
 Interpreting the file: ``benchmarks.<name>.ops_per_sec`` is the
 headline number (higher is better; for the engine benchmarks 1 op = one
@@ -161,6 +162,27 @@ def load_baseline(spec: str, output: Path) -> Optional[dict]:
     }
 
 
+def summarize_telemetry(log: Path) -> int:
+    """Render a telemetry event log in bench-report style (see --telemetry)."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs import audit_events, read_events, summarize_events
+
+    try:
+        events = read_events(log)
+    except OSError as exc:
+        raise SystemExit(f"--telemetry {log}: cannot read ({exc})")
+    print(summarize_events(events))
+    problems = audit_events(events)
+    print()
+    if problems:
+        print(f"audit: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("audit: ok")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -187,7 +209,23 @@ def main(argv=None) -> int:
         default=None,
         help="free-form label recorded in the report (e.g. a commit subject)",
     )
+    parser.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="LOG",
+        help=(
+            "instead of running benchmarks, summarize and audit a "
+            "telemetry event log (the JSONL file written by "
+            "'python -m repro.experiments ... --telemetry LOG'; see "
+            "docs/OBSERVABILITY.md).  Exits non-zero if the audit "
+            "finds inconsistencies."
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.telemetry is not None:
+        return summarize_telemetry(args.telemetry)
 
     baseline = load_baseline(args.baseline, args.output)
     raw = run_benchmarks(args.quick)
