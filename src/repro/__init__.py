@@ -39,6 +39,13 @@ True
 instances, ``"work-stealing"``, ``"speedup-fifo"``, ``"speedup-equi"``)
 and the attachment point for :class:`repro.obs.Telemetry`
 observability; see docs/OBSERVABILITY.md.
+
+:func:`repro.sweep` is its grid-scale sibling: the same scheduler forms
+crossed over a parameter grid on a fault-tolerant process pool (per-cell
+deadlines, bounded deterministic retries, pool respawn, lossless
+``resume=True`` checkpointing); see docs/ROBUSTNESS.md.  Failures
+surface as the typed :mod:`repro.errors` hierarchy (all subclasses of
+:class:`repro.errors.ReproError`).
 """
 
 from repro.core import (
@@ -88,17 +95,33 @@ from repro.sim import (
     run_centralized,
     run_work_stealing,  # deprecated shim; importable, not in __all__
 )
-from repro.api import run
+from repro.api import run, sweep
+from repro.errors import (
+    CacheCorruptError,
+    CellCrashedError,
+    CellTimeoutError,
+    ReproError,
+    SweepConfigError,
+    UnkeyableFactoryError,
+)
 from repro.obs import Telemetry
 from repro.workloads import WorkloadSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
-    # unified entrypoint + observability (ISSUE 3)
+    # unified entrypoints + observability (ISSUE 3 / ISSUE 4)
     "run",
+    "sweep",
     "Telemetry",
+    # typed error hierarchy (ISSUE 4)
+    "ReproError",
+    "SweepConfigError",
+    "UnkeyableFactoryError",
+    "CacheCorruptError",
+    "CellCrashedError",
+    "CellTimeoutError",
     # core
     "Scheduler",
     "FifoScheduler",

@@ -26,14 +26,23 @@ The facade is also where observability attaches: pass
 full :class:`~repro.sim.result.SimulationStats` snapshot).  With
 ``telemetry=None`` nothing is recorded and the schedule is
 bit-identical -- the engines never see the telemetry object at all.
+
+ISSUE 4 adds the sibling :func:`repro.sweep` facade: the same scheduler
+forms and keyword normalization, dispatched to
+:func:`~repro.experiments.sweep.grid_sweep`'s fault-tolerant executor
+(per-cell deadlines, bounded retries, pool respawn, lossless resume).
+One mental model covers both: ``repro.run`` simulates one instance,
+``repro.sweep`` crosses a parameter grid over generated instances.
 """
 
 from __future__ import annotations
 
+import copy
 import time
-from typing import Any, Optional, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from repro.core.base import Scheduler
+from repro.errors import SweepConfigError
 from repro.sim.result import ScheduleResult
 from repro.sim.rng import SeedLike
 
@@ -41,7 +50,9 @@ from repro.sim.rng import SeedLike
 ENGINE_NAMES = ("work-stealing", "speedup-fifo", "speedup-equi")
 
 
-def _resolve_size(m: Optional[int], num_workers: Optional[int]) -> int:
+def _resolve_size(
+    m: Optional[int], num_workers: Optional[int], who: str = "run()"
+) -> int:
     """Normalize the machine-size aliases (``m`` wins the docs)."""
     if m is not None and num_workers is not None and m != num_workers:
         raise TypeError(
@@ -50,7 +61,7 @@ def _resolve_size(m: Optional[int], num_workers: Optional[int]) -> int:
         )
     size = m if m is not None else num_workers
     if size is None:
-        raise TypeError("run() requires a machine size: pass m=...")
+        raise TypeError(f"{who} requires a machine size: pass m=...")
     return int(size)
 
 
@@ -204,3 +215,238 @@ def run(
         stats=result.stats.as_dict(),
     )
     return result
+
+
+# ----------------------------------------------------------------------
+# The repro.sweep() facade (ISSUE 4)
+# ----------------------------------------------------------------------
+
+
+class _EngineScheduler(Scheduler):
+    """Adapter presenting a named engine as a :class:`Scheduler`.
+
+    Exists so :func:`sweep` can cross a parameter grid over an engine
+    name exactly as it does over a scheduler class: the sweep's grid
+    keyword arguments become engine keyword arguments (e.g. ``k=16``
+    for ``"work-stealing"``).  Module-level and attribute-only, hence
+    picklable across pool workers; its ``repr`` is content-stable so
+    the cell cache can key on it.
+    """
+
+    def __init__(self, engine: str, **engine_kwargs: Any):
+        if engine not in ENGINE_NAMES:
+            raise SweepConfigError(
+                f"unknown engine name {engine!r}; "
+                f"expected one of {ENGINE_NAMES} or a Scheduler"
+            )
+        if engine != "work-stealing" and engine_kwargs:
+            raise TypeError(
+                f"{engine!r} accepts no extra engine arguments; "
+                f"got {sorted(engine_kwargs)}"
+            )
+        self.engine = engine
+        self.engine_kwargs = engine_kwargs
+
+    @property
+    def name(self) -> str:
+        return self.engine
+
+    def run(
+        self,
+        jobset: Any,
+        m: int,
+        speed: float = 1.0,
+        seed: SeedLike = None,
+        trace: Optional[Any] = None,
+    ) -> ScheduleResult:
+        if self.engine == "work-stealing":
+            from repro.sim.engine import _run_work_stealing
+
+            kwargs = dict(self.engine_kwargs)
+            if trace is not None:
+                kwargs["trace"] = trace
+            return _run_work_stealing(
+                jobset, m=m, speed=speed, seed=seed, **kwargs
+            )
+        from repro.speedup.engine import _run_speedup_equi, _run_speedup_fifo
+
+        target = (
+            _run_speedup_fifo
+            if self.engine == "speedup-fifo"
+            else _run_speedup_equi
+        )
+        # The speedup engines are deterministic: the sweep's derived
+        # cell seeds carry no information for them and are dropped.
+        return target(jobset, m=m, speed=speed)
+
+    def __repr__(self) -> str:
+        opts = "".join(
+            f", {k}={self.engine_kwargs[k]!r}"
+            for k in sorted(self.engine_kwargs)
+        )
+        return f"_EngineScheduler({self.engine!r}{opts})"
+
+
+class _InstanceFactory:
+    """Per-cell factory cloning a prototype scheduler instance.
+
+    ``sweep(WorkStealingScheduler(k=4, steals_per_tick=64), ...)`` must
+    vary grid parameters while keeping the prototype's other
+    configuration.  Each cell gets a shallow copy of the prototype with
+    the cell's grid parameters assigned over it -- schedulers are
+    stateless policy descriptions (see :class:`repro.core.base`), so a
+    shallow copy is a faithful clone.  Unknown parameter names fail
+    loudly: silently creating attributes would "sweep" nothing.
+
+    Picklable (the prototype travels by value) and content-keyed: the
+    ``repr`` folds in the prototype's full ``vars()``, so two factories
+    over differently configured prototypes never share cache cells.
+    """
+
+    def __init__(self, prototype: Scheduler):
+        self.prototype = prototype
+
+    def __call__(self, **params: Any) -> Scheduler:
+        sched = copy.copy(self.prototype)
+        for key, value in params.items():
+            if not hasattr(sched, key):
+                raise SweepConfigError(
+                    f"{type(sched).__name__} has no parameter {key!r}; "
+                    f"grid keys must name attributes of the prototype "
+                    f"scheduler"
+                )
+            setattr(sched, key, value)
+        return sched
+
+    def __repr__(self) -> str:
+        state = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(vars(self.prototype).items())
+        )
+        return (
+            f"_InstanceFactory({type(self.prototype).__qualname__}({state}))"
+        )
+
+
+def _as_factory(scheduler: Union[Scheduler, type, str, Callable]) -> Callable:
+    """Normalize every accepted scheduler form into a cell factory."""
+    if isinstance(scheduler, type):
+        if not issubclass(scheduler, Scheduler):
+            raise TypeError(
+                f"scheduler class must subclass Scheduler, got "
+                f"{scheduler.__name__}"
+            )
+        return scheduler
+    if isinstance(scheduler, Scheduler):
+        return _InstanceFactory(scheduler)
+    if isinstance(scheduler, str):
+        if scheduler not in ENGINE_NAMES:
+            raise SweepConfigError(
+                f"unknown engine name {scheduler!r}; "
+                f"expected one of {ENGINE_NAMES} or a Scheduler"
+            )
+        import functools
+
+        return functools.partial(_EngineScheduler, scheduler)
+    if callable(scheduler):
+        return scheduler
+    raise TypeError(
+        f"scheduler must be a Scheduler, a Scheduler subclass, an engine "
+        f"name string, or a factory callable, got "
+        f"{type(scheduler).__name__}"
+    )
+
+
+def sweep(
+    scheduler: Union[Scheduler, type, str, Callable],
+    grid: Dict[str, Sequence[Any]],
+    workload: Callable[[int], Any],
+    *,
+    m: Optional[int] = None,
+    num_workers: Optional[int] = None,
+    speed: Optional[float] = None,
+    augmentation: Optional[float] = None,
+    reps: int = 1,
+    seed: int = 0,
+    metrics: Sequence[str] = ("max_flow", "mean_flow"),
+    max_workers: Optional[int] = None,
+    cache: Any = None,
+    resume: bool = False,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    telemetry: Optional[Any] = None,
+):
+    """Run a fault-tolerant parameter-grid sweep (mirror of :func:`run`).
+
+    ``repro.run`` simulates one instance; ``repro.sweep`` crosses a
+    parameter grid over generated instances, on the supervised executor
+    of :mod:`repro.experiments.parallel` (per-cell deadlines, bounded
+    deterministic retries, pool respawn, incremental checkpointing into
+    the content-addressed cache, guaranteed shared-memory cleanup).
+
+    Parameters
+    ----------
+    scheduler:
+        The same forms :func:`run` accepts, plus a factory callable:
+
+        * a :class:`~repro.core.base.Scheduler` *subclass* -- called
+          with one keyword argument per grid dimension;
+        * a Scheduler *instance* -- used as a prototype: each cell gets
+          a copy with the grid parameters assigned over it (they must
+          name existing attributes);
+        * an *engine name* (``"work-stealing"``, ``"speedup-fifo"``,
+          ``"speedup-equi"``) -- grid parameters forward to the engine
+          (the deterministic speedup engines accept none and ignore
+          seeds);
+        * any other *callable* -- passed through unchanged, i.e. the
+          raw :func:`~repro.experiments.sweep.grid_sweep` contract.
+    grid:
+        Parameter name -> values to sweep (full cross product).
+    workload:
+        Callable mapping a derived repetition seed to an instance; a
+        :class:`~repro.workloads.WorkloadSpec` works directly and
+        additionally unlocks the instance cache and the vectorized
+        build path.
+    m, num_workers:
+        Machine size; aliases, pass exactly one.
+    speed, augmentation:
+        Resource augmentation factor (default 1.0); aliases, pass
+        exactly one.
+    reps, seed, metrics, max_workers, cache, resume, telemetry:
+        Forwarded to :func:`~repro.experiments.sweep.grid_sweep`
+        unchanged.
+    cell_timeout, retries:
+        Fault-tolerance knobs (see
+        :func:`repro.experiments.parallel.parallel_map`): per-cell
+        deadline in seconds and retry budget for crashed / hung cells.
+        Defaults resolve from ``REPRO_CELL_TIMEOUT`` / ``REPRO_RETRIES``
+        (the CLI's ``--cell-timeout`` / ``--retries``).
+
+    Returns
+    -------
+    SweepResult
+        Cells in cross-product order; bit-identical to an undisturbed
+        serial run even when workers crashed, hung, or were retried.
+    """
+    # Lazy import: repro.api must stay importable without pulling the
+    # experiments stack (numpy-heavy) until a sweep actually runs.
+    from repro.experiments.sweep import grid_sweep
+
+    size = _resolve_size(m, num_workers, who="sweep()")
+    s = _resolve_speed(speed, augmentation)
+    factory = _as_factory(scheduler)
+    return grid_sweep(
+        factory,
+        grid,
+        workload,
+        m=size,
+        reps=reps,
+        seed=seed,
+        speed=s,
+        metrics=metrics,
+        max_workers=max_workers,
+        cache=cache,
+        resume=resume,
+        telemetry=telemetry,
+        cell_timeout=cell_timeout,
+        retries=retries,
+    )

@@ -1,0 +1,117 @@
+"""Typed exception hierarchy for the execution layers (ISSUE 4).
+
+Before this module, executor faults and user mistakes surfaced as the
+same builtin exceptions: a hung pool worker, a corrupt cache file and a
+``reps=0`` typo all reached the caller as ``RuntimeError``/``ValueError``
+with no way to tell "retry the sweep" apart from "fix the call".  The
+hierarchy gives every failure mode a distinct type while staying
+**deprecation-safe**: each class also inherits the builtin it used to
+surface as, so existing ``except ValueError:`` / ``except RuntimeError:``
+handlers keep working unchanged.
+
+::
+
+    ReproError                        (Exception)
+    |-- SweepConfigError              (+ ValueError)   bad sweep arguments
+    |-- UnkeyableFactoryError         (+ ValueError)   factory has no stable key
+    |-- CacheCorruptError             (+ RuntimeError) cache file unreadable
+    |-- CellCrashedError              (+ RuntimeError) worker died / cell errored
+    |-- CellTimeoutError              (+ TimeoutError) cell deadline exceeded
+    `-- FaultInjected                                  raised by repro.testing.faults
+
+Catch :class:`ReproError` to handle anything this package raises;
+catch :class:`CellTimeoutError` / :class:`CellCrashedError` to handle
+executor faults distinctly from user errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SweepConfigError",
+    "UnkeyableFactoryError",
+    "CacheCorruptError",
+    "CellCrashedError",
+    "CellTimeoutError",
+    "FaultInjected",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error this package raises on purpose."""
+
+
+class SweepConfigError(ReproError, ValueError):
+    """A sweep was configured with invalid arguments (user error).
+
+    Subclasses :class:`ValueError` so pre-1.2 ``except ValueError``
+    handlers around :func:`~repro.experiments.sweep.grid_sweep` keep
+    catching it.
+    """
+
+
+class UnkeyableFactoryError(ReproError, ValueError):
+    """A scheduler factory has no run-stable content identity.
+
+    Raised (in strict contexts) or carried by the bypass warning when a
+    factory captures state whose ``repr`` embeds a memory address: such
+    a factory cannot key the content-addressed cell cache without
+    risking collisions.  Use a module-level function, class, or
+    ``functools.partial`` over plain values.
+    """
+
+
+class CacheCorruptError(ReproError, RuntimeError):
+    """A cache entry exists but cannot be parsed.
+
+    The non-strict cache API treats corruption as a miss (the entry is
+    regenerated and overwritten); ``strict=True`` loads raise this
+    instead so integrity audits can tell truncation from absence.
+    """
+
+
+class CellCrashedError(ReproError, RuntimeError):
+    """A sweep cell failed permanently: its worker died (or its body
+    raised a retryable fault) more times than the retry budget allows.
+
+    ``attempts`` records how many executions were burned before giving
+    up; the triggering exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class CellTimeoutError(ReproError, TimeoutError):
+    """A sweep cell exceeded its deadline more times than the retry
+    budget allows (``--cell-timeout`` / ``REPRO_CELL_TIMEOUT``).
+
+    ``timeout`` is the per-attempt deadline in seconds; ``attempts`` the
+    number of expired executions.
+    """
+
+    def __init__(self, message: str, timeout: float = 0.0, attempts: int = 0):
+        super().__init__(message)
+        self.timeout = timeout
+        self.attempts = attempts
+
+
+class FaultInjected(ReproError):
+    """Raised by :func:`repro.testing.faults.maybe_inject` (action
+    ``raise``).
+
+    Deliberately retryable: the supervised executor treats it like a
+    transient worker fault, which is how the chaos suite proves the
+    retry path yields bit-identical results.  Picklable, so it survives
+    the trip back from a pool worker.
+    """
+
+    def __init__(self, stage: str = "?", detail: str = ""):
+        super().__init__(f"injected fault at stage {stage!r}"
+                         + (f": {detail}" if detail else ""))
+        self.stage = stage
+        self.detail = detail
+
+    def __reduce__(self):  # keep picklability across process boundaries
+        return (FaultInjected, (self.stage, self.detail))

@@ -29,6 +29,14 @@ served from the content-addressed cache (``--cache-dir`` / the
 ``REPRO_CACHE`` environment variable / ``.repro_cache/``); cached
 values are the exact floats of the original run.  See
 :mod:`repro.experiments.cache`.
+
+The pool is supervised (ISSUE 4): ``--cell-timeout`` /
+``REPRO_CELL_TIMEOUT`` bounds each cell's wall time, ``--retries`` /
+``REPRO_RETRIES`` bounds how often a crashed or hung cell is re-run
+(from its coordinate-derived seed, so recovery never changes a number),
+broken pools are respawned, completed cells are checkpointed into the
+cache as they finish, and published shared-memory blocks are reclaimed
+on every exit path.  See docs/ROBUSTNESS.md.
 """
 
 from repro.experiments.cache import (
@@ -48,7 +56,14 @@ from repro.experiments.config import (
     SCALE_QUICK,
     SCALE_STANDARD,
 )
-from repro.experiments.parallel import default_workers, parallel_map
+from repro.experiments.parallel import (
+    backoff_schedule,
+    default_cell_timeout,
+    default_retries,
+    default_workers,
+    parallel_map,
+    reclaim_shared_memory,
+)
 from repro.experiments.runner import (
     run_figure2_cell,
     run_figure2_cells,
@@ -95,8 +110,12 @@ __all__ = [
     "cell_key",
     "resolve_cache_dir",
     "resume_enabled_by_env",
+    "backoff_schedule",
+    "default_cell_timeout",
+    "default_retries",
     "default_workers",
     "parallel_map",
+    "reclaim_shared_memory",
     "run_figure2_cell",
     "run_figure2_cells",
     "run_schedulers",

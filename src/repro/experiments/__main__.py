@@ -156,6 +156,31 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell deadline for parallel experiment cells (default: "
+            "the REPRO_CELL_TIMEOUT environment variable, else no "
+            "deadline).  An expired cell's worker is terminated and the "
+            "cell is retried from its coordinate-derived seed, so the "
+            "value never changes the numbers."
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry budget per crashed or deadline-expired cell "
+            "(default: the REPRO_RETRIES environment variable, else 2; "
+            "0 disables retries).  Exhaustion aborts the sweep with "
+            "CellCrashedError / CellTimeoutError."
+        ),
+    )
+    parser.add_argument(
         "--telemetry",
         type=str,
         default=None,
@@ -223,6 +248,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.cache import RESUME_ENV
 
         os.environ[RESUME_ENV] = "1"
+    if args.cell_timeout is not None:
+        from repro.experiments.parallel import CELL_TIMEOUT_ENV
+
+        os.environ[CELL_TIMEOUT_ENV] = str(args.cell_timeout)
+    if args.retries is not None:
+        from repro.experiments.parallel import RETRIES_ENV
+
+        os.environ[RETRIES_ENV] = str(args.retries)
     if args.telemetry is not None:
         from repro.obs.telemetry import TELEMETRY_ENV
 

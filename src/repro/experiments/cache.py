@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.dag.flat import FlatInstance, load_flat, save_flat
+from repro.errors import CacheCorruptError
 
 __all__ = [
     "CACHE_ENV",
@@ -128,12 +129,16 @@ class SweepCache:
     def instance_path(self, key: str) -> Path:
         return self.instances_dir / f"{key}.npz"
 
-    def load_instance(self, key: str) -> Optional[FlatInstance]:
+    def load_instance(
+        self, key: str, strict: bool = False
+    ) -> Optional[FlatInstance]:
         """The cached flat instance for ``key``, or None on a miss.
 
         A corrupt or truncated file (interrupted writer on a foreign
         filesystem) counts as a miss: the caller regenerates and
-        overwrites it.
+        overwrites it.  With ``strict=True`` corruption raises
+        :class:`~repro.errors.CacheCorruptError` instead, so integrity
+        audits can tell a torn file from an absent one.
         """
         path = self.instance_path(key)
         if not path.exists():
@@ -141,8 +146,12 @@ class SweepCache:
             return None
         try:
             flat = load_flat(path)
-        except Exception:
+        except Exception as exc:
             self._emit("cache.instance_miss", key=key, corrupt=True)
+            if strict:
+                raise CacheCorruptError(
+                    f"cached instance {path} is unreadable: {exc}"
+                ) from exc
             return None
         self._emit("cache.instance_hit", key=key)
         return flat
@@ -170,16 +179,28 @@ class SweepCache:
     def cell_path(self, key: str) -> Path:
         return self.cells_dir / f"{key}.json"
 
-    def load_cell(self, key: str) -> Optional[Dict[str, float]]:
-        """The cached metric dict for ``key``, or None on a miss."""
+    def load_cell(
+        self, key: str, strict: bool = False
+    ) -> Optional[Dict[str, float]]:
+        """The cached metric dict for ``key``, or None on a miss.
+
+        With ``strict=True`` an unparseable entry raises
+        :class:`~repro.errors.CacheCorruptError` instead of counting as
+        a miss (a stale-but-wellformed schema still misses: that is
+        versioning, not corruption).
+        """
         path = self.cell_path(key)
         if not path.exists():
             self._emit("cache.cell_miss", key=key)
             return None
         try:
             data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError) as exc:
             self._emit("cache.cell_miss", key=key, corrupt=True)
+            if strict:
+                raise CacheCorruptError(
+                    f"cached cell {path} is unreadable: {exc}"
+                ) from exc
             return None
         if data.get("schema") != CELL_SCHEMA:
             self._emit("cache.cell_miss", key=key, stale_schema=True)
@@ -188,6 +209,9 @@ class SweepCache:
         return {str(k): float(v) for k, v in data["metrics"].items()}
 
     def store_cell(self, key: str, metrics: Dict[str, float]) -> Path:
+        from repro.testing.faults import maybe_inject
+
+        maybe_inject("cache")
         path = self.cell_path(key)
         self.cells_dir.mkdir(parents=True, exist_ok=True)
         # Key order is preserved (not sorted): consumers iterate metric

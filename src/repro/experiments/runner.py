@@ -145,14 +145,21 @@ def run_figure2_cells(
     cache: Optional[SweepCache] = None,
     resume: Optional[bool] = None,
     telemetry: Optional[Any] = None,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """All QPS cells of one Figure 2 panel, fanned out over processes.
 
     Every cell's randomness derives from ``(seed, qps, rep)`` inside
     :func:`run_figure2_cell`, so the fan-out cannot change any result:
     the returned list (in ``qps_values`` order) is bit-identical to a
-    serial loop.  ``max_workers`` follows the resolution rules of
-    :func:`repro.experiments.parallel.parallel_map`.
+    serial loop.  ``max_workers``, ``cell_timeout`` and ``retries``
+    follow the resolution rules of
+    :func:`repro.experiments.parallel.parallel_map`, whose supervised
+    pool retries crashed or deadline-expired cells from their
+    coordinate-derived seeds and respawns a broken pool; completed
+    cells are checkpointed into the cache as they finish, so an aborted
+    sweep resumes losslessly.
 
     With ``resume`` (default: the ``REPRO_RESUME`` environment variable,
     i.e. the CLI's ``--resume`` flag) previously computed cells are
@@ -216,9 +223,28 @@ def run_figure2_cells(
     tasks: List[Figure2CellTask] = [
         (cfg, qps_values[i], scale, seed, include_fifo) for i in cold
     ]
+
+    def checkpoint(batch_idx: int, payload: Dict[str, Any]) -> None:
+        # Flush each finished cell to the cache immediately (completion
+        # order), so a killed sweep resumes from everything already
+        # computed.  A failed checkpoint write only degrades
+        # resumability, never the run.
+        if cache is None:
+            return
+        try:
+            cache.store_cell(keys[cold[batch_idx]], payload["metrics"])
+        except Exception as exc:
+            if telemetry is not None:
+                telemetry.emit(
+                    "cache.store_failed",
+                    key=keys[cold[batch_idx]],
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
     cold_results = parallel_map(
         _figure2_cell_task, tasks, max_workers=max_workers,
-        telemetry=telemetry,
+        telemetry=telemetry, cell_timeout=cell_timeout, retries=retries,
+        on_result=checkpoint,
     )
     for i, payload in zip(cold, cold_results):
         value = payload["metrics"]
@@ -232,8 +258,6 @@ def run_figure2_cells(
                 pid=payload["pid"],
                 metrics=value,
             )
-        if cache is not None:
-            cache.store_cell(keys[i], value)
 
     manifest_path = None
     log_path = telemetry.path if telemetry is not None else None

@@ -47,15 +47,18 @@ from repro.dag.flat import (
     to_jobset,
 )
 from repro.dag.job import JobSet
+from repro.errors import SweepConfigError
 from repro.experiments.cache import SweepCache, cell_key
 from repro.experiments.parallel import (
     SharedInstance,
     attach_jobset,
     parallel_map,
+    reclaim_shared_memory,
     shared_memory_available,
 )
 from repro.sim.result import ScheduleResult
 from repro.sim.rng import derive_seed
+from repro.testing.faults import maybe_inject
 
 #: Metric name -> extractor over a ScheduleResult.
 METRICS: Dict[str, Callable[[ScheduleResult], float]] = {
@@ -189,11 +192,15 @@ def _sweep_rep_task(task) -> Dict[str, Any]:
     """One (grid point, repetition) cell, as a picklable top-level task.
 
     ``task`` is ``(scheduler_factory, params, instance_handle, m, speed,
-    run_seed, metrics)``.  ``instance_handle`` is either a
+    run_seed, metrics, task_index)``.  ``instance_handle`` is either a
     :attr:`SharedInstance.handle` dict (zero-copy path) or a pickled
     :class:`JobSet` (fallback when shared memory is unavailable).  The
     run seed arrives precomputed from the cell coordinates, so where (or
-    in what order) the task runs cannot affect its result.
+    in what order) the task runs cannot affect its result -- which is
+    also what makes the task safely *re-runnable* after a worker crash
+    or deadline kill.  ``task_index`` is the cell's global task index;
+    it exists so the deterministic fault harness
+    (:mod:`repro.testing.faults`) can target one specific cell.
 
     Returns ``{"metrics", "wall_s", "pid", "stats"}``: the extracted
     metric values (the only part results depend on -- cheaper to ship
@@ -202,12 +209,15 @@ def _sweep_rep_task(task) -> Dict[str, Any]:
     events.  Wall time is measured around the simulation only, inside
     the worker, so pool queueing never inflates it.
     """
-    (factory, params, instance_handle, m, speed, run_seed, metrics) = task
+    (factory, params, instance_handle, m, speed, run_seed, metrics,
+     task_index) = task
+    maybe_inject("dispatch", index=task_index)
     if isinstance(instance_handle, dict):
         jobset = attach_jobset(instance_handle)
     else:
         jobset = instance_handle
     scheduler = factory(**params)
+    maybe_inject("cell", index=task_index)
     t0 = time.perf_counter()
     result = scheduler.run(jobset, m=m, speed=speed, seed=run_seed)
     wall = time.perf_counter() - t0
@@ -266,6 +276,8 @@ def grid_sweep(
     cache: Union[SweepCache, str, None] = None,
     resume: bool = False,
     telemetry: Optional[Any] = None,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> SweepResult:
     """Run the full parameter cross product with paired comparisons.
 
@@ -316,13 +328,26 @@ def grid_sweep(
     telemetry:
         Optional :class:`repro.obs.Telemetry`.  When given, the sweep
         emits structured events (``sweep.start``, ``shm.publish``,
-        ``dispatch.*``, ``cache.*``, ``cell.run`` with per-cell wall
+        ``dispatch.*``, ``cache.*``, ``fault.*`` / ``pool.respawn`` for
+        every recovery action, ``cell.run`` with per-cell wall
         time / worker pid / engine stats, ``cell.cached``,
         ``sweep.done``) and writes a run manifest (config hash, rep
         seeds, instance content hashes, package versions, timings) under
         ``<cache>/manifests/`` -- or next to the telemetry log file when
         no cache is in play.  Telemetry never changes any result: the
         sweep is bit-identical with it on or off.
+    cell_timeout, retries:
+        Fault-tolerance knobs forwarded to
+        :func:`repro.experiments.parallel.parallel_map`: the per-cell
+        deadline in seconds (default ``REPRO_CELL_TIMEOUT`` /
+        ``--cell-timeout``) and the per-cell retry budget for crashed or
+        hung workers (default ``REPRO_RETRIES`` / ``--retries``, else
+        2).  Retried cells re-run from their coordinate-derived seeds,
+        so recovery never changes a number; exhaustion raises
+        :class:`~repro.errors.CellTimeoutError` /
+        :class:`~repro.errors.CellCrashedError`.  Completed cells are
+        checkpointed into the cache as they finish, so an aborted sweep
+        resumes losslessly with ``resume=True``.
 
     Returns
     -------
@@ -331,14 +356,14 @@ def grid_sweep(
     """
     t_start = time.perf_counter()
     if m < 1:
-        raise ValueError(f"need m >= 1, got {m}")
+        raise SweepConfigError(f"need m >= 1, got {m}")
     if reps < 1:
-        raise ValueError(f"need reps >= 1, got {reps}")
+        raise SweepConfigError(f"need reps >= 1, got {reps}")
     if not grid:
-        raise ValueError("grid must have at least one dimension")
+        raise SweepConfigError("grid must have at least one dimension")
     unknown = [name for name in metrics if name not in METRICS]
     if unknown:
-        raise ValueError(
+        raise SweepConfigError(
             f"unknown metrics {unknown}; available: {sorted(METRICS)}"
         )
     if isinstance(cache, (str,)) or hasattr(cache, "__fspath__"):
@@ -469,18 +494,47 @@ def grid_sweep(
                 speed,
                 tasks[i][2],
                 metric_names,
+                i,
             )
             for i in cold_indices
         ]
+
+        def checkpoint(batch_idx: int, payload: Dict[str, Any]) -> None:
+            # Flush each finished cell to the cache the moment its
+            # result lands in the parent (completion order), so a sweep
+            # killed mid-flight loses nothing already computed: the
+            # rerun resumes from these cells.  A checkpoint-write
+            # failure must not abort the sweep -- the result is still
+            # in memory; only resumability degrades.
+            i = cold_indices[batch_idx]
+            if cache is None or task_keys[i] is None:
+                return
+            try:
+                cache.store_cell(task_keys[i], payload["metrics"])
+            except Exception as exc:
+                if telemetry is not None:
+                    telemetry.emit(
+                        "cache.store_failed",
+                        key=task_keys[i],
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+
         cold_results = parallel_map(
             _sweep_rep_task,
             cold_tasks,
             max_workers=max_workers,
             telemetry=telemetry,
+            cell_timeout=cell_timeout,
+            retries=retries,
+            on_result=checkpoint,
         )
     finally:
         for s in shared:
             s.close()
+        # Belt and braces: reclaim anything the close loop could not
+        # reach (e.g. a publish that died between block creation and
+        # list append).  No-op when everything closed cleanly.
+        reclaim_shared_memory(telemetry)
 
     rep_metrics: List[Dict[str, float]] = [None] * len(tasks)  # type: ignore
     for i, payload in zip(cold_indices, cold_results):
@@ -497,8 +551,6 @@ def grid_sweep(
                 stats=payload["stats"],
                 metrics=values,
             )
-        if cache is not None and task_keys[i] is not None:
-            cache.store_cell(task_keys[i], values)
     for i, values in cached_results.items():
         rep_metrics[i] = values
         if telemetry is not None:

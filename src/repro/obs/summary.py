@@ -105,6 +105,29 @@ def summarize_events(events: Sequence[Event]) -> str:
         if counts.get("cache.bypass"):
             lines.append(f"{'bypassed sweeps':<28}{counts['cache.bypass']:>8}")
 
+    # -- fault tolerance --------------------------------------------------
+    fault_rows = [
+        ("timeouts", "fault.timeout"),
+        ("crashes", "fault.crash"),
+        ("cell errors", "fault.cell_error"),
+        ("retries", "fault.retry"),
+        ("giveups", "fault.giveup"),
+        ("pool respawns", "pool.respawn"),
+        ("shm reclaims", "shm.reclaim"),
+        ("failed checkpoints", "cache.store_failed"),
+    ]
+    if any(counts.get(kind) for _, kind in fault_rows):
+        lines.append("")
+        lines.append(f"{'faults & recovery':<28}{'count':>10}")
+        lines.append("-" * 40)
+        for name, kind in fault_rows:
+            if counts.get(kind):
+                lines.append(f"{name:<28}{counts[kind]:>10}")
+        recovered = counts.get("fault.giveup", 0) == 0
+        lines.append(
+            f"{'recovered':<28}{'yes' if recovered else 'NO':>10}"
+        )
+
     # -- cell wall times --------------------------------------------------
     walls = _wall_times(events)
     if walls:
@@ -170,6 +193,12 @@ def audit_events(events: Sequence[Event]) -> List[str]:
       number of ``cell.run`` + ``cell.cached`` events that follow;
     * cache accounting covers cell accounting: no cell is served from
       cache without a recorded cell-cache hit;
+    * fault accounting: every ``fault.retry`` / ``fault.giveup`` is
+      preceded by a charged fault (``fault.timeout`` / ``fault.crash`` /
+      ``fault.cell_error``), and any ``fault.giveup`` is itself a
+      violation -- it means a cell exhausted its retry budget, so the
+      run did not recover (``tools/bench_gate.py --telemetry`` fails on
+      it);
     * lifecycle sanity: at most one ``telemetry.close`` per
       ``telemetry.open``, and event timestamps are monotone.
     """
@@ -232,6 +261,27 @@ def audit_events(events: Sequence[Event]) -> List[str]:
         problems.append(
             f"{cached_cells} cell.cached events but only {cell_hits} "
             f"cache.cell_hit events"
+        )
+
+    # Fault accounting: every retry/giveup follows a charged fault, and
+    # a giveup means the run aborted without recovering -- surfaced so
+    # CI gates (tools/bench_gate.py --telemetry) can fail on it.
+    n_charged = (
+        counts.get("fault.timeout", 0)
+        + counts.get("fault.crash", 0)
+        + counts.get("fault.cell_error", 0)
+    )
+    n_follow = counts.get("fault.retry", 0) + counts.get("fault.giveup", 0)
+    if n_follow > n_charged:
+        problems.append(
+            f"{n_follow} fault.retry/fault.giveup events but only "
+            f"{n_charged} charged fault events "
+            f"(fault.timeout/crash/cell_error)"
+        )
+    if counts.get("fault.giveup"):
+        problems.append(
+            f"{counts['fault.giveup']} fault.giveup event(s): a cell "
+            f"exhausted its retry budget -- the sweep did not recover"
         )
 
     # Lifecycle sanity.

@@ -1,0 +1,28 @@
+"""`repro.testing`: deterministic chaos tooling for the test suite.
+
+The only resident today is :mod:`repro.testing.faults`, the env-driven
+fault-injection harness behind ``tests/experiments/test_faults.py`` and
+the CI chaos job.  Nothing in here runs unless ``REPRO_FAULTS`` is set,
+so importing the package (or shipping it) costs production runs
+nothing.
+"""
+
+from repro.testing.faults import (
+    FAULTS_DIR_ENV,
+    FAULTS_ENV,
+    FaultSpec,
+    clear_fault_state,
+    faults_active,
+    maybe_inject,
+    parse_faults,
+)
+
+__all__ = [
+    "FAULTS_DIR_ENV",
+    "FAULTS_ENV",
+    "FaultSpec",
+    "clear_fault_state",
+    "faults_active",
+    "maybe_inject",
+    "parse_faults",
+]

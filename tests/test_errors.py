@@ -1,0 +1,177 @@
+"""The repro.errors hierarchy: typing, attrs, deprecation-safe bases.
+
+The contract (ISSUE 4): every deliberate failure is a
+:class:`~repro.errors.ReproError` subclass, each also inherits the
+builtin it historically surfaced as (so pre-1.2 ``except ValueError`` /
+``except RuntimeError`` handlers keep working), and the execution
+layers actually raise the typed forms.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro
+from repro.errors import (
+    CacheCorruptError,
+    CellCrashedError,
+    CellTimeoutError,
+    FaultInjected,
+    ReproError,
+    SweepConfigError,
+    UnkeyableFactoryError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            SweepConfigError,
+            UnkeyableFactoryError,
+            CacheCorruptError,
+            CellCrashedError,
+            CellTimeoutError,
+            FaultInjected,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+        assert issubclass(cls, Exception)
+
+    @pytest.mark.parametrize(
+        "cls,builtin",
+        [
+            (SweepConfigError, ValueError),
+            (UnkeyableFactoryError, ValueError),
+            (CacheCorruptError, RuntimeError),
+            (CellCrashedError, RuntimeError),
+            (CellTimeoutError, TimeoutError),
+        ],
+    )
+    def test_deprecation_safe_builtin_bases(self, cls, builtin):
+        assert issubclass(cls, builtin)
+        # The old handler style still catches the new types.
+        with pytest.raises(builtin):
+            raise cls("boom")
+
+    def test_exported_from_the_root_package(self):
+        for name in (
+            "ReproError",
+            "SweepConfigError",
+            "UnkeyableFactoryError",
+            "CacheCorruptError",
+            "CellCrashedError",
+            "CellTimeoutError",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_catch_all_handler(self):
+        caught = []
+        for exc in (
+            SweepConfigError("x"),
+            CellTimeoutError("y", timeout=1.0, attempts=2),
+            FaultInjected("cell"),
+        ):
+            try:
+                raise exc
+            except ReproError as e:
+                caught.append(e)
+        assert len(caught) == 3
+
+
+class TestPayloads:
+    def test_cell_timeout_carries_deadline_and_attempts(self):
+        exc = CellTimeoutError("slow", timeout=2.5, attempts=3)
+        assert exc.timeout == 2.5
+        assert exc.attempts == 3
+
+    def test_cell_crashed_carries_attempts(self):
+        exc = CellCrashedError("died", attempts=4)
+        assert exc.attempts == 4
+
+    def test_fault_injected_carries_stage_and_pickles(self):
+        exc = FaultInjected("dispatch", "clause 1 index=2")
+        assert exc.stage == "dispatch"
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.stage == "dispatch"
+        assert clone.detail == "clause 1 index=2"
+        assert "dispatch" in str(clone)
+
+
+class TestRaisedByTheExecutionLayers:
+    def test_grid_sweep_config_errors_are_typed(self, tiny_spec):
+        from repro.core.work_stealing import WorkStealingScheduler
+        from repro.experiments.sweep import grid_sweep
+
+        with pytest.raises(SweepConfigError):
+            grid_sweep(WorkStealingScheduler, {}, tiny_spec, m=4)
+        with pytest.raises(SweepConfigError):
+            grid_sweep(
+                WorkStealingScheduler, {"k": [0]}, tiny_spec, m=0
+            )
+        with pytest.raises(SweepConfigError):
+            grid_sweep(
+                WorkStealingScheduler, {"k": [0]}, tiny_spec, m=4, reps=0
+            )
+        with pytest.raises(SweepConfigError, match="unknown metrics"):
+            grid_sweep(
+                WorkStealingScheduler,
+                {"k": [0]},
+                tiny_spec,
+                m=4,
+                metrics=("nope",),
+            )
+
+    def test_grid_sweep_config_errors_still_catchable_as_valueerror(
+        self, tiny_spec
+    ):
+        from repro.core.work_stealing import WorkStealingScheduler
+        from repro.experiments.sweep import grid_sweep
+
+        with pytest.raises(ValueError):
+            grid_sweep(WorkStealingScheduler, {}, tiny_spec, m=4)
+
+    def test_cache_corruption_strict_vs_lenient(self, tmp_path):
+        from repro.experiments.cache import SweepCache
+
+        cache = SweepCache(tmp_path)
+        cache.store_cell("good", {"max_flow": 1.0})
+        cache.cells_dir.mkdir(parents=True, exist_ok=True)
+        cache.cell_path("bad").write_text("{torn")
+
+        assert cache.load_cell("bad") is None  # lenient: miss
+        with pytest.raises(CacheCorruptError):
+            cache.load_cell("bad", strict=True)
+        # Stale schema is versioning, not corruption: a miss either way.
+        cache.cell_path("stale").write_text(
+            '{"schema": "repro-cell/0", "metrics": {"max_flow": 1.0}}'
+        )
+        assert cache.load_cell("stale") is None
+        assert cache.load_cell("stale", strict=True) is None
+
+    def test_instance_corruption_strict(self, tmp_path):
+        from repro.experiments.cache import SweepCache
+
+        cache = SweepCache(tmp_path)
+        cache.instances_dir.mkdir(parents=True, exist_ok=True)
+        cache.instance_path("bad").write_bytes(b"not an npz")
+        assert cache.load_instance("bad") is None
+        with pytest.raises(CacheCorruptError):
+            cache.load_instance("bad", strict=True)
+
+
+@pytest.fixture
+def tiny_spec():
+    from repro.workloads.distributions import ExponentialDistribution
+    from repro.workloads.generator import WorkloadSpec
+
+    return WorkloadSpec(
+        distribution=ExponentialDistribution(mean_ms=4.0),
+        qps=300.0,
+        n_jobs=6,
+        m=4,
+    )

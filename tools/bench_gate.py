@@ -13,11 +13,21 @@ number).  CI timing is noisy, hence the generous default threshold:
 the gate exists to catch order-of-magnitude accidents (a quadratic
 sneaking into a hot loop), not 5% jitter.
 
+With ``--telemetry LOG`` the gate additionally scans a JSONL telemetry
+event log (see docs/OBSERVABILITY.md) for unrecovered fault events: any
+``fault.giveup`` -- a sweep cell that exhausted its retry budget --
+fails the gate, as does an inconsistent fault ledger per
+``repro.obs.audit_events``.  Recovered faults (retries, pool respawns,
+timeouts that were retried successfully) are reported but pass: the
+robustness layer exists precisely so those do not invalidate a run.
+
 Usage::
 
     python tools/bench_gate.py current.json                # vs BENCH_engine.json
     python tools/bench_gate.py current.json --baseline old.json
     python tools/bench_gate.py current.json --max-regression 0.5
+    python tools/bench_gate.py current.json --telemetry events.jsonl
+    python tools/bench_gate.py --telemetry events.jsonl    # telemetry only
 """
 
 from __future__ import annotations
@@ -49,9 +59,55 @@ def load_ops(path: Path) -> Dict[str, float]:
     }
 
 
+def check_telemetry(log_path: Path) -> int:
+    """Scan a telemetry log for unrecovered faults; returns failure count.
+
+    Delegates the ledger math to :func:`repro.obs.audit_events` (which
+    flags any ``fault.giveup`` and retry/charge mismatches) and prints
+    a recovery summary either way.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs import read_events
+    from repro.obs.summary import audit_events
+
+    try:
+        events = read_events(log_path)
+    except OSError as exc:
+        raise SystemExit(f"{log_path}: cannot read ({exc})")
+
+    counts: Dict[str, int] = {}
+    for e in events:
+        kind = str(e.get("event", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    recovered = (
+        counts.get("fault.retry", 0)
+        + counts.get("pool.respawn", 0)
+        + counts.get("shm.reclaim", 0)
+    )
+    print(f"telemetry gate: {log_path} ({len(events)} events)")
+    for kind in sorted(k for k in counts if k.startswith(("fault.", "pool.", "shm."))):
+        print(f"  {kind}: {counts[kind]}")
+    if recovered:
+        print(f"  ({recovered} recovery action(s) recorded -- allowed)")
+
+    fault_problems = [
+        p for p in audit_events(events)
+        if "fault" in p or "giveup" in p
+    ]
+    for problem in fault_problems:
+        print(f"  UNRECOVERED: {problem}")
+    return len(fault_problems)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", type=Path, help="fresh benchmark report")
+    parser.add_argument(
+        "current",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="fresh benchmark report (optional with --telemetry)",
+    )
     parser.add_argument(
         "--baseline",
         type=Path,
@@ -81,7 +137,34 @@ def main(argv=None) -> int:
             "where it would be pure noise for the micro-benchmarks."
         ),
     )
+    parser.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="LOG",
+        help=(
+            "also gate on a JSONL telemetry event log: fail on any "
+            "fault.giveup (a cell that exhausted its retry budget) or "
+            "inconsistent fault ledger; recovered faults pass"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.current is None and args.telemetry is None:
+        parser.error("pass a benchmark report, --telemetry LOG, or both")
+
+    telemetry_failures = 0
+    if args.telemetry is not None:
+        telemetry_failures = check_telemetry(args.telemetry)
+        if args.current is None:
+            if telemetry_failures:
+                print(
+                    f"\nFAIL: {telemetry_failures} unrecovered fault "
+                    f"problem(s) in telemetry"
+                )
+                return 1
+            print("\nOK: telemetry shows no unrecovered faults")
+            return 0
+        print()
 
     current = load_ops(args.current)
     baseline = load_ops(args.baseline)
@@ -111,12 +194,20 @@ def main(argv=None) -> int:
     for name in sorted(set(current) - set(baseline)):
         print(f"  {name}: new benchmark (no baseline, skipped)")
 
-    if failures:
-        print(f"\nFAIL: {len(failures)} benchmark(s) below their floor:")
-        for name, ratio, floor in failures:
-            print(f"  {name}: {ratio:.2f}x (floor {floor:.2f})")
+    if failures or telemetry_failures:
+        if failures:
+            print(f"\nFAIL: {len(failures)} benchmark(s) below their floor:")
+            for name, ratio, floor in failures:
+                print(f"  {name}: {ratio:.2f}x (floor {floor:.2f})")
+        if telemetry_failures:
+            print(
+                f"\nFAIL: {telemetry_failures} unrecovered fault "
+                f"problem(s) in telemetry"
+            )
         return 1
     print("\nOK: no benchmark below its floor")
+    if args.telemetry is not None:
+        print("OK: telemetry shows no unrecovered faults")
     return 0
 
 
