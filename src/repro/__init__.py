@@ -107,7 +107,7 @@ from repro.errors import (
 from repro.obs import Telemetry
 from repro.workloads import WorkloadSpec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

@@ -10,10 +10,14 @@ with inconsistently named knobs (``m`` vs ``num_workers``, ``speed`` vs
   subclass, instantiated with defaults) to dispatch through its
   polymorphic ``run``;
 * pass an *engine name string* to reach an engine directly:
-  ``"work-stealing"`` (the tick engine; extra keyword arguments such as
-  ``k``, ``steals_per_tick``, ``trace`` forward to it) or
-  ``"speedup-fifo"`` / ``"speedup-equi"`` (the speedup-curves engines,
-  which take a :class:`~repro.speedup.model.SpeedupJobSet`).
+  ``"work-stealing"`` (the reference tick engine; extra keyword
+  arguments such as ``k``, ``steals_per_tick``, ``trace`` forward to
+  it), ``"flat"`` (the vectorized flat-CSR kernel of
+  :mod:`repro.sim.flat_engine` -- bit-identical to the reference and
+  additionally accepts a :class:`~repro.dag.flat.FlatInstance`
+  directly) or ``"speedup-fifo"`` / ``"speedup-equi"`` (the
+  speedup-curves engines, which take a
+  :class:`~repro.speedup.model.SpeedupJobSet`).
 
 The old module-level entrypoints survive as thin shims that emit one
 :class:`DeprecationWarning` per process and forward unchanged -- results
@@ -47,7 +51,13 @@ from repro.sim.result import ScheduleResult
 from repro.sim.rng import SeedLike
 
 #: Engine-name strings accepted by :func:`run`.
-ENGINE_NAMES = ("work-stealing", "speedup-fifo", "speedup-equi")
+ENGINE_NAMES = ("work-stealing", "flat", "speedup-fifo", "speedup-equi")
+
+
+def _n_jobs(jobset: Any) -> int:
+    """Job count of either instance form (JobSet or FlatInstance)."""
+    n = getattr(jobset, "n_jobs", None)
+    return int(n) if n is not None else len(jobset)
 
 
 def _resolve_size(
@@ -154,6 +164,14 @@ def run(
                     jobset, m=size, speed=s, seed=seed, **engine_kwargs
                 )
 
+        elif scheduler == "flat":
+            from repro.sim.flat_engine import _run_flat
+
+            def dispatch() -> ScheduleResult:
+                return _run_flat(
+                    jobset, m=size, speed=s, seed=seed, **engine_kwargs
+                )
+
         elif scheduler in ("speedup-fifo", "speedup-equi"):
             from repro.speedup.engine import (
                 _run_speedup_equi,
@@ -200,7 +218,7 @@ def run(
         m=size,
         speed=s,
         seed=seed,
-        n_jobs=len(jobset),
+        n_jobs=_n_jobs(jobset),
     )
     t0 = time.perf_counter()
     result = dispatch()
@@ -239,7 +257,7 @@ class _EngineScheduler(Scheduler):
                 f"unknown engine name {engine!r}; "
                 f"expected one of {ENGINE_NAMES} or a Scheduler"
             )
-        if engine != "work-stealing" and engine_kwargs:
+        if engine not in ("work-stealing", "flat") and engine_kwargs:
             raise TypeError(
                 f"{engine!r} accepts no extra engine arguments; "
                 f"got {sorted(engine_kwargs)}"
@@ -251,6 +269,16 @@ class _EngineScheduler(Scheduler):
     def name(self) -> str:
         return self.engine
 
+    @property
+    def consumes_flat(self) -> bool:
+        """Whether :meth:`run` can take a raw :class:`FlatInstance`.
+
+        The sweep dispatch layer checks this to hand the flat kernel the
+        attached CSR arrays directly (no ``to_jobset()`` round trip in
+        pool workers).
+        """
+        return self.engine == "flat"
+
     def run(
         self,
         jobset: Any,
@@ -259,15 +287,16 @@ class _EngineScheduler(Scheduler):
         seed: SeedLike = None,
         trace: Optional[Any] = None,
     ) -> ScheduleResult:
-        if self.engine == "work-stealing":
-            from repro.sim.engine import _run_work_stealing
+        if self.engine in ("work-stealing", "flat"):
+            if self.engine == "work-stealing":
+                from repro.sim.engine import _run_work_stealing as target
+            else:
+                from repro.sim.flat_engine import _run_flat as target
 
             kwargs = dict(self.engine_kwargs)
             if trace is not None:
                 kwargs["trace"] = trace
-            return _run_work_stealing(
-                jobset, m=m, speed=speed, seed=seed, **kwargs
-            )
+            return target(jobset, m=m, speed=speed, seed=seed, **kwargs)
         from repro.speedup.engine import _run_speedup_equi, _run_speedup_fifo
 
         target = (
@@ -393,10 +422,12 @@ def sweep(
         * a Scheduler *instance* -- used as a prototype: each cell gets
           a copy with the grid parameters assigned over it (they must
           name existing attributes);
-        * an *engine name* (``"work-stealing"``, ``"speedup-fifo"``,
-          ``"speedup-equi"``) -- grid parameters forward to the engine
-          (the deterministic speedup engines accept none and ignore
-          seeds);
+        * an *engine name* (``"work-stealing"``, ``"flat"``,
+          ``"speedup-fifo"``, ``"speedup-equi"``) -- grid parameters
+          forward to the engine (the deterministic speedup engines
+          accept none and ignore seeds).  ``"flat"`` additionally runs
+          pool workers straight on the attached shared-memory CSR
+          arrays, skipping the per-worker object-graph rebuild;
         * any other *callable* -- passed through unchanged, i.e. the
           raw :func:`~repro.experiments.sweep.grid_sweep` contract.
     grid:

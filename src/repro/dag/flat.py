@@ -151,7 +151,16 @@ def flatten_jobset(jobset: JobSet) -> FlatInstance:
     instance) are flattened once and their spans replicated, so the cost
     is proportional to the number of *distinct* DAGs plus the output
     size, not to naive per-job re-walks.
+
+    The result is cached on the JobSet: a JobSet is immutable after
+    construction (``_jobs`` is a tuple and there is no mutation API), so
+    run -> sweep paths that repeatedly flatten the same instance -- the
+    measured ``flatten_jobset`` hot spot -- pay the walk once.
+    :func:`to_jobset` pre-seeds the same cache on the sets it rebuilds.
     """
+    cached = getattr(jobset, "_flat_cache", None)
+    if cached is not None:
+        return cached
     n_jobs = len(jobset)
     job_nodes = np.empty(n_jobs, dtype=np.int64)
     arrivals = np.empty(n_jobs, dtype=np.float64)
@@ -204,7 +213,7 @@ def flatten_jobset(jobset: JobSet) -> FlatInstance:
         if target_blocks
         else np.empty(0, dtype=np.int64)
     )
-    return FlatInstance(
+    flat = FlatInstance(
         node_works=node_works,
         edge_offsets=edge_offsets,
         edge_targets=edge_targets,
@@ -212,6 +221,8 @@ def flatten_jobset(jobset: JobSet) -> FlatInstance:
         arrivals=arrivals,
         weights=weights,
     )
+    jobset._flat_cache = flat
+    return flat
 
 
 # ----------------------------------------------------------------------
@@ -250,7 +261,14 @@ def to_jobset(flat: FlatInstance) -> JobSet:
                 weight=float(weights[i]),
             )
         )
-    return JobSet(jobs)
+    jobset = JobSet(jobs)
+    if flat.n_jobs <= 1 or bool(np.all(arrivals[1:] >= arrivals[:-1])):
+        # The round trip is lossless, so flattening the rebuilt set would
+        # reproduce `flat` byte for byte -- pre-seed the flatten cache.
+        # (Only when arrivals were already sorted: JobSet re-sorts, so an
+        # unsorted input permutes job order and the cache would be wrong.)
+        jobset._flat_cache = flat
+    return jobset
 
 
 # ----------------------------------------------------------------------

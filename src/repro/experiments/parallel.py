@@ -104,7 +104,13 @@ from typing import (
     TypeVar,
 )
 
-from repro.dag.flat import FlatInstance, pack_into, to_jobset, unpack_from
+from repro.dag.flat import (
+    FlatInstance,
+    flatten_jobset,
+    pack_into,
+    to_jobset,
+    unpack_from,
+)
 from repro.dag.job import JobSet
 from repro.errors import CellCrashedError, CellTimeoutError, FaultInjected
 
@@ -656,6 +662,13 @@ def shared_memory_available() -> bool:
 #: rebuild cost once per instance, not once per task.
 _ATTACH_CACHE: Dict[str, Tuple[Any, JobSet]] = {}
 
+#: Flat views of attached shared-memory blocks, keyed by block name.
+#: Sibling of ``_ATTACH_CACHE`` for flat-consuming schedulers
+#: (``engine="flat"``): the cached :class:`FlatInstance` wraps views
+#: straight into the shared block -- no object graph is ever built --
+#: and carries the kernel's derived-table cache across tasks.
+_FLAT_ATTACH_CACHE: Dict[str, Tuple[Any, FlatInstance]] = {}
+
 #: Instances published by THIS process (the sweep parent), keyed by
 #: block name.  The serial fallback path resolves against it directly,
 #: avoiding a same-process re-attach.
@@ -784,13 +797,14 @@ class SharedInstance:
 
 
 def _evict_attach_cache() -> None:
-    while len(_ATTACH_CACHE) > _ATTACH_CACHE_LIMIT:
-        name, (shm, _) = next(iter(_ATTACH_CACHE.items()))
-        del _ATTACH_CACHE[name]
-        try:
-            shm.close()
-        except Exception:  # pragma: no cover - best-effort cleanup
-            pass
+    for cache in (_ATTACH_CACHE, _FLAT_ATTACH_CACHE):
+        while len(cache) > _ATTACH_CACHE_LIMIT:
+            name, (shm, _) = next(iter(cache.items()))
+            del cache[name]
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
 
 
 def attach_jobset(handle: Dict[str, Any]) -> JobSet:
@@ -809,18 +823,54 @@ def attach_jobset(handle: Dict[str, Any]) -> JobSet:
     cached = _ATTACH_CACHE.get(name)
     if cached is not None:
         return cached[1]
+    shm = _borrow_shared_block(name)
+    flat = unpack_from(shm.buf, handle)
+    jobset = to_jobset(flat)
+    _ATTACH_CACHE[name] = (shm, jobset)
+    _evict_attach_cache()
+    return jobset
+
+
+def _borrow_shared_block(name: str):
+    """Attach a parent-owned shared block without claiming ownership.
+
+    Workers only borrow the block; unregister it from the resource
+    tracker so worker exit does not try to destroy (or warn about) a
+    segment the parent still owns.
+    """
     shm = _shared_memory.SharedMemory(name=name)
-    # Workers only borrow the block; unregister it from the resource
-    # tracker so worker exit does not try to destroy (or warn about)
-    # a segment the parent still owns.
     try:  # pragma: no cover - tracker internals vary across versions
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(shm._name, "shared_memory")
     except Exception:
         pass
+    return shm
+
+
+def attach_flat(handle: Dict[str, Any]) -> FlatInstance:
+    """Resolve a :attr:`SharedInstance.handle` into a :class:`FlatInstance`.
+
+    The flat sibling of :func:`attach_jobset`, for schedulers that
+    consume CSR state directly (``engine="flat"``): the returned
+    instance's arrays are views straight into the shared block, so a
+    pool worker never rebuilds the per-job object graph at all.  Cached
+    per process like the jobset view, which also keeps the flat
+    kernel's derived tables warm across every task over the same
+    instance.
+    """
+    name = handle["shm_name"]
+    local = _PUBLISHED_LOCAL.get(name)
+    if local is not None:
+        # Serial path inside the publishing process: the published
+        # jobset carries its flat view (flatten_jobset caches it), so
+        # this is a dict lookup, not a re-flatten.
+        return flatten_jobset(local)
+    cached = _FLAT_ATTACH_CACHE.get(name)
+    if cached is not None:
+        return cached[1]
+    shm = _borrow_shared_block(name)
     flat = unpack_from(shm.buf, handle)
-    jobset = to_jobset(flat)
-    _ATTACH_CACHE[name] = (shm, jobset)
+    _FLAT_ATTACH_CACHE[name] = (shm, flat)
     _evict_attach_cache()
-    return jobset
+    return flat

@@ -51,6 +51,7 @@ from repro.errors import SweepConfigError
 from repro.experiments.cache import SweepCache, cell_key
 from repro.experiments.parallel import (
     SharedInstance,
+    attach_flat,
     attach_jobset,
     parallel_map,
     reclaim_shared_memory,
@@ -212,11 +213,17 @@ def _sweep_rep_task(task) -> Dict[str, Any]:
     (factory, params, instance_handle, m, speed, run_seed, metrics,
      task_index) = task
     maybe_inject("dispatch", index=task_index)
+    scheduler = factory(**params)
     if isinstance(instance_handle, dict):
-        jobset = attach_jobset(instance_handle)
+        # Flat-consuming schedulers (engine="flat") take the attached
+        # CSR arrays directly -- zero-copy end to end, no per-worker
+        # object-graph rebuild.
+        if getattr(scheduler, "consumes_flat", False):
+            jobset = attach_flat(instance_handle)
+        else:
+            jobset = attach_jobset(instance_handle)
     else:
         jobset = instance_handle
-    scheduler = factory(**params)
     maybe_inject("cell", index=task_index)
     t0 = time.perf_counter()
     result = scheduler.run(jobset, m=m, speed=speed, seed=run_seed)

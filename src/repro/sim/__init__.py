@@ -16,6 +16,13 @@ Two exact simulation engines drive every scheduler in :mod:`repro.core`:
   exactly those integer ticks, so runs are bit-reproducible for a given
   seed.
 
+:mod:`repro.sim.flat_engine` (``repro.run(..., engine="flat")``) is a
+vectorized reimplementation of the tick engine over
+:class:`~repro.dag.flat.FlatInstance` CSR state -- bit-identical
+results (the equivalence suite pins it), several times the throughput,
+and it consumes attached shared-memory instances directly in sweep
+workers.
+
 Shared pieces: :class:`~repro.sim.result.ScheduleResult` (the output of
 every engine), :class:`~repro.sim.jobstate.JobExecution` (mutable per-job
 execution state), :class:`~repro.sim.deque.WorkStealingDeque`,

@@ -1,0 +1,336 @@
+"""Cross-engine fuzz: the flat-CSR kernel vs the reference tick engine.
+
+``engine="flat"`` (:mod:`repro.sim.flat_engine`) claims *bit-identity*
+with :func:`repro.sim.engine._run_work_stealing`: same completion
+times, same :class:`SimulationStats` counters, same victim-RNG draw
+sequence, same sampler snapshots.  This suite pins that claim from
+every angle the reference engine is exercised from elsewhere:
+
+* randomized layered multi-DAG instances (the brute-force equivalence
+  suite's generator) swept across the ``k`` / ``steals_per_tick`` /
+  ``speed`` / ``m`` grid;
+* all three paper work distributions (Bing, Finance, log-normal) via
+  :class:`~repro.workloads.WorkloadSpec`;
+* the Section 5 adversarial lower-bound instances;
+* chain-heavy DAGs (the kernel's chain fast path) and single-node jobs;
+* telemetry on/off (a :class:`SystemSampler` attached or not) -- the
+  schedule must not depend on observation, and the sampled time series
+  itself must match the reference row for row;
+* the brute-force mode (``_fast_forward=False``) and the delegating
+  configurations (non-uniform victim policies, ``steal_half``, weighted
+  admission).
+
+Equality below always means *full* equality: completions array,
+``stats.as_dict()``, scheduler label and recorded seed.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.dag.builders import chain, random_layered_dag, single_node
+from repro.dag.flat import flatten_jobset
+from repro.dag.job import jobs_from_dags
+from repro.sim import flat_engine
+from repro.sim.engine import _run_work_stealing
+from repro.sim.flat_engine import _run_flat
+from repro.sim.sampling import SystemSampler
+from repro.workloads import (
+    BingDistribution,
+    FinanceDistribution,
+    LogNormalDistribution,
+    WorkloadSpec,
+    adversarial_instance,
+)
+
+
+def random_instance(seed, n_jobs=6, gap_scale=4.0):
+    """Small multi-DAG jobset with bursty arrivals (cf. test_engine_reference)."""
+    rng = np.random.default_rng(seed)
+    dags = []
+    for _ in range(n_jobs):
+        n_nodes = int(rng.integers(1, 12))
+        n_layers = int(rng.integers(1, n_nodes + 1))
+        dags.append(
+            random_layered_dag(
+                rng,
+                n_nodes=n_nodes,
+                n_layers=n_layers,
+                edge_probability=0.4,
+                max_work=5,
+            )
+        )
+    arrivals = np.cumsum(rng.exponential(gap_scale, size=n_jobs))
+    arrivals[0] = 0.0
+    weights = rng.uniform(0.5, 4.0, size=n_jobs)
+    return jobs_from_dags(dags, arrivals.tolist(), weights=weights.tolist())
+
+
+def assert_identical(ref, flat):
+    """Full ScheduleResult equality, with a readable failure payload."""
+    assert np.array_equal(ref.completions, flat.completions), (
+        ref.completions,
+        flat.completions,
+    )
+    assert ref.stats.as_dict() == flat.stats.as_dict()
+    assert ref.scheduler == flat.scheduler
+    assert ref.m == flat.m and ref.speed == flat.speed
+    assert ref.seed == flat.seed
+    assert np.array_equal(ref.arrivals, flat.arrivals)
+    assert np.array_equal(ref.weights, flat.weights)
+
+
+def run_both(jobset, **kwargs):
+    ref = _run_work_stealing(jobset, **kwargs)
+    flat = _run_flat(jobset, **kwargs)
+    assert_identical(ref, flat)
+    # The FlatInstance input path (what sweep workers execute on) must
+    # agree with the JobSet input path.
+    flat2 = _run_flat(flatten_jobset(jobset), **kwargs)
+    assert_identical(ref, flat2)
+    return ref
+
+
+FUZZ_CASES = [
+    # (instance seed, engine kwargs) -- admit-first, steal-first, the
+    # theory configuration, sub-tick steal budgets, speeds, m=1.
+    (0, dict(m=2, k=0, steals_per_tick=1, seed=10)),
+    (1, dict(m=3, k=1, steals_per_tick=1, seed=11)),
+    (2, dict(m=4, k=4, steals_per_tick=1, seed=12)),
+    (3, dict(m=4, k=16, steals_per_tick=1, seed=13)),
+    (4, dict(m=2, k=0, steals_per_tick=4, seed=14)),
+    (5, dict(m=3, k=2, steals_per_tick=8, seed=15)),
+    (6, dict(m=4, k=8, steals_per_tick=64, seed=16)),
+    (7, dict(m=8, k=3, steals_per_tick=16, seed=17)),
+    (8, dict(m=1, k=2, steals_per_tick=1, seed=18)),
+    (9, dict(m=6, k=4, steals_per_tick=4, speed=2.0, seed=19)),
+    (10, dict(m=2, k=7, steals_per_tick=2, speed=1.5, seed=20)),
+    (11, dict(m=16, k=0, steals_per_tick=64, seed=21)),
+    (12, dict(m=16, k=16, steals_per_tick=64, seed=22)),
+]
+
+
+@pytest.mark.parametrize("case_seed,kwargs", FUZZ_CASES)
+def test_fuzz_random_instances(case_seed, kwargs):
+    run_both(random_instance(case_seed), **kwargs)
+
+
+@pytest.mark.parametrize("case_seed", range(8))
+def test_fuzz_dense_arrivals(case_seed):
+    """Bursty near-simultaneous arrivals stress admission ordering."""
+    jobset = random_instance(100 + case_seed, n_jobs=10, gap_scale=0.5)
+    run_both(jobset, m=4, k=2, steals_per_tick=8, seed=case_seed)
+    run_both(jobset, m=4, k=0, steals_per_tick=64, seed=case_seed)
+
+
+@pytest.mark.parametrize(
+    "dist",
+    [BingDistribution(), FinanceDistribution(), LogNormalDistribution()],
+    ids=["bing", "finance", "lognormal"],
+)
+@pytest.mark.parametrize("kwargs", [
+    dict(m=8, k=0, steals_per_tick=64, seed=0),
+    dict(m=8, k=8, steals_per_tick=64, seed=1),
+    dict(m=8, k=4, steals_per_tick=1, seed=2),
+])
+def test_paper_distributions(dist, kwargs):
+    spec = WorkloadSpec(dist, qps=800.0, n_jobs=80, m=8)
+    run_both(spec.build(seed=5), **kwargs)
+
+
+@pytest.mark.parametrize("n_jobs", [8, 32])
+def test_adversarial_instances(n_jobs):
+    jobset, m = adversarial_instance(n_jobs)
+    run_both(jobset, m=m, k=0, steals_per_tick=64, seed=3)
+    run_both(jobset, m=m, k=2 * m, steals_per_tick=64, seed=3)
+
+
+def test_chain_heavy_dags():
+    """Long chains drive the kernel's chain_next fast path."""
+    rng = np.random.default_rng(0)
+    dags = [
+        chain(rng.integers(1, 5, size=int(rng.integers(3, 20))).tolist())
+        for _ in range(6)
+    ]
+    dags += [single_node(work=3), single_node(work=1)]
+    arrivals = np.cumsum(rng.exponential(2.0, size=len(dags)))
+    jobset = jobs_from_dags(dags, arrivals.tolist())
+    run_both(jobset, m=3, k=1, steals_per_tick=2, seed=4)
+    run_both(jobset, m=3, k=0, steals_per_tick=16, seed=4)
+
+
+def test_empty_jobset():
+    jobset = jobs_from_dags([], [])
+    run_both(jobset, m=4, k=2, steals_per_tick=4, seed=0)
+
+
+def test_brute_force_mode():
+    jobset = random_instance(42)
+    run_both(jobset, m=4, k=2, steals_per_tick=4, seed=6, _fast_forward=False)
+    run_both(jobset, m=2, k=0, steals_per_tick=1, seed=6, _fast_forward=False)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(victim_policy="round-robin", k=2, steals_per_tick=4),
+    dict(victim_policy="max-deque", k=2, steals_per_tick=4),
+    dict(steal_half=True, k=1, steals_per_tick=8),
+    dict(admission="weight", k=3, steals_per_tick=2),
+])
+def test_delegating_configurations(kwargs):
+    """Out-of-scope knobs route to the reference engine and stay identical."""
+    jobset = random_instance(7)
+    run_both(jobset, m=4, seed=8, **kwargs)
+
+
+def test_sampler_parity_and_observation_invariance():
+    """Telemetry on/off: identical schedules, identical sample series."""
+    jobset = random_instance(3, n_jobs=10)
+    kwargs = dict(m=4, k=2, steals_per_tick=8, seed=9)
+
+    ref_sampler = SystemSampler(every=16)
+    flat_sampler = SystemSampler(every=16)
+    ref = _run_work_stealing(jobset, sampler=ref_sampler, **kwargs)
+    flat = _run_flat(jobset, sampler=flat_sampler, **kwargs)
+    assert_identical(ref, flat)
+    assert ref_sampler.samples == flat_sampler.samples
+    assert len(flat_sampler.samples) > 0
+
+    # Observation must not perturb the schedule.
+    bare = _run_flat(jobset, **kwargs)
+    assert_identical(bare, flat)
+
+
+def test_determinism_and_generator_seed():
+    """Same seed -> same bits; a Generator seed is consumed identically."""
+    jobset = random_instance(5)
+    kwargs = dict(m=4, k=3, steals_per_tick=8)
+    a = _run_flat(jobset, seed=123, **kwargs)
+    b = _run_flat(jobset, seed=123, **kwargs)
+    assert_identical(a, b)
+
+    # Passing a Generator: both engines must leave it in the same state.
+    g_ref = np.random.default_rng(77)
+    g_flat = np.random.default_rng(77)
+    ref = _run_work_stealing(jobset, seed=g_ref, **kwargs)
+    flat = _run_flat(jobset, seed=g_flat, **kwargs)
+    assert_identical(ref, flat)
+    assert g_ref.integers(0, 1 << 30) == g_flat.integers(0, 1 << 30)
+
+
+def test_validation_errors_match_reference():
+    jobset = random_instance(1)
+    for bad in (
+        dict(m=0),
+        dict(m=2, speed=0.0),
+        dict(m=2, k=-1),
+        dict(m=2, steals_per_tick=0),
+        dict(m=2, admission="lifo"),
+    ):
+        with pytest.raises(ValueError) as ref_exc:
+            _run_work_stealing(jobset, **bad)
+        with pytest.raises(ValueError) as flat_exc:
+            _run_flat(jobset, **bad)
+        assert str(ref_exc.value) == str(flat_exc.value)
+
+
+def test_max_ticks_overload_error_matches():
+    jobset = random_instance(2)
+    with pytest.raises(RuntimeError, match="exceeded max_ticks=5"):
+        _run_flat(jobset, m=2, k=0, steals_per_tick=1, seed=0, max_ticks=5)
+
+
+# ----------------------------------------------------------------------
+# repro.run() / repro.sweep() facade integration
+# ----------------------------------------------------------------------
+
+
+def test_run_facade_flat_engine():
+    spec = WorkloadSpec(BingDistribution(), qps=800.0, n_jobs=40, m=4)
+    jobset = spec.build(seed=2)
+    ref = repro.run("work-stealing", jobset, m=4, seed=1, k=2, steals_per_tick=8)
+    flat = repro.run("flat", jobset, m=4, seed=1, k=2, steals_per_tick=8)
+    assert_identical(ref, flat)
+    # The facade also takes the CSR instance directly.
+    flat2 = repro.run(
+        "flat", flatten_jobset(jobset), m=4, seed=1, k=2, steals_per_tick=8
+    )
+    assert_identical(ref, flat2)
+
+
+def test_run_facade_unknown_engine_lists_names():
+    jobset = random_instance(0)
+    with pytest.raises(ValueError) as exc:
+        repro.run("flt", jobset, m=2)
+    msg = str(exc.value)
+    from repro.api import ENGINE_NAMES
+
+    for name in ENGINE_NAMES:
+        assert name in msg
+    assert "flat" in msg
+
+
+def test_sweep_facade_flat_matches_reference():
+    spec = WorkloadSpec(BingDistribution(), qps=800.0, n_jobs=30, m=4)
+    grid = {"k": [0, 4], "steals_per_tick": [1, 8]}
+    ref = repro.sweep(
+        "work-stealing", grid, spec, m=4, reps=2, seed=11, max_workers=1
+    )
+    flat = repro.sweep("flat", grid, spec, m=4, reps=2, seed=11, max_workers=1)
+    assert [(c.params, c.metrics) for c in ref.cells] == [
+        (c.params, c.metrics) for c in flat.cells
+    ]
+
+
+# ----------------------------------------------------------------------
+# numba request ergonomics (REPRO_NUMBA)
+# ----------------------------------------------------------------------
+
+
+def _reset_numba_resolution(monkeypatch):
+    monkeypatch.setattr(flat_engine, "_numba_scan", None)
+    monkeypatch.setattr(flat_engine, "_numba_resolved", False)
+    monkeypatch.setattr(flat_engine, "_numba_warned", False)
+
+
+def test_numba_requested_but_missing_warns_once(monkeypatch):
+    """REPRO_NUMBA=1 without numba: one RuntimeWarning, then silence."""
+    try:
+        import numba  # noqa: F401
+
+        pytest.skip("numba is importable here; the fallback path is moot")
+    except ImportError:
+        pass
+    _reset_numba_resolution(monkeypatch)
+    monkeypatch.setenv("REPRO_NUMBA", "1")
+    jobset = random_instance(4)
+    with pytest.warns(RuntimeWarning, match="numba is not importable"):
+        first = _run_flat(jobset, m=4, k=2, steals_per_tick=8, seed=0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        second = _run_flat(jobset, m=4, k=2, steals_per_tick=8, seed=0)
+    assert_identical(first, second)
+
+
+def test_numba_disabled_is_silent(monkeypatch):
+    _reset_numba_resolution(monkeypatch)
+    monkeypatch.setenv("REPRO_NUMBA", "0")
+    jobset = random_instance(4)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = _run_flat(jobset, m=4, k=2, steals_per_tick=8, seed=0)
+    ref = _run_work_stealing(jobset, m=4, k=2, steals_per_tick=8, seed=0)
+    assert_identical(ref, result)
+
+
+def test_numba_default_resolution_is_silent(monkeypatch):
+    """Unset REPRO_NUMBA auto-detects without warning either way."""
+    _reset_numba_resolution(monkeypatch)
+    monkeypatch.delenv("REPRO_NUMBA", raising=False)
+    jobset = random_instance(4)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = _run_flat(jobset, m=4, k=2, steals_per_tick=8, seed=0)
+    ref = _run_work_stealing(jobset, m=4, k=2, steals_per_tick=8, seed=0)
+    assert_identical(ref, result)

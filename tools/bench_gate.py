@@ -21,6 +21,15 @@ fails the gate, as does an inconsistent fault ledger per
 timeouts that were retried successfully) are reported but pass: the
 robustness layer exists precisely so those do not invalidate a run.
 
+``--min-derived NAME:FLOOR`` (repeatable) additionally enforces a
+minimum on a *derived* cross-benchmark ratio of the current report
+(the ``derived`` section written by ``tools/bench_report.py``).  This
+is how ISSUE 6's flat-kernel speedup is pinned: the
+``flat_vs_reference_*`` ratios divide the ``engine="flat"`` throughput
+by the reference tick engine's on the identical configuration, and
+``--min-derived flat_vs_reference_contention:5`` fails CI if the
+contention-regime speedup ever drops below 5x.
+
 Usage::
 
     python tools/bench_gate.py current.json                # vs BENCH_engine.json
@@ -28,6 +37,7 @@ Usage::
     python tools/bench_gate.py current.json --max-regression 0.5
     python tools/bench_gate.py current.json --telemetry events.jsonl
     python tools/bench_gate.py --telemetry events.jsonl    # telemetry only
+    python tools/bench_gate.py current.json --min-derived flat_vs_reference_contention:5
 """
 
 from __future__ import annotations
@@ -41,22 +51,84 @@ from typing import Dict
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def load_ops(path: Path) -> Dict[str, float]:
-    """Read ``{benchmark name: ops/sec}`` from either report format."""
+def load_report(path: Path) -> dict:
+    """Read and minimally validate a report file."""
     try:
         data = json.loads(path.read_text())
     except OSError as exc:
         raise SystemExit(f"{path}: cannot read ({exc})")
     except json.JSONDecodeError as exc:
         raise SystemExit(f"{path}: not valid JSON ({exc})")
-    benchmarks = data.get("benchmarks")
-    if benchmarks is None:
+    if data.get("benchmarks") is None:
         raise SystemExit(f"{path}: no 'benchmarks' key")
+    return data
+
+
+def extract_ops(data: dict) -> Dict[str, float]:
+    """``{benchmark name: ops/sec}`` from either report format."""
+    benchmarks = data["benchmarks"]
     if isinstance(benchmarks, list):  # raw pytest-benchmark dump
         return {b["name"]: float(b["stats"]["ops"]) for b in benchmarks}
     return {
         name: float(stats["ops_per_sec"]) for name, stats in benchmarks.items()
     }
+
+
+def load_ops(path: Path) -> Dict[str, float]:
+    """Read ``{benchmark name: ops/sec}`` from either report format."""
+    return extract_ops(load_report(path))
+
+
+def check_derived_floors(data: dict, floors: Dict[str, float]) -> int:
+    """Enforce ``--min-derived`` floors on a report's derived ratios.
+
+    The ratios come from ``tools/bench_report.py``'s ``derived`` section
+    (cross-benchmark ops/sec ratios, e.g. the flat-kernel-vs-reference
+    speedups); when the report lacks them -- a raw pytest-benchmark
+    dump -- they are recomputed here from the benchmark numbers via the
+    report tool's ratio table.  A missing ratio fails the gate: a floor
+    on a benchmark pair that never ran would otherwise pass vacuously.
+    """
+    derived = dict(data.get("derived") or {})
+    missing = [name for name in floors if name not in derived]
+    if missing:
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        from bench_report import DERIVED_RATIOS
+
+        ops = extract_ops(data)
+        for name in missing:
+            pair = DERIVED_RATIOS.get(name)
+            if pair and pair[0] in ops and pair[1] in ops and ops[pair[1]] > 0:
+                derived[name] = ops[pair[0]] / ops[pair[1]]
+
+    failures = 0
+    for name, floor in sorted(floors.items()):
+        ratio = derived.get(name)
+        if ratio is None:
+            print(f"  derived {name}: MISSING (floor {floor:.2f})")
+            failures += 1
+            continue
+        status = "ok" if ratio >= floor else "BELOW FLOOR"
+        print(f"  derived {name}: {ratio:.2f}x (floor {floor:.2f}) {status}")
+        if ratio < floor:
+            failures += 1
+    return failures
+
+
+def parse_min_derived(specs) -> Dict[str, float]:
+    floors: Dict[str, float] = {}
+    for spec in specs or ():
+        name, sep, value = spec.partition(":")
+        if not sep or not name:
+            raise SystemExit(
+                f"--min-derived {spec!r}: expected NAME:FLOOR "
+                f"(e.g. flat_vs_reference_contention:5)"
+            )
+        try:
+            floors[name] = float(value)
+        except ValueError:
+            raise SystemExit(f"--min-derived {spec!r}: FLOOR must be a number")
+    return floors
 
 
 def check_telemetry(log_path: Path) -> int:
@@ -148,6 +220,18 @@ def main(argv=None) -> int:
             "inconsistent fault ledger; recovered faults pass"
         ),
     )
+    parser.add_argument(
+        "--min-derived",
+        action="append",
+        default=None,
+        metavar="NAME:FLOOR",
+        help=(
+            "minimum value for a derived cross-benchmark ratio of the "
+            "current report (repeatable).  ISSUE 6 pins the flat-kernel "
+            "speedup with 'flat_vs_reference_contention:5'.  A ratio "
+            "missing from the report fails the gate."
+        ),
+    )
     args = parser.parse_args(argv)
     if args.current is None and args.telemetry is None:
         parser.error("pass a benchmark report, --telemetry LOG, or both")
@@ -166,8 +250,10 @@ def main(argv=None) -> int:
             return 0
         print()
 
-    current = load_ops(args.current)
+    current_report = load_report(args.current)
+    current = extract_ops(current_report)
     baseline = load_ops(args.baseline)
+    derived_floors = parse_min_derived(args.min_derived)
 
     def floor_for(name: str) -> float:
         if args.engine_budget is not None and "engine_throughput" in name:
@@ -194,11 +280,20 @@ def main(argv=None) -> int:
     for name in sorted(set(current) - set(baseline)):
         print(f"  {name}: new benchmark (no baseline, skipped)")
 
-    if failures or telemetry_failures:
+    derived_failures = 0
+    if derived_floors:
+        derived_failures = check_derived_floors(current_report, derived_floors)
+
+    if failures or telemetry_failures or derived_failures:
         if failures:
             print(f"\nFAIL: {len(failures)} benchmark(s) below their floor:")
             for name, ratio, floor in failures:
                 print(f"  {name}: {ratio:.2f}x (floor {floor:.2f})")
+        if derived_failures:
+            print(
+                f"\nFAIL: {derived_failures} derived ratio(s) below their "
+                f"--min-derived floor"
+            )
         if telemetry_failures:
             print(
                 f"\nFAIL: {telemetry_failures} unrecovered fault "

@@ -65,6 +65,32 @@ DERIVED_RATIOS = {
         "test_generate_build_flat",
         "test_generate_build_objects",
     ),
+    # Memoized flatten (ISSUE 6) vs re-flattening the same JobSet.
+    "cached_vs_cold_flatten": (
+        "test_flatten_jobset_cached",
+        "test_flatten_jobset",
+    ),
+    # engine="flat" vs the reference tick engine, per mirrored
+    # configuration (same instance, knobs and seed on both sides).
+    # The contention ratio (m=64, sigma=64 -- victim draws dominate)
+    # carries the ISSUE-6 floor: bench_gate.py
+    # --min-derived flat_vs_reference_contention:5 enforces it.
+    "flat_vs_reference_admit_first": (
+        "test_flat_engine_throughput_admit_first",
+        "test_tick_engine_throughput_admit_first",
+    ),
+    "flat_vs_reference_steal_first": (
+        "test_flat_engine_throughput_steal_first",
+        "test_tick_engine_throughput_steal_first",
+    ),
+    "flat_vs_reference_theory_mode": (
+        "test_flat_engine_throughput_theory_mode",
+        "test_tick_engine_throughput_theory_mode",
+    ),
+    "flat_vs_reference_contention": (
+        "test_flat_engine_throughput_contention",
+        "test_tick_engine_throughput_contention",
+    ),
 }
 
 
