@@ -105,9 +105,10 @@ from repro.errors import (
     UnkeyableFactoryError,
 )
 from repro.obs import Telemetry
-from repro.workloads import WorkloadSpec
+from repro.sim.stream_engine import StreamResult
+from repro.workloads import StreamSpec, WorkloadSpec
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -158,6 +159,9 @@ __all__ = [
     "load_flat",
     # workloads
     "WorkloadSpec",
+    # streaming (ISSUE 7)
+    "StreamSpec",
+    "StreamResult",
     # sim
     "ScheduleResult",
     "SimulationStats",

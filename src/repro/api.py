@@ -53,6 +53,18 @@ from repro.sim.rng import SeedLike
 #: Engine-name strings accepted by :func:`run`.
 ENGINE_NAMES = ("work-stealing", "flat", "speedup-fifo", "speedup-equi")
 
+#: The valid instance/stream combinations, quoted by configuration
+#: errors so the fix is visible in the message itself.
+_STREAM_COMBINATIONS = (
+    "valid combinations:\n"
+    "  repro.run(engine_or_scheduler, jobset, m=...)        "
+    "-- materialized instance (any engine)\n"
+    "  repro.run('flat', stream=spec.stream(), m=...)       "
+    "-- streaming run (bounded memory, returns StreamResult)\n"
+    "  repro.sweep(scheduler, grid, workload, m=...)        "
+    "-- grid sweep over materialized instances (no stream=)"
+)
+
 
 def _n_jobs(jobset: Any) -> int:
     """Job count of either instance form (JobSet or FlatInstance)."""
@@ -93,8 +105,9 @@ def _resolve_speed(
 
 def run(
     scheduler: Union[Scheduler, type, str],
-    jobset: Any,
+    jobset: Any = None,
     *,
+    stream: Optional[Any] = None,
     m: Optional[int] = None,
     num_workers: Optional[int] = None,
     speed: Optional[float] = None,
@@ -114,6 +127,18 @@ def run(
     jobset:
         A :class:`~repro.dag.job.JobSet` (DAG engines) or
         :class:`~repro.speedup.model.SpeedupJobSet` (speedup engines).
+        Omit it when passing ``stream=``.
+    stream:
+        A :class:`~repro.workloads.stream.StreamSpec` (from
+        :meth:`WorkloadSpec.stream`) for a bounded-memory streaming run;
+        only valid with the ``"flat"`` engine name and exclusive with
+        ``jobset``.  The run returns a
+        :class:`~repro.sim.stream_engine.StreamResult` (online metrics,
+        no per-job arrays); streaming keyword arguments
+        (``checkpoint_dir``, ``checkpoint_every``, ``resume``,
+        ``quantiles``, ``utilization_window``, ...) forward to
+        :func:`~repro.sim.stream_engine._run_stream`.  See
+        docs/STREAMING.md.
     m, num_workers:
         Machine size; ``num_workers`` is an accepted alias, pass exactly
         one.
@@ -137,9 +162,28 @@ def run(
     -------
     ScheduleResult
         Bit-identical to calling the underlying engine directly.
+        (Streaming runs return a StreamResult instead.)
     """
     size = _resolve_size(m, num_workers)
     s = _resolve_speed(speed, augmentation)
+
+    if stream is not None:
+        return _run_streaming(
+            scheduler,
+            jobset,
+            stream,
+            size,
+            s,
+            seed,
+            telemetry,
+            engine_kwargs,
+        )
+    if jobset is None:
+        raise SweepConfigError(
+            "run() got no instance: pass a JobSet/FlatInstance as the "
+            "second argument, or stream= a StreamSpec.\n"
+            + _STREAM_COMBINATIONS
+        )
 
     if isinstance(scheduler, type) and issubclass(scheduler, Scheduler):
         scheduler = scheduler()
@@ -226,6 +270,86 @@ def run(
         "run.done",
         scheduler=result.scheduler,
         engine=engine,
+        m=size,
+        speed=s,
+        wall_s=round(time.perf_counter() - t0, 6),
+        max_flow=result.max_flow,
+        stats=result.stats.as_dict(),
+    )
+    return result
+
+
+def _run_streaming(
+    scheduler: Union[Scheduler, type, str],
+    jobset: Any,
+    stream: Any,
+    size: int,
+    s: float,
+    seed: SeedLike,
+    telemetry: Optional[Any],
+    engine_kwargs: Dict[str, Any],
+) -> Any:
+    """Validate the ``stream=`` combination and dispatch to the engine.
+
+    All rejections are :class:`~repro.errors.SweepConfigError` with the
+    valid-combination table in the message -- a bounded-memory 10M-job
+    run that dies on a bare ``TypeError`` hours in is the failure mode
+    this guards against, so misconfiguration must be caught before any
+    simulation starts.
+    """
+    from repro.sim.stream_engine import _run_stream
+    from repro.workloads.stream import StreamSpec
+
+    if jobset is not None:
+        raise SweepConfigError(
+            f"run() got both a materialized instance "
+            f"({type(jobset).__name__}) and stream=: a run is either "
+            f"materialized or streaming, never both.\n"
+            + _STREAM_COMBINATIONS
+        )
+    if not isinstance(stream, StreamSpec):
+        hint = (
+            " (call .stream() on it to get a StreamSpec)"
+            if hasattr(stream, "stream")
+            else ""
+        )
+        raise SweepConfigError(
+            f"stream= expects a StreamSpec, got "
+            f"{type(stream).__name__}{hint}.\n" + _STREAM_COMBINATIONS
+        )
+    if not (isinstance(scheduler, str) and scheduler == "flat"):
+        shown = (
+            repr(scheduler)
+            if isinstance(scheduler, str)
+            else type(scheduler).__name__
+        )
+        raise SweepConfigError(
+            f"streaming runs are only supported by the 'flat' engine "
+            f"(got {shown}): the streaming kernel is the flat kernel "
+            f"over a sliding window.\n" + _STREAM_COMBINATIONS
+        )
+
+    if telemetry is None:
+        return _run_stream(
+            stream, size, speed=s, seed=seed, **engine_kwargs
+        )
+    telemetry.emit(
+        "run.start",
+        scheduler="flat",
+        engine="stream",
+        m=size,
+        speed=s,
+        seed=seed,
+        n_jobs=stream.n_jobs,
+    )
+    t0 = time.perf_counter()
+    result = _run_stream(
+        stream, size, speed=s, seed=seed, telemetry=telemetry, **engine_kwargs
+    )
+    telemetry.emit(
+        "run.done",
+        scheduler=result.scheduler,
+        engine="stream",
         m=size,
         speed=s,
         wall_s=round(time.perf_counter() - t0, 6),
@@ -390,6 +514,7 @@ def sweep(
     grid: Dict[str, Sequence[Any]],
     workload: Callable[[int], Any],
     *,
+    stream: Optional[Any] = None,
     m: Optional[int] = None,
     num_workers: Optional[int] = None,
     speed: Optional[float] = None,
@@ -437,6 +562,10 @@ def sweep(
         :class:`~repro.workloads.WorkloadSpec` works directly and
         additionally unlocks the instance cache and the vectorized
         build path.
+    stream:
+        Not supported: sweeps materialize per-repetition instances.
+        Passing a value raises :class:`~repro.errors.SweepConfigError`
+        pointing at ``repro.run('flat', stream=...)``.
     m, num_workers:
         Machine size; aliases, pass exactly one.
     speed, augmentation:
@@ -458,6 +587,14 @@ def sweep(
         Cells in cross-product order; bit-identical to an undisturbed
         serial run even when workers crashed, hung, or were retried.
     """
+    if stream is not None:
+        raise SweepConfigError(
+            "sweep() does not take stream=: a sweep crosses a grid over "
+            "*materialized* per-repetition instances, while a streaming "
+            "run is one bounded-memory simulation -- use "
+            "repro.run('flat', stream=..., m=...) for that.\n"
+            + _STREAM_COMBINATIONS
+        )
     # Lazy import: repro.api must stay importable without pulling the
     # experiments stack (numpy-heavy) until a sweep actually runs.
     from repro.experiments.sweep import grid_sweep

@@ -272,6 +272,75 @@ def to_jobset(flat: FlatInstance) -> JobSet:
 
 
 # ----------------------------------------------------------------------
+# Segmented CSR: append / slice
+# ----------------------------------------------------------------------
+
+
+def concat_flat(segments: "List[FlatInstance]") -> FlatInstance:
+    """Concatenate instances job-wise into one instance.
+
+    Node ids and CSR offsets are rebased so job ``k`` of segment ``s``
+    becomes a global job with identical structure; edges never cross
+    jobs, so rebasing targets by each segment's node base is exact.
+    This is the materialization step of the streaming workload path
+    (:meth:`repro.workloads.stream.StreamSpec.materialize`) and the
+    inverse of :func:`slice_flat` over a partition.
+    """
+    if not segments:
+        raise ValueError("concat_flat needs at least one segment")
+    if len(segments) == 1:
+        return segments[0]
+    node_base = 0
+    edge_offset_parts = [np.zeros(1, dtype=np.int64)]
+    edge_target_parts = []
+    job_offset_parts = [np.zeros(1, dtype=np.int64)]
+    edge_base = 0
+    job_node_base = 0
+    for seg in segments:
+        edge_offset_parts.append(seg.edge_offsets[1:] + edge_base)
+        edge_target_parts.append(seg.edge_targets + node_base)
+        job_offset_parts.append(seg.job_node_offsets[1:] + job_node_base)
+        node_base += seg.n_nodes
+        edge_base += seg.n_edges
+        job_node_base += seg.n_nodes
+    return FlatInstance(
+        node_works=np.concatenate([s.node_works for s in segments]),
+        edge_offsets=np.concatenate(edge_offset_parts),
+        edge_targets=np.concatenate(edge_target_parts),
+        job_node_offsets=np.concatenate(job_offset_parts),
+        arrivals=np.concatenate([s.arrivals for s in segments]),
+        weights=np.concatenate([s.weights for s in segments]),
+    )
+
+
+def slice_flat(flat: FlatInstance, start: int, stop: int) -> FlatInstance:
+    """Extract jobs ``[start, stop)`` as a standalone rebased instance.
+
+    The compaction primitive of the streaming engine's retirement path:
+    dropping a retired prefix is ``slice_flat(flat, frontier, n_jobs)``.
+    ``concat_flat(slice_flat(f, 0, k), slice_flat(f, k, n))`` reproduces
+    ``f`` byte for byte.
+    """
+    if not 0 <= start <= stop <= flat.n_jobs:
+        raise ValueError(
+            f"job slice [{start}, {stop}) out of range for "
+            f"{flat.n_jobs} jobs"
+        )
+    lo = int(flat.job_node_offsets[start])
+    hi = int(flat.job_node_offsets[stop])
+    e_lo = int(flat.edge_offsets[lo])
+    e_hi = int(flat.edge_offsets[hi])
+    return FlatInstance(
+        node_works=flat.node_works[lo:hi],
+        edge_offsets=flat.edge_offsets[lo : hi + 1] - e_lo,
+        edge_targets=flat.edge_targets[e_lo:e_hi] - lo,
+        job_node_offsets=flat.job_node_offsets[start : stop + 1] - lo,
+        arrivals=flat.arrivals[start:stop],
+        weights=flat.weights[start:stop],
+    )
+
+
+# ----------------------------------------------------------------------
 # Content addressing
 # ----------------------------------------------------------------------
 

@@ -10,7 +10,10 @@ aggregation:
 * :mod:`~repro.metrics.utilization` -- busy/steal/idle accounting and
   offered-load bookkeeping;
 * :mod:`~repro.metrics.summary` -- side-by-side comparison tables
-  rendered the way the experiment reports print them.
+  rendered the way the experiment reports print them;
+* :mod:`~repro.metrics.online` -- single-pass accumulators (exact
+  running max, P^2 quantile sketches, windowed utilization) for
+  streaming runs, where per-job arrays never exist.
 """
 
 from repro.metrics.flow import (
@@ -27,6 +30,12 @@ from repro.metrics.utilization import (
     offered_load,
     steal_fraction,
     utilization_report,
+)
+from repro.metrics.online import (
+    OnlineFlowStats,
+    OnlineMax,
+    P2Quantile,
+    WindowedUtilization,
 )
 from repro.metrics.summary import ComparisonTable
 from repro.metrics.overheads import (
@@ -62,6 +71,10 @@ __all__ = [
     "steal_fraction",
     "utilization_report",
     "ComparisonTable",
+    "OnlineMax",
+    "P2Quantile",
+    "OnlineFlowStats",
+    "WindowedUtilization",
     "dispatch_count",
     "preemption_count",
     "migration_count",

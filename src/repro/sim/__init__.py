@@ -23,6 +23,11 @@ results (the equivalence suite pins it), several times the throughput,
 and it consumes attached shared-memory instances directly in sweep
 workers.
 
+:mod:`repro.sim.stream_engine` (``repro.run("flat", stream=...)``)
+re-bases the flat kernel onto a sliding window over a lazy arrival
+stream: bounded memory, online metrics, durable checkpoint/restore
+(:mod:`repro.sim.checkpoint`) -- same max flow time, bit for bit.
+
 Shared pieces: :class:`~repro.sim.result.ScheduleResult` (the output of
 every engine), :class:`~repro.sim.jobstate.JobExecution` (mutable per-job
 execution state), :class:`~repro.sim.deque.WorkStealingDeque`,
@@ -54,7 +59,14 @@ from repro.sim.policies import (
     VictimPolicy,
     make_victim_policy,
 )
+from repro.sim.checkpoint import (
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.sim.sampling import SystemSample, SystemSampler
+from repro.sim.stream_engine import StreamResult
 from repro.sim.timeline import job_symbol, render_timeline, worker_utilization
 
 __all__ = [
@@ -68,6 +80,11 @@ __all__ = [
     "job_symbol",
     "SystemSample",
     "SystemSampler",
+    "StreamResult",
+    "save_checkpoint",
+    "load_checkpoint",
+    "list_checkpoints",
+    "latest_checkpoint",
     "ScheduleResult",
     "SimulationStats",
     "result_to_dict",

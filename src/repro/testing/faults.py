@@ -18,9 +18,9 @@ parent's environment):
       segfault/OOM-kill), ``hang`` (sleep ``seconds``, simulating a
       livelock; pair with a cell deadline), or ``raise`` (raise
       :class:`repro.errors.FaultInjected`, a retryable in-cell error).
-    * ``stage`` -- ``publish``, ``dispatch``, ``cell`` or ``cache``
-      (where the hook fires; see the call sites in
-      :mod:`repro.experiments`).
+    * ``stage`` -- ``publish``, ``dispatch``, ``cell``, ``cache`` or
+      ``checkpoint`` (where the hook fires; see the call sites in
+      :mod:`repro.experiments` and :mod:`repro.sim.stream_engine`).
     * options -- ``index=N`` restricts the clause to the task with
       global task index ``N`` (stages that carry one); ``times=K``
       injects at most ``K`` times (default 1); ``seconds=S`` sets the
@@ -77,8 +77,12 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: Environment variable naming the cross-process claim directory.
 FAULTS_DIR_ENV = "REPRO_FAULTS_DIR"
 
-#: Stages the experiment pipeline exposes hooks at.
-STAGES = ("publish", "dispatch", "cell", "cache")
+#: Stages the experiment pipeline exposes hooks at.  ``checkpoint``
+#: fires in the streaming engine right after a checkpoint file is
+#: durably written (``index`` = checkpoint sequence number), so chaos
+#: tests can kill a run at a known save point and assert that
+#: ``resume=True`` reproduces the undisturbed result float-identically.
+STAGES = ("publish", "dispatch", "cell", "cache", "checkpoint")
 
 #: Actions a clause may request.
 ACTIONS = ("kill", "hang", "raise")

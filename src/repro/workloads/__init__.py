@@ -11,6 +11,10 @@ Everything the paper's evaluation (Section 6) consumes:
 * :mod:`~repro.workloads.generator` -- :class:`WorkloadSpec`, which zips a
   distribution, an arrival process and a job shape into a
   :class:`~repro.dag.job.JobSet`, with QPS <-> utilization accounting;
+* :mod:`~repro.workloads.stream` -- :class:`StreamSpec` /
+  :class:`StreamCursor`, the lazy chunked counterpart of
+  ``WorkloadSpec.build_flat`` for bounded-memory streaming runs
+  (``repro.run(..., stream=...)``);
 * :mod:`~repro.workloads.adversarial` -- the Section 5 lower-bound
   instance on which randomized work stealing is ``Omega(log n)``
   competitive;
@@ -42,6 +46,7 @@ from repro.workloads.generator import (
     expected_utilization,
     qps_to_rate,
 )
+from repro.workloads.stream import StreamCursor, StreamSpec
 from repro.workloads.adversarial import (
     adversarial_instance,
     adversarial_machine_size,
@@ -82,6 +87,8 @@ __all__ = [
     "WorkloadSpec",
     "expected_utilization",
     "qps_to_rate",
+    "StreamSpec",
+    "StreamCursor",
     "adversarial_instance",
     "adversarial_machine_size",
     "adversarial_opt_max_flow",

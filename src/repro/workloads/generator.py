@@ -37,6 +37,84 @@ from repro.workloads.arrivals import ArrivalProcess, PoissonProcess
 from repro.workloads.distributions import WorkDistribution
 
 
+def _parallel_for_flat(
+    works: np.ndarray,
+    arrivals: np.ndarray,
+    *,
+    target_chunks: int,
+    setup_units: int,
+    finalize_units: int,
+) -> FlatInstance:
+    """CSR assembly of parallel-for jobs from (works, arrivals) arrays.
+
+    The vectorized core shared by :meth:`WorkloadSpec.build_flat` and the
+    streaming segment generator (:mod:`repro.workloads.stream`): one
+    batch of numpy operations builds every job's
+    ``[setup, chunk_1..chunk_c, finalize]`` DAG with the same arithmetic
+    as :func:`repro.dag.builders.parallel_for`.  ``works`` must already
+    be int64 job bodies and ``arrivals`` already sorted -- callers own
+    the ordering policy.
+    """
+    works = np.asarray(works, dtype=np.int64)
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    n = len(works)
+
+    # Per-job parallel-for decomposition (same arithmetic as
+    # parallel_for): ceil-split the body into chunks of <= grain.
+    grains = np.maximum(1, works // target_chunks)
+    n_full = works // grains
+    rem = works - n_full * grains
+    n_chunks = n_full + (rem > 0)
+
+    # Node layout per job: [setup, chunk_1..chunk_c, finalize].
+    nodes_per_job = n_chunks + 2
+    job_node_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(nodes_per_job, out=job_node_offsets[1:])
+    n_nodes = int(job_node_offsets[-1])
+    setup_pos = job_node_offsets[:-1]
+    fin_pos = job_node_offsets[1:] - 1
+
+    # Global ids of every chunk node, jobs concatenated in order.
+    total_chunks = int(n_chunks.sum())
+    chunk_starts = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(n_chunks, out=chunk_starts[1:])
+    within = np.arange(total_chunks, dtype=np.int64) - np.repeat(
+        chunk_starts[:-1], n_chunks
+    )
+    chunk_global = np.repeat(setup_pos + 1, n_chunks) + within
+
+    # Chunk works: `grain` everywhere, the job's last chunk holds the
+    # remainder when the split is uneven.
+    chunk_works = np.repeat(grains, n_chunks)
+    has_rem = rem > 0
+    chunk_works[chunk_starts[1:][has_rem] - 1] = rem[has_rem]
+
+    node_works = np.empty(n_nodes, dtype=np.int64)
+    node_works[setup_pos] = setup_units
+    node_works[fin_pos] = finalize_units
+    node_works[chunk_global] = chunk_works
+
+    # CSR edges: setup -> every chunk, every chunk -> finalize.
+    out_degree = np.zeros(n_nodes, dtype=np.int64)
+    out_degree[setup_pos] = n_chunks
+    out_degree[chunk_global] = 1
+    edge_offsets = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(out_degree, out=edge_offsets[1:])
+    edge_targets = np.empty(2 * total_chunks, dtype=np.int64)
+    fork_slots = np.repeat(edge_offsets[setup_pos], n_chunks) + within
+    edge_targets[fork_slots] = chunk_global
+    edge_targets[edge_offsets[chunk_global]] = np.repeat(fin_pos, n_chunks)
+
+    return FlatInstance(
+        node_works=node_works,
+        edge_offsets=edge_offsets,
+        edge_targets=edge_targets,
+        job_node_offsets=job_node_offsets,
+        arrivals=arrivals,
+        weights=np.ones(n, dtype=np.float64),
+    )
+
+
 def qps_to_rate(qps: float, units_per_ms: float = 4.0) -> float:
     """Convert queries-per-second to arrivals per simulation time unit."""
     if qps <= 0:
@@ -182,64 +260,25 @@ class WorkloadSpec:
         # JobSet orders jobs by (arrival, generation index); mirror it so
         # the flat layout matches the object path job for job.
         order = np.argsort(arrivals, kind="stable")
-        works = works[order].astype(np.int64, copy=False)
-        arrivals = arrivals[order]
-        n = self.n_jobs
-
-        # Per-job parallel-for decomposition (same arithmetic as
-        # parallel_for): ceil-split the body into chunks of <= grain.
-        grains = np.maximum(1, works // self.target_chunks)
-        n_full = works // grains
-        rem = works - n_full * grains
-        n_chunks = n_full + (rem > 0)
-
-        # Node layout per job: [setup, chunk_1..chunk_c, finalize].
-        nodes_per_job = n_chunks + 2
-        job_node_offsets = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(nodes_per_job, out=job_node_offsets[1:])
-        n_nodes = int(job_node_offsets[-1])
-        setup_pos = job_node_offsets[:-1]
-        fin_pos = job_node_offsets[1:] - 1
-
-        # Global ids of every chunk node, jobs concatenated in order.
-        total_chunks = int(n_chunks.sum())
-        chunk_starts = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(n_chunks, out=chunk_starts[1:])
-        within = np.arange(total_chunks, dtype=np.int64) - np.repeat(
-            chunk_starts[:-1], n_chunks
+        return _parallel_for_flat(
+            works[order],
+            arrivals[order],
+            target_chunks=self.target_chunks,
+            setup_units=self.setup_units,
+            finalize_units=self.finalize_units,
         )
-        chunk_global = np.repeat(setup_pos + 1, n_chunks) + within
 
-        # Chunk works: `grain` everywhere, the job's last chunk holds the
-        # remainder when the split is uneven.
-        chunk_works = np.repeat(grains, n_chunks)
-        has_rem = rem > 0
-        chunk_works[chunk_starts[1:][has_rem] - 1] = rem[has_rem]
+    def stream(self, chunk_jobs: int = 65536) -> "StreamSpec":
+        """Lazy chunked view of this workload for bounded-memory runs.
 
-        node_works = np.empty(n_nodes, dtype=np.int64)
-        node_works[setup_pos] = self.setup_units
-        node_works[fin_pos] = self.finalize_units
-        node_works[chunk_global] = chunk_works
+        Returns a :class:`repro.workloads.stream.StreamSpec` that yields
+        the workload as CSR segments of ``chunk_jobs`` jobs each without
+        ever materializing the full instance -- the input side of
+        ``repro.run(..., stream=...)`` (docs/STREAMING.md).
+        """
+        from repro.workloads.stream import StreamSpec
 
-        # CSR edges: setup -> every chunk, every chunk -> finalize.
-        out_degree = np.zeros(n_nodes, dtype=np.int64)
-        out_degree[setup_pos] = n_chunks
-        out_degree[chunk_global] = 1
-        edge_offsets = np.zeros(n_nodes + 1, dtype=np.int64)
-        np.cumsum(out_degree, out=edge_offsets[1:])
-        edge_targets = np.empty(2 * total_chunks, dtype=np.int64)
-        fork_slots = np.repeat(edge_offsets[setup_pos], n_chunks) + within
-        edge_targets[fork_slots] = chunk_global
-        edge_targets[edge_offsets[chunk_global]] = np.repeat(fin_pos, n_chunks)
-
-        return FlatInstance(
-            node_works=node_works,
-            edge_offsets=edge_offsets,
-            edge_targets=edge_targets,
-            job_node_offsets=job_node_offsets,
-            arrivals=arrivals,
-            weights=np.ones(n, dtype=np.float64),
-        )
+        return StreamSpec(spec=self, chunk_jobs=chunk_jobs)
 
     # -- cache identity ---------------------------------------------------
 

@@ -1,0 +1,213 @@
+"""Lazy chunked workload generation for bounded-memory streaming runs.
+
+The paper's setting is online -- the scheduler never sees future
+arrivals -- yet ``WorkloadSpec.build_flat`` materializes every job up
+front, capping paper-scale experiments at the memory of the full
+instance.  :class:`StreamSpec` is the lazy counterpart: it describes the
+same workload but yields it as :class:`~repro.dag.flat.FlatInstance`
+*segments* of ``chunk_jobs`` jobs each, generated on demand by a
+resumable :class:`StreamCursor`.  The streaming engine
+(:mod:`repro.sim.stream_engine`) pulls segments as simulated time
+reaches them, so peak memory is O(live jobs + one chunk), never O(total
+jobs).
+
+Determinism contract
+--------------------
+Chunked sampling cannot reuse ``WorkloadSpec.build_flat``'s RNG
+consumption order: mixture distributions interleave several vectorized
+draws per batch, so drawing 2x65536 works is *not* the prefix of drawing
+131072.  Instead each chunk ``i`` samples from its own child seed
+``derive_seed(seed, i)`` (work and arrival streams spawned per chunk,
+mirroring ``WorkloadSpec._sample``), and arrival times are continued
+across chunks with :meth:`ArrivalProcess.advance`.  The reproducibility
+anchor is therefore :meth:`StreamSpec.materialize`: the concatenation of
+all segments for a seed, which *is* bit-identical to streaming the same
+seed -- the property every equivalence test and the checkpoint format
+build on.  A ``StreamSpec`` with the same ``spec_token()`` and seed
+always regenerates identical segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.dag.flat import FlatInstance, concat_flat
+from repro.sim.rng import derive_seed, spawn_rngs
+from repro.workloads.arrivals import ArrivalProcess, PoissonProcess
+from repro.workloads.generator import WorkloadSpec, _parallel_for_flat
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A workload delivered lazily as fixed-size CSR segments.
+
+    Attributes
+    ----------
+    spec:
+        The underlying :class:`WorkloadSpec` (distribution, QPS, n_jobs,
+        DAG shape).  ``spec.n_jobs`` bounds the stream; the stream ends
+        after exactly that many jobs.
+    chunk_jobs:
+        Jobs per generated segment.  Larger chunks amortize generation
+        overhead; smaller chunks lower peak memory.  65536 keeps segment
+        generation under ~1% of simulation time while a segment of
+        Bing-distribution jobs stays around 20 MB.
+    """
+
+    spec: WorkloadSpec
+    chunk_jobs: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.chunk_jobs < 1:
+            raise ValueError(
+                f"chunk_jobs must be >= 1, got {self.chunk_jobs}"
+            )
+
+    @property
+    def n_jobs(self) -> int:
+        """Total jobs the stream will emit."""
+        return self.spec.n_jobs
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of segments (last one may be short)."""
+        return -(-self.spec.n_jobs // self.chunk_jobs)
+
+    def cursor(self, seed: Optional[int] = None) -> "StreamCursor":
+        """Start a resumable generation cursor for ``seed``."""
+        return StreamCursor(self, seed)
+
+    def segments(self, seed: Optional[int] = None) -> Iterator[FlatInstance]:
+        """Iterate every segment of the stream for ``seed``."""
+        cursor = self.cursor(seed)
+        while True:
+            seg = cursor.next_segment()
+            if seg is None:
+                return
+            yield seg
+
+    def materialize(self, seed: Optional[int] = None) -> FlatInstance:
+        """Concatenate all segments into one full instance.
+
+        This is the bit-identity reference for streaming runs: a
+        materialized ``engine="flat"`` run on this instance produces the
+        same max flow time and final stats as the streaming engine on
+        the same (spec, seed).  Note it is *not* array-identical to
+        ``spec.build_flat(seed)`` -- chunked sampling necessarily
+        consumes the RNG differently (see module docstring).
+        """
+        return concat_flat(list(self.segments(seed)))
+
+    def spec_token(self) -> str:
+        """Canonical identity string (keys checkpoints and caches)."""
+        return (
+            f"StreamSpec({self.spec.spec_token()},"
+            f"chunk_jobs={self.chunk_jobs!r})"
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary for logs."""
+        return (
+            f"{self.spec.describe()} [stream: {self.n_chunks} x "
+            f"{self.chunk_jobs} jobs]"
+        )
+
+
+class StreamCursor:
+    """Resumable segment generator over a :class:`StreamSpec`.
+
+    The cursor owns the per-chunk seeding and the arrival-process
+    continuation state; :meth:`state_dict` / :meth:`StreamCursor.restore`
+    round-trip it through plain JSON so streaming checkpoints can embed
+    it and resume generation mid-stream without replaying earlier
+    chunks.
+    """
+
+    def __init__(self, stream: StreamSpec, seed: Optional[int] = None) -> None:
+        if seed is not None and not isinstance(seed, (int, np.integer)):
+            raise TypeError(
+                f"stream seeds must be plain ints (or None), got "
+                f"{type(seed).__name__}: checkpoints serialize the seed, "
+                f"so live Generator objects cannot key a stream"
+            )
+        self.stream = stream
+        # None means "irreproducible run"; draw fresh OS entropy once and
+        # record it so checkpoints of this run still restore identically.
+        self.seed = (
+            int(seed)
+            if seed is not None
+            else int(np.random.SeedSequence().entropy) % (1 << 63)
+        )
+        process = stream.spec.arrival_process or PoissonProcess(
+            stream.spec.rate
+        )
+        self._process: ArrivalProcess = process
+        self.next_chunk = 0
+        self.emitted = 0
+        self.last_arrival = 0.0
+        self._arrival_state = process.begin_state()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.emitted >= self.stream.n_jobs
+
+    def next_segment(self) -> Optional[FlatInstance]:
+        """Generate the next segment, or ``None`` when exhausted.
+
+        Jobs inside a segment are already in arrival order (arrival
+        processes emit sorted times), and every arrival in segment
+        ``i+1`` is >= every arrival in segment ``i`` -- the engine's
+        admission invariant.
+        """
+        spec = self.stream.spec
+        remaining = spec.n_jobs - self.emitted
+        if remaining <= 0:
+            return None
+        count = min(self.stream.chunk_jobs, remaining)
+        child = derive_seed(self.seed, self.next_chunk)
+        work_rng, arrival_rng = spawn_rngs(child, 2)
+        works = spec.distribution.sample_units(
+            work_rng, count, units_per_ms=spec.units_per_ms
+        )
+        times, self._arrival_state = self._process.advance(
+            arrival_rng, count, self._arrival_state
+        )
+        segment = _parallel_for_flat(
+            works,
+            times,
+            target_chunks=spec.target_chunks,
+            setup_units=spec.setup_units,
+            finalize_units=spec.finalize_units,
+        )
+        self.next_chunk += 1
+        self.emitted += count
+        if count:
+            self.last_arrival = float(times[-1])
+        return segment
+
+    # -- checkpoint round-trip -------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of generation progress."""
+        return {
+            "seed": self.seed,
+            "next_chunk": self.next_chunk,
+            "emitted": self.emitted,
+            "last_arrival": self.last_arrival,
+            "arrival_state": dict(self._arrival_state),
+        }
+
+    @classmethod
+    def restore(
+        cls, stream: StreamSpec, state: Dict[str, object]
+    ) -> "StreamCursor":
+        """Rebuild a cursor from :meth:`state_dict` output."""
+        cursor = cls(stream, int(state["seed"]))
+        cursor.next_chunk = int(state["next_chunk"])
+        cursor.emitted = int(state["emitted"])
+        cursor.last_arrival = float(state["last_arrival"])
+        cursor._arrival_state = dict(state["arrival_state"])  # type: ignore[arg-type]
+        return cursor

@@ -1,0 +1,287 @@
+"""Online accumulators vs exact offline values (ISSUE 7).
+
+Property tests for :mod:`repro.metrics.online`: the streaming engine
+frees per-job state at completion, so these accumulators are the *only*
+record of the flow distribution -- their documented accuracy contracts
+are pinned here.
+
+* ``OnlineMax`` / ``OnlineFlowStats`` max, mean, count, last completion:
+  **exact**, compared ``==`` against offline numpy reductions.
+* ``P2Quantile``: an estimate; asserted within the documented tolerance
+  (10% relative or 0.05 absolute rank error) on unimodal distributions.
+* ``WindowedUtilization``: step-hold integration asserted exactly equal
+  to a brute-force per-tick replay of the same sample sequence.
+* Every accumulator's ``state_dict``/``load_state`` round-trip must
+  continue the stream as if never interrupted (the checkpoint
+  substrate).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.online import (
+    OnlineFlowStats,
+    OnlineMax,
+    P2Quantile,
+    WindowedUtilization,
+)
+
+
+# ----------------------------------------------------------------------
+# OnlineMax -- exact
+# ----------------------------------------------------------------------
+
+
+class TestOnlineMax:
+    def test_exact_against_numpy(self, rng):
+        xs = rng.lognormal(1.0, 1.5, size=2000)
+        acc = OnlineMax()
+        for i, x in enumerate(xs):
+            acc.update(float(x), key=i)
+        assert acc.value == xs.max()
+        assert acc.argmax == int(np.argmax(xs))
+        assert acc.count == len(xs)
+
+    def test_first_winner_kept_on_ties(self):
+        acc = OnlineMax()
+        acc.update(5.0, key=1)
+        acc.update(5.0, key=2)  # strict > only
+        assert acc.argmax == 1
+
+    def test_state_roundtrip(self, rng):
+        xs = rng.normal(size=100)
+        a, b = OnlineMax(), OnlineMax()
+        for x in xs[:50]:
+            a.update(float(x))
+        b.load_state(json.loads(json.dumps(a.state_dict())))
+        for x in xs[50:]:
+            a.update(float(x))
+            b.update(float(x))
+        assert a.value == b.value and a.count == b.count
+
+
+# ----------------------------------------------------------------------
+# P2Quantile -- documented tolerance
+# ----------------------------------------------------------------------
+
+
+def rank_error(estimate: float, sample: np.ndarray, q: float) -> float:
+    """|empirical CDF at the estimate - q| -- scale-free accuracy."""
+    return abs(float(np.mean(sample <= estimate)) - q)
+
+
+class TestP2Quantile:
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    @pytest.mark.parametrize("shape", ["lognormal", "uniform", "exponential"])
+    def test_rank_error_within_tolerance(self, q, shape):
+        rng = np.random.default_rng(hash((q, shape)) % (1 << 32))
+        n = 5000
+        if shape == "lognormal":
+            xs = rng.lognormal(2.0, 1.0, size=n)
+        elif shape == "uniform":
+            xs = rng.uniform(0.0, 100.0, size=n)
+        else:
+            xs = rng.exponential(10.0, size=n)
+        sk = P2Quantile(q)
+        for x in xs:
+            sk.update(float(x))
+        assert sk.count == n
+        # Documented contract: within 0.05 rank error on unimodal input.
+        assert rank_error(sk.value(), xs, q) < 0.05
+        # And within 10% relative of the exact value for these shapes.
+        exact = float(np.quantile(xs, q))
+        assert sk.value() == pytest.approx(exact, rel=0.10, abs=1e-9)
+
+    def test_exact_below_six_observations(self):
+        xs = [7.0, 1.0, 5.0, 3.0]
+        sk = P2Quantile(0.5)
+        for x in xs:
+            sk.update(x)
+        assert sk.value() == pytest.approx(float(np.quantile(xs, 0.5)))
+
+    def test_nan_before_any_observation(self):
+        assert math.isnan(P2Quantile(0.9).value())
+
+    def test_domain_validation(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="quantile"):
+                P2Quantile(bad)
+
+    def test_monotone_across_quantiles(self, rng):
+        xs = rng.lognormal(1.0, 1.0, size=3000)
+        sketches = [P2Quantile(q) for q in (0.5, 0.9, 0.99)]
+        for x in xs:
+            for sk in sketches:
+                sk.update(float(x))
+        v50, v90, v99 = (sk.value() for sk in sketches)
+        assert v50 <= v90 <= v99
+
+    def test_state_roundtrip_continues_identically(self, rng):
+        xs = rng.exponential(5.0, size=400)
+        a, b = P2Quantile(0.9), P2Quantile(0.9)
+        for x in xs[:200]:
+            a.update(float(x))
+        b.load_state(json.loads(json.dumps(a.state_dict())))
+        for x in xs[200:]:
+            a.update(float(x))
+            b.update(float(x))
+        assert a.value() == b.value()  # bit-identical, not approx
+
+    def test_state_refuses_wrong_quantile(self):
+        a = P2Quantile(0.5)
+        a.update(1.0)
+        with pytest.raises(ValueError, match="tracks"):
+            P2Quantile(0.9).load_state(a.state_dict())
+
+
+# ----------------------------------------------------------------------
+# OnlineFlowStats -- exact bundle
+# ----------------------------------------------------------------------
+
+
+class TestOnlineFlowStats:
+    def test_exact_fields_against_offline(self, rng):
+        n = 1500
+        flows = rng.lognormal(1.5, 1.0, size=n)
+        completions = np.cumsum(rng.uniform(0.0, 2.0, size=n))
+        st = OnlineFlowStats(quantiles=(0.5, 0.99))
+        for j in range(n):
+            st.observe(float(flows[j]), float(completions[j]), j)
+        assert st.max_flow == flows.max()
+        assert st.argmax_job == int(np.argmax(flows))
+        assert st.argmax_completion == completions[int(np.argmax(flows))]
+        assert st.count == n
+        assert st.mean_flow == pytest.approx(flows.mean(), rel=1e-12)
+        assert st.last_completion == completions.max()
+        for q, est in st.quantile_estimates().items():
+            assert rank_error(est, flows, q) < 0.05
+
+    def test_mean_nan_when_empty(self):
+        assert math.isnan(OnlineFlowStats().mean_flow)
+
+    def test_state_roundtrip_continues_identically(self, rng):
+        n = 600
+        flows = rng.exponential(3.0, size=n)
+        a = OnlineFlowStats(quantiles=(0.5, 0.9))
+        b = OnlineFlowStats(quantiles=(0.5, 0.9))
+        for j in range(n // 2):
+            a.observe(float(flows[j]), float(j), j)
+        b.load_state(json.loads(json.dumps(a.state_dict())))
+        for j in range(n // 2, n):
+            a.observe(float(flows[j]), float(j), j)
+            b.observe(float(flows[j]), float(j), j)
+        assert a.max_flow == b.max_flow
+        assert a.flow_sum == b.flow_sum
+        assert a.quantile_estimates() == b.quantile_estimates()
+
+    def test_state_refuses_quantile_mismatch(self):
+        a = OnlineFlowStats(quantiles=(0.5,))
+        a.observe(1.0, 1.0, 0)
+        with pytest.raises(ValueError, match="quantiles"):
+            OnlineFlowStats(quantiles=(0.9,)).load_state(a.state_dict())
+
+
+# ----------------------------------------------------------------------
+# WindowedUtilization -- exact vs brute force
+# ----------------------------------------------------------------------
+
+
+def brute_force(samples, m, window):
+    """Per-tick replay: busy count holds from each sample to the next."""
+    busy_at = {}
+    for (t0, b0), (t1, _b1) in zip(samples, samples[1:]):
+        for t in range(t0, t1):
+            busy_at[t] = b0
+    if not busy_at:
+        return 0.0, {}
+    span = samples[-1][0] - samples[0][0]
+    total = sum(busy_at.values()) / (m * span) if span else 0.0
+    per_window = {}
+    for t, b in busy_at.items():
+        per_window[t // window] = per_window.get(t // window, 0) + b
+    return total, per_window
+
+
+class TestWindowedUtilization:
+    def test_overall_matches_brute_force(self, rng):
+        m, window = 4, 16
+        # Irregular sample times with repeats (the engine re-samples the
+        # same tick at fast-forward boundaries).
+        ticks = np.unique(rng.integers(0, 500, size=60))
+        samples = []
+        for t in ticks:
+            busy = int(rng.integers(0, m + 1))
+            samples.append((int(t), busy))
+            if rng.random() < 0.3:
+                samples.append((int(t), busy))  # duplicate tick
+        util = WindowedUtilization(m, window=window, max_windows=10_000)
+        for t, b in samples:
+            util.maybe_record(t, b)
+        expected_total, expected_windows = brute_force(
+            [s for s in samples], m, window
+        )
+        assert util.overall() == pytest.approx(expected_total, abs=1e-12)
+        got = {
+            start // window: frac
+            for start, frac in util.series()
+            if start // window in expected_windows
+        }
+        for k, integral in expected_windows.items():
+            if (k + 1) * window <= samples[-1][0]:  # complete windows only
+                assert got[k] == pytest.approx(
+                    integral / (m * window), abs=1e-12
+                )
+
+    def test_window_eviction_keeps_overall_exact(self):
+        util = WindowedUtilization(2, window=4, max_windows=2)
+        for t in range(0, 40, 2):
+            util.maybe_record(t, 1)
+        assert len(util.series()) <= 2
+        # Eviction only drops the per-window series, never the totals.
+        assert util.overall() == pytest.approx(0.5)
+
+    def test_time_must_be_nondecreasing(self):
+        util = WindowedUtilization(2, window=4)
+        util.maybe_record(10, 1)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            util.maybe_record(9, 1)
+
+    def test_empty_and_single_sample(self):
+        util = WindowedUtilization(4)
+        assert util.overall() == 0.0 and util.elapsed_ticks == 0
+        util.record_boundary(7, 3)
+        assert util.overall() == 0.0  # zero span so far
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedUtilization(0)
+        with pytest.raises(ValueError):
+            WindowedUtilization(2, window=0)
+        with pytest.raises(ValueError):
+            WindowedUtilization(2, max_windows=0)
+
+    def test_state_roundtrip_continues_identically(self, rng):
+        a = WindowedUtilization(3, window=8, max_windows=16)
+        b = WindowedUtilization(3, window=8, max_windows=16)
+        ticks = sorted(int(t) for t in rng.integers(0, 300, size=50))
+        half = len(ticks) // 2
+        for t in ticks[:half]:
+            a.maybe_record(t, int(rng.integers(0, 4)))
+        b.load_state(json.loads(json.dumps(a.state_dict())))
+        follow = [(t, int(rng.integers(0, 4))) for t in ticks[half:]]
+        for t, busy in follow:
+            a.maybe_record(t, busy)
+            b.maybe_record(t, busy)
+        assert a.overall() == b.overall()
+        assert a.series() == b.series()
+
+    def test_state_refuses_config_mismatch(self):
+        a = WindowedUtilization(3, window=8)
+        a.maybe_record(0, 1)
+        with pytest.raises(ValueError, match="configured"):
+            WindowedUtilization(4, window=8).load_state(a.state_dict())

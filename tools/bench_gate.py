@@ -21,6 +21,12 @@ fails the gate, as does an inconsistent fault ledger per
 timeouts that were retried successfully) are reported but pass: the
 robustness layer exists precisely so those do not invalidate a run.
 
+``--stream-smoke REPORT`` gates on a ``tools/stream_smoke.py`` JSON
+report: the gate fails if the recorded peak RSS exceeded the budget
+the smoke ran with, or if the run completed no jobs.  This is the CI
+enforcement of the ISSUE-7 bounded-memory claim (a 1M-job streaming
+run inside a fixed RSS budget).
+
 ``--min-derived NAME:FLOOR`` (repeatable) additionally enforces a
 minimum on a *derived* cross-benchmark ratio of the current report
 (the ``derived`` section written by ``tools/bench_report.py``).  This
@@ -38,6 +44,7 @@ Usage::
     python tools/bench_gate.py current.json --telemetry events.jsonl
     python tools/bench_gate.py --telemetry events.jsonl    # telemetry only
     python tools/bench_gate.py current.json --min-derived flat_vs_reference_contention:5
+    python tools/bench_gate.py --stream-smoke smoke.json   # memory only
 """
 
 from __future__ import annotations
@@ -171,6 +178,42 @@ def check_telemetry(log_path: Path) -> int:
     return len(fault_problems)
 
 
+def check_stream_smoke(path: Path) -> int:
+    """Gate on a ``tools/stream_smoke.py`` report; returns failure count.
+
+    The smoke run already asserted its budget when it executed; the
+    gate re-checks the written numbers so a stale or doctored report
+    (or a smoke invoked with ``|| true``) cannot pass silently.
+    """
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"{path}: cannot read ({exc})")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path}: not valid JSON ({exc})")
+    schema = data.get("schema", "")
+    if not str(schema).startswith("repro-stream-smoke/"):
+        raise SystemExit(f"{path}: not a stream-smoke report ({schema!r})")
+
+    failures = 0
+    peak = float(data.get("peak_rss_mb", float("inf")))
+    budget = float(data.get("budget_mb", 0.0))
+    n_jobs = int(data.get("n_jobs", 0))
+    print(
+        f"stream-smoke gate: {path} ({n_jobs} jobs, "
+        f"chunk {data.get('chunk_jobs')}, {data.get('wall_s')}s, "
+        f"{data.get('jobs_per_sec')} jobs/s)"
+    )
+    status = "ok" if peak <= budget and data.get("within_budget") else "OVER"
+    print(f"  peak RSS {peak:.1f} MB vs budget {budget:.1f} MB {status}")
+    if peak > budget or not data.get("within_budget"):
+        failures += 1
+    if n_jobs < 1:
+        print("  FAIL: report shows no jobs executed")
+        failures += 1
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -221,6 +264,17 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--stream-smoke",
+        type=Path,
+        default=None,
+        metavar="REPORT",
+        help=(
+            "also gate on a tools/stream_smoke.py JSON report: fail if "
+            "the recorded peak RSS exceeded the smoke's budget (the "
+            "ISSUE 7 bounded-memory claim)"
+        ),
+    )
+    parser.add_argument(
         "--min-derived",
         action="append",
         default=None,
@@ -233,22 +287,41 @@ def main(argv=None) -> int:
         ),
     )
     args = parser.parse_args(argv)
-    if args.current is None and args.telemetry is None:
-        parser.error("pass a benchmark report, --telemetry LOG, or both")
+    if (
+        args.current is None
+        and args.telemetry is None
+        and args.stream_smoke is None
+    ):
+        parser.error(
+            "pass a benchmark report, --telemetry LOG, "
+            "--stream-smoke REPORT, or a combination"
+        )
+
+    smoke_failures = 0
+    if args.stream_smoke is not None:
+        smoke_failures = check_stream_smoke(args.stream_smoke)
+        print()
 
     telemetry_failures = 0
     if args.telemetry is not None:
         telemetry_failures = check_telemetry(args.telemetry)
-        if args.current is None:
+        print()
+
+    if args.current is None:
+        if smoke_failures or telemetry_failures:
+            if smoke_failures:
+                print("FAIL: stream smoke exceeded its memory budget")
             if telemetry_failures:
                 print(
-                    f"\nFAIL: {telemetry_failures} unrecovered fault "
+                    f"FAIL: {telemetry_failures} unrecovered fault "
                     f"problem(s) in telemetry"
                 )
-                return 1
-            print("\nOK: telemetry shows no unrecovered faults")
-            return 0
-        print()
+            return 1
+        if args.stream_smoke is not None:
+            print("OK: stream smoke stayed within its memory budget")
+        if args.telemetry is not None:
+            print("OK: telemetry shows no unrecovered faults")
+        return 0
 
     current_report = load_report(args.current)
     current = extract_ops(current_report)
@@ -284,7 +357,7 @@ def main(argv=None) -> int:
     if derived_floors:
         derived_failures = check_derived_floors(current_report, derived_floors)
 
-    if failures or telemetry_failures or derived_failures:
+    if failures or telemetry_failures or derived_failures or smoke_failures:
         if failures:
             print(f"\nFAIL: {len(failures)} benchmark(s) below their floor:")
             for name, ratio, floor in failures:
@@ -299,10 +372,14 @@ def main(argv=None) -> int:
                 f"\nFAIL: {telemetry_failures} unrecovered fault "
                 f"problem(s) in telemetry"
             )
+        if smoke_failures:
+            print("\nFAIL: stream smoke exceeded its memory budget")
         return 1
     print("\nOK: no benchmark below its floor")
     if args.telemetry is not None:
         print("OK: telemetry shows no unrecovered faults")
+    if args.stream_smoke is not None:
+        print("OK: stream smoke stayed within its memory budget")
     return 0
 
 

@@ -46,6 +46,7 @@ BENCH_FILES = [
     "benchmarks/test_engine_throughput.py",
     "benchmarks/test_workload_generation.py",
     "benchmarks/test_sweep_dispatch.py",
+    "benchmarks/test_streaming_throughput.py",
 ]
 SCHEMA = "repro-bench-engine/2"
 
@@ -91,6 +92,15 @@ DERIVED_RATIOS = {
         "test_flat_engine_throughput_contention",
         "test_tick_engine_throughput_contention",
     ),
+    # Streaming execution (chunked generation + window compaction +
+    # online stats, quantiles off) vs materializing the instance and
+    # running engine="flat" -- same workload, knobs and seed, with the
+    # flat side paying materialization inside the timed region.  The
+    # ISSUE-7 floor: bench_gate.py --min-derived stream_vs_flat:0.9.
+    "stream_vs_flat": (
+        "test_stream_engine_throughput",
+        "test_flat_materialized_throughput",
+    ),
 }
 
 
@@ -110,6 +120,21 @@ def effective_jobs() -> int:
         if value >= 1:
             return value
     return os.cpu_count() or 1
+
+
+def logical_cores() -> int:
+    """Logical cores this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine's full core count even when
+    the process is pinned to a subset (container CPU quotas, taskset),
+    which makes cross-host bench files lie about the parallelism that
+    was available.  Prefer the scheduler affinity mask where the OS
+    exposes one.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # macOS / restricted platforms
+        return os.cpu_count() or 1
 
 
 def run_benchmarks(quick: bool) -> dict:
@@ -266,6 +291,8 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
+            "logical_cores": logical_cores(),
+            "repro_jobs": os.environ.get("REPRO_JOBS"),
             "jobs": effective_jobs(),
         },
         "benchmarks": benchmarks,

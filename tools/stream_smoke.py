@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Bounded-memory streaming smoke: N jobs under an asserted RSS budget.
+
+Runs one streaming simulation (``repro.run(..., stream=...)`` path) at
+a scale where materializing the instance would dominate memory, records
+peak RSS and throughput, and exits nonzero if the budget is exceeded --
+the CI teeth behind the "streaming memory is O(window), not O(n)"
+claim (docs/STREAMING.md).
+
+Peak RSS is read from ``resource.getrusage(RUSAGE_SELF).ru_maxrss``
+(kilobytes on Linux, bytes on macOS), so it covers everything the
+process ever held: numpy, the window tables, the online accumulators.
+The baseline RSS before the run is recorded too, so the report shows
+how much of the peak is interpreter + imports rather than the stream.
+
+Usage::
+
+    python tools/stream_smoke.py                       # 1M jobs, 500 MB
+    python tools/stream_smoke.py --n-jobs 10000000     # headline scale
+    python tools/stream_smoke.py --output smoke.json   # for bench_gate
+
+Validate a written report with ``tools/bench_gate.py --stream-smoke
+smoke.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCHEMA = "repro-stream-smoke/1"
+
+
+def peak_rss_mb() -> float:
+    """Lifetime peak RSS of this process in megabytes."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return peak / scale
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-jobs", type=int, default=1_000_000)
+    parser.add_argument("--budget-mb", type=float, default=500.0)
+    parser.add_argument("--chunk-jobs", type=int, default=32_768)
+    parser.add_argument("--qps", type=float, default=300.0)
+    parser.add_argument("--m", type=int, default=4)
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    import repro
+    from repro.workloads.distributions import BingDistribution
+    from repro.workloads.generator import WorkloadSpec
+
+    baseline_mb = peak_rss_mb()  # interpreter + numpy imports
+
+    spec = WorkloadSpec(
+        BingDistribution(),
+        qps=args.qps,
+        n_jobs=args.n_jobs,
+        m=args.m,
+        target_chunks=4,
+    )
+    stream = spec.stream(chunk_jobs=args.chunk_jobs)
+
+    t0 = time.perf_counter()
+    result = repro.run(
+        "flat",
+        stream=stream,
+        m=args.m,
+        k=args.k,
+        seed=args.seed,
+        quantiles=(0.5, 0.9, 0.99),
+    )
+    wall_s = time.perf_counter() - t0
+    peak_mb = peak_rss_mb()
+    within = peak_mb <= args.budget_mb
+
+    report = {
+        "schema": SCHEMA,
+        "n_jobs": args.n_jobs,
+        "chunk_jobs": args.chunk_jobs,
+        "qps": args.qps,
+        "m": args.m,
+        "k": args.k,
+        "seed": args.seed,
+        "budget_mb": args.budget_mb,
+        "baseline_rss_mb": round(baseline_mb, 1),
+        "peak_rss_mb": round(peak_mb, 1),
+        "within_budget": within,
+        "wall_s": round(wall_s, 2),
+        "jobs_per_sec": round(args.n_jobs / wall_s, 1),
+        "max_flow": result.max_flow,
+        "peak_live_jobs": result.peak_live_jobs,
+        "segments_generated": result.segments_generated,
+        "compactions": result.compactions,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+    print(text)
+
+    if not within:
+        print(
+            f"FAIL: peak RSS {peak_mb:.1f} MB exceeds budget "
+            f"{args.budget_mb:.1f} MB",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: {args.n_jobs} jobs in {wall_s:.1f}s, peak RSS "
+        f"{peak_mb:.1f} MB <= {args.budget_mb:.1f} MB budget"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
