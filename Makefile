@@ -27,10 +27,14 @@ bench-gate:
 	$(PYTHON) tools/bench_report.py --quick --baseline none --output /tmp/bench_gate.json
 	$(PYTHON) tools/bench_gate.py /tmp/bench_gate.json --engine-budget 0.02
 
-# Wipe the content-addressed instance/cell cache used by --resume.
-# Honors REPRO_CACHE the same way the experiment CLI does.
+# Wipe the content-addressed instance/cell cache used by --resume,
+# including manifests/ and checkpoint sidecars, so a cleared cache
+# cannot poison a later merge-cache run.  Routed through the CLI so
+# the semantics (REPRO_CACHE resolution, symlinked roots) are exactly
+# SweepCache.clear()'s; PYTHONPATH=src keeps it working on an
+# uninstalled checkout, like the old rm -rf did.
 clean-cache:
-	rm -rf "$${REPRO_CACHE:-.repro_cache}"
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.experiments clean-cache
 
 verify:
 	$(PYTHON) -m repro.experiments verify

@@ -46,6 +46,12 @@ deadlines, bounded deterministic retries, pool respawn, lossless
 ``resume=True`` checkpointing); see docs/ROBUSTNESS.md.  Failures
 surface as the typed :mod:`repro.errors` hierarchy (all subclasses of
 :class:`repro.errors.ReproError`).
+
+Sweeps scale across hosts: ``repro.sweep(shard=(i, n), cache=...)``
+runs a deterministic slice of the grid, and :func:`repro.merge_caches`
+combines the shard caches into one resumable cache (content-hash
+conflict detection, bit-identical resume-after-merge); see
+EXPERIMENTS.md.
 """
 
 from repro.core import (
@@ -98,6 +104,7 @@ from repro.sim import (
 from repro.api import run, sweep
 from repro.errors import (
     CacheCorruptError,
+    CacheMergeConflictError,
     CellCrashedError,
     CellTimeoutError,
     ReproError,
@@ -108,19 +115,38 @@ from repro.obs import Telemetry
 from repro.sim.stream_engine import StreamResult
 from repro.workloads import StreamSpec, WorkloadSpec
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
+
+
+def merge_caches(sources, dest, telemetry=None):
+    """Merge sharded sweep caches into one resumable cache.
+
+    Top-level convenience for
+    :func:`repro.experiments.shard.merge_caches` (imported lazily so
+    ``import repro`` stays light); see that function for the full
+    contract -- verbatim copies for new keys, silent tolerance of
+    identical overlap, and a provenance-bearing
+    :class:`~repro.errors.CacheMergeConflictError` when the same key
+    holds different content.
+    """
+    from repro.experiments.shard import merge_caches as _merge
+
+    return _merge(sources, dest, telemetry=telemetry)
+
 
 __all__ = [
     "__version__",
     # unified entrypoints + observability (ISSUE 3 / ISSUE 4)
     "run",
     "sweep",
+    "merge_caches",
     "Telemetry",
     # typed error hierarchy (ISSUE 4)
     "ReproError",
     "SweepConfigError",
     "UnkeyableFactoryError",
     "CacheCorruptError",
+    "CacheMergeConflictError",
     "CellCrashedError",
     "CellTimeoutError",
     # core

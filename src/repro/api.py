@@ -528,6 +528,7 @@ def sweep(
     cell_timeout: Optional[float] = None,
     retries: Optional[int] = None,
     telemetry: Optional[Any] = None,
+    shard: Union[tuple, str, None] = None,
 ):
     """Run a fault-tolerant parameter-grid sweep (mirror of :func:`run`).
 
@@ -580,12 +581,24 @@ def sweep(
         deadline in seconds and retry budget for crashed / hung cells.
         Defaults resolve from ``REPRO_CELL_TIMEOUT`` / ``REPRO_RETRIES``
         (the CLI's ``--cell-timeout`` / ``--retries``).
+    shard:
+        Run one shard of the grid for multi-host scale-out: ``(index,
+        count)`` or ``"index/count"`` (identical after normalization;
+        invalid values raise :class:`~repro.errors.SweepConfigError`).
+        Shards partition the grid's cells disjointly and exhaustively,
+        each writing into its own ``cache`` dir with a shard manifest;
+        :func:`repro.merge_caches` combines them into one resumable
+        cache, and a final ``resume=True`` sweep over it is
+        bit-identical to an unsharded run.  Requires an explicit
+        ``cache`` (or ``REPRO_CACHE``).  See
+        :func:`repro.experiments.sweep.grid_sweep` and EXPERIMENTS.md.
 
     Returns
     -------
     SweepResult
-        Cells in cross-product order; bit-identical to an undisturbed
-        serial run even when workers crashed, hung, or were retried.
+        Cells in cross-product order (the shard's slice when ``shard=``
+        is given); bit-identical to an undisturbed serial run even when
+        workers crashed, hung, or were retried.
     """
     if stream is not None:
         raise SweepConfigError(
@@ -617,4 +630,5 @@ def sweep(
         telemetry=telemetry,
         cell_timeout=cell_timeout,
         retries=retries,
+        shard=shard,
     )

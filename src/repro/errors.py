@@ -15,6 +15,7 @@ handlers keep working unchanged.
     |-- SweepConfigError              (+ ValueError)   bad sweep arguments
     |-- UnkeyableFactoryError         (+ ValueError)   factory has no stable key
     |-- CacheCorruptError             (+ RuntimeError) cache file unreadable
+    |-- CacheMergeConflictError       (+ RuntimeError) shard caches disagree on a cell
     |-- CellCrashedError              (+ RuntimeError) worker died / cell errored
     |-- CellTimeoutError              (+ TimeoutError) cell deadline exceeded
     `-- FaultInjected                                  raised by repro.testing.faults
@@ -31,6 +32,7 @@ __all__ = [
     "SweepConfigError",
     "UnkeyableFactoryError",
     "CacheCorruptError",
+    "CacheMergeConflictError",
     "CellCrashedError",
     "CellTimeoutError",
     "FaultInjected",
@@ -68,6 +70,35 @@ class CacheCorruptError(ReproError, RuntimeError):
     regenerated and overwritten); ``strict=True`` loads raise this
     instead so integrity audits can tell truncation from absence.
     """
+
+
+class CacheMergeConflictError(ReproError, RuntimeError):
+    """Two shard caches hold *different* results under the same cell key.
+
+    Raised by :func:`repro.experiments.shard.merge_caches` when a cell
+    (or instance) key appears in both the destination and a source cache
+    with different content hashes.  Cell keys are pure functions of the
+    run coordinates, so a disagreement means one side computed with
+    different code, a different environment, or a tampered file -- a
+    merge must never silently pick a winner.
+
+    ``key`` is the conflicting cache key, ``kind`` is ``"cell"`` or
+    ``"instance"``, and ``provenance`` carries one record per side
+    (cache dir, shard manifest facts: host, shard index, creation time)
+    so the offending run can be identified from the error alone.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        key: str = "",
+        kind: str = "cell",
+        provenance: tuple = (),
+    ):
+        super().__init__(message)
+        self.key = key
+        self.kind = kind
+        self.provenance = tuple(provenance)
 
 
 class CellCrashedError(ReproError, RuntimeError):

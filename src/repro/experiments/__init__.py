@@ -37,6 +37,14 @@ The pool is supervised (ISSUE 4): ``--cell-timeout`` /
 broken pools are respawned, completed cells are checkpointed into the
 cache as they finish, and published shared-memory blocks are reclaimed
 on every exit path.  See docs/ROBUSTNESS.md.
+
+Sweeps also scale *out* (ISSUE 8): ``repro.sweep(shard=(i, n),
+cache=...)`` runs one deterministic slice of the grid per host, and
+``python -m repro.experiments merge-cache <src>... --dest <dir>`` /
+``merge-telemetry`` combine shard caches and event logs losslessly --
+content-hash conflict detection, provenance-bearing errors, and
+resume-after-merge bit-identical to a single-host sweep.  See
+:mod:`repro.experiments.shard` and EXPERIMENTS.md.
 """
 
 from repro.experiments.cache import (
@@ -89,6 +97,17 @@ from repro.experiments.figures import (
     speedup_contrast_experiment,
 )
 from repro.experiments.report import render_chart, render_histogram, render_series
+from repro.experiments.shard import (
+    MergeReport,
+    ShardManifest,
+    ShardSpec,
+    grid_digest,
+    load_shard_manifests,
+    merge_caches,
+    merge_telemetry,
+    parse_shard,
+    shard_cells,
+)
 from repro.experiments.sweep import METRICS, SweepCell, SweepResult, grid_sweep
 from repro.experiments.verify import (
     ShapeCheck,
@@ -144,6 +163,15 @@ __all__ = [
     "SweepResult",
     "SweepCell",
     "METRICS",
+    "ShardSpec",
+    "ShardManifest",
+    "MergeReport",
+    "parse_shard",
+    "shard_cells",
+    "grid_digest",
+    "load_shard_manifests",
+    "merge_caches",
+    "merge_telemetry",
     "verify_reproduction",
     "render_verification",
 ]

@@ -7,6 +7,18 @@ Usage::
     python -m repro.experiments fig2a --telemetry events.jsonl
     python -m repro.experiments telemetry events.jsonl
 
+Cache maintenance for sharded sweeps (see EXPERIMENTS.md)::
+
+    python -m repro.experiments merge-cache SRC [SRC ...] --dest DIR
+    python -m repro.experiments merge-telemetry SRC [SRC ...] --dest FILE
+    python -m repro.experiments clean-cache [--cache-dir DIR]
+
+``merge-cache`` combines shard caches losslessly; a content conflict
+(same cell key, different result) prints a provenance-bearing error and
+exits with code 2.  ``clean-cache`` clears the resolved cache directory
+completely (cells, instances, manifests, sidecars) so a cleared cache
+cannot poison a later merge.
+
 Experiment ids and what they regenerate are listed in
 ``repro.experiments.config.EXPERIMENTS`` and in DESIGN.md's
 per-experiment index.
@@ -96,8 +108,108 @@ def _run_one(
     return text
 
 
+#: Exit code for a cache-merge content conflict (vs 1 = usage/audit
+#: failure): scripted multi-host pipelines branch on it.
+EXIT_MERGE_CONFLICT = 2
+
+#: Maintenance subcommands dispatched before the experiment parser --
+#: they take source paths, not experiment ids.
+MAINTENANCE_COMMANDS = ("merge-cache", "merge-telemetry", "clean-cache")
+
+
+def _maintenance_main(argv: list[str]) -> int:
+    """The ``merge-cache`` / ``merge-telemetry`` / ``clean-cache`` CLI."""
+    command = argv[0]
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.experiments {command}",
+        description={
+            "merge-cache": (
+                "Merge shard sweep caches into one resumable cache "
+                "(content-hash conflict detection; exit 2 on conflict)."
+            ),
+            "merge-telemetry": (
+                "Concatenate shard telemetry event logs into one ledger "
+                "(each source is validated first)."
+            ),
+            "clean-cache": (
+                "Remove the cache directory completely: cells, "
+                "instances, manifests, checkpoint sidecars."
+            ),
+        }[command],
+    )
+    if command in ("merge-cache", "merge-telemetry"):
+        parser.add_argument(
+            "sources",
+            nargs="+",
+            help=(
+                "shard cache directories" if command == "merge-cache"
+                else "shard telemetry logs (JSONL)"
+            ),
+        )
+        parser.add_argument(
+            "--dest",
+            required=True,
+            help=(
+                "destination cache directory (created if missing)"
+                if command == "merge-cache"
+                else "destination event log (overwritten atomically)"
+            ),
+        )
+    else:
+        parser.add_argument(
+            "--cache-dir",
+            type=str,
+            default=None,
+            help=(
+                "cache directory to remove (default: the REPRO_CACHE "
+                "environment variable, else .repro_cache/)"
+            ),
+        )
+    args = parser.parse_args(argv[1:])
+
+    from repro.errors import CacheMergeConflictError, SweepConfigError
+
+    try:
+        if command == "merge-cache":
+            from repro.experiments.shard import merge_caches
+
+            report = merge_caches(args.sources, args.dest)
+            print(report.render())
+            return 0
+        if command == "merge-telemetry":
+            from repro.experiments.shard import merge_telemetry
+
+            dest, n_events = merge_telemetry(args.sources, args.dest)
+            print(
+                f"merged {n_events} events from {len(args.sources)} "
+                f"log(s) into {dest}"
+            )
+            return 0
+        from repro.experiments.cache import SweepCache
+
+        cache = SweepCache(args.cache_dir)
+        stats = cache.stats()
+        cache.clear()
+        print(
+            f"cleared {cache.root} "
+            f"({stats['cells']} cells, {stats['instances']} instances, "
+            f"{stats['manifests']} manifests)"
+        )
+        return 0
+    except CacheMergeConflictError as exc:
+        print(f"merge conflict: {exc}", file=sys.stderr)
+        return EXIT_MERGE_CONFLICT
+    except SweepConfigError as exc:
+        parser.error(str(exc))
+        return 1  # pragma: no cover - parser.error raises SystemExit
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in MAINTENANCE_COMMANDS:
+        return _maintenance_main(list(argv))
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures (see DESIGN.md).",

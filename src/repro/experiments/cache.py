@@ -21,10 +21,23 @@ shortest-round-trip in Python 3), and the flat format round-trips
 instances exactly.  ``--resume`` therefore cannot change a single
 number; ``tests/experiments/test_cache.py`` asserts it.
 
-Cache-directory resolution (first match wins): an explicit argument /
-``--cache-dir`` flag, the ``REPRO_CACHE`` environment variable, the
-default ``.repro_cache/`` under the current directory.  ``make
-clean-cache`` (or :meth:`SweepCache.clear`) wipes it.
+**The one cache-directory precedence rule** (first match wins,
+everywhere -- API, CLI, sharded or not): an explicit argument /
+``--cache-dir`` flag, then the ``REPRO_CACHE`` environment variable,
+then the default ``.repro_cache/`` under the current directory.
+:func:`resolve_cache_dir` is the single implementation; nothing else in
+the package reads ``REPRO_CACHE``.  Two deliberate exceptions refuse to
+fall through to the *default* instead of silently picking it: a
+**sharded** sweep (``shard=`` set, no explicit cache, no ``REPRO_CACHE``)
+raises :class:`~repro.errors.SweepConfigError`, because ``n`` shards
+landing in the same implicit ``.repro_cache`` on one host -- or
+different implicit dirs on ``n`` hosts that the operator never learns
+the names of -- defeats the merge step; likewise
+:func:`~repro.experiments.shard.merge_caches` requires every source to
+exist and the destination to differ from all sources.  ``make
+clean-cache`` (or :meth:`SweepCache.clear`) wipes the resolved
+directory, including ``manifests/`` and any checkpoint/``.tmp``
+sidecars, so a cleared cache cannot poison a later merge.
 """
 
 from __future__ import annotations
@@ -123,6 +136,11 @@ class SweepCache:
     @property
     def cells_dir(self) -> Path:
         return self.root / "cells"
+
+    @property
+    def manifests_dir(self) -> Path:
+        """Provenance dir: run manifests and shard manifests live here."""
+        return self.root / "manifests"
 
     # -- instances --------------------------------------------------------
 
@@ -234,8 +252,26 @@ class SweepCache:
     # -- maintenance ------------------------------------------------------
 
     def clear(self) -> None:
-        """Delete the whole cache directory (idempotent)."""
-        shutil.rmtree(self.root, ignore_errors=True)
+        """Delete the whole cache directory, *everything* under it
+        (idempotent): instances, cells, ``manifests/`` (run + shard
+        provenance), checkpoint sidecars, stray ``.tmp`` files.
+
+        Completeness matters for merges: a "cleared" cache that kept a
+        stale shard manifest or a half-written ``.tmp`` sidecar would
+        feed wrong provenance (or be mistaken for data) when later
+        merged into another cache.  A symlinked root is cleared through
+        the link -- the target's contents are removed and the link
+        itself unlinked -- because ``rmtree`` on a symlink would
+        otherwise silently delete nothing.
+        """
+        root = self.root
+        if root.is_symlink():
+            target = root.resolve()
+            if target.is_dir():
+                shutil.rmtree(target, ignore_errors=True)
+            root.unlink(missing_ok=True)
+            return
+        shutil.rmtree(root, ignore_errors=True)
 
     def stats(self) -> Dict[str, int]:
         """Entry counts, for logs and the CLI cache summary."""
@@ -248,6 +284,11 @@ class SweepCache:
             "cells": (
                 len(list(self.cells_dir.glob("*.json")))
                 if self.cells_dir.is_dir()
+                else 0
+            ),
+            "manifests": (
+                len(list(self.manifests_dir.glob("*.json")))
+                if self.manifests_dir.is_dir()
                 else 0
             ),
         }

@@ -1,0 +1,672 @@
+"""Sharded sweep orchestration: partition, shard manifests, lossless merge.
+
+A paper figure at 100k jobs over a full parameter grid is hours of
+compute on one host but embarrassingly parallel across hosts: every
+sweep cell is a pure function of its coordinates (instance content +
+scheduler parameters + run seed), which is exactly why the cell cache
+(:mod:`repro.experiments.cache`) can key it by content.  This module
+turns that property into scale-out:
+
+* :func:`parse_shard` / :class:`ShardSpec` -- the ``shard=(i, n)`` /
+  ``shard="i/n"`` argument of :func:`repro.sweep`, validated into a
+  typed spec;
+* :func:`shard_cells` -- the deterministic partition: shard ``i`` of
+  ``n`` owns the contiguous cell-index range
+  ``[i*C//n, (i+1)*C//n)`` of the grid's ``C`` cross-product points,
+  so the disjoint union over all shards is exactly the unsharded
+  sweep (``tests/experiments/test_shard.py`` proves it property-style);
+* :class:`ShardManifest` -- the provenance record each sharded sweep
+  writes into ``<cache>/manifests/``: grid digest, coordinate range,
+  the cell keys it owns, host metadata;
+* :func:`merge_caches` / :func:`merge_telemetry` -- combine shard
+  outputs into one resumable cache and one telemetry ledger.  Overlap
+  and partial shards are tolerated (identical content merges silently;
+  a killed shard contributes whatever it checkpointed), but the same
+  key with *different* content is a hard
+  :class:`~repro.errors.CacheMergeConflictError` carrying provenance
+  from both sides' manifests -- a merge never silently picks a winner.
+
+The end-to-end contract: run ``repro.sweep(..., shard=(i, n),
+cache=dir_i)`` on ``n`` independent hosts, ``merge_caches(dirs,
+merged)``, then ``repro.sweep(..., cache=merged, resume=True)`` -- the
+final table is bit-identical to a single-host unsharded sweep, because
+every cell is served from the merged cache by the same content keys the
+unsharded sweep would compute.  See EXPERIMENTS.md for the recipe and
+docs/ROBUSTNESS.md for conflict semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import CacheMergeConflictError, SweepConfigError
+from repro.experiments.cache import SweepCache
+
+__all__ = [
+    "SHARD_SCHEMA",
+    "MergeReport",
+    "ShardManifest",
+    "ShardSpec",
+    "grid_digest",
+    "load_shard_manifests",
+    "merge_caches",
+    "merge_telemetry",
+    "parse_shard",
+    "shard_cells",
+]
+
+PathLike = Union[str, Path]
+
+#: Version stamp in shard manifests; bump on any field-semantics change
+#: so a merge never misreads a foreign layout as provenance.
+SHARD_SCHEMA = "repro-shard/1"
+
+
+# ----------------------------------------------------------------------
+# Shard specification and partitioning
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's identity: ``index`` of ``count`` (0-based).
+
+    Both accepted spellings -- the ``(i, n)`` tuple and the ``"i/n"``
+    string -- normalize to this type via :func:`parse_shard`, so
+    ``shard=(0, 4)`` and ``shard="0/4"`` are indistinguishable
+    downstream (same partition, same manifest, same cache keys).
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SweepConfigError(
+                f"shard count must be >= 1, got {self.count} "
+                f"(shard={self.index}/{self.count})"
+            )
+        if not 0 <= self.index < self.count:
+            raise SweepConfigError(
+                f"shard index must be in [0, {self.count}), got "
+                f"{self.index} (shards are 0-based: the first of "
+                f"{self.count} shards is 0/{self.count})"
+            )
+
+    def cell_range(self, n_cells: int) -> Tuple[int, int]:
+        """This shard's half-open ``[start, stop)`` slice of ``n_cells``
+        grid points (balanced: sizes differ by at most one)."""
+        return (
+            self.index * n_cells // self.count,
+            (self.index + 1) * n_cells // self.count,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+def parse_shard(
+    value: Union["ShardSpec", Tuple[int, int], str]
+) -> ShardSpec:
+    """Normalize any accepted ``shard=`` form into a :class:`ShardSpec`.
+
+    Accepts a :class:`ShardSpec`, an ``(index, count)`` pair, or the
+    ``"index/count"`` string (the form a shell launcher interpolates
+    into ``$i/$n``).  Anything else -- malformed strings, fractional or
+    out-of-range numbers, zero shards -- raises
+    :class:`~repro.errors.SweepConfigError` naming the valid forms.
+    """
+    if isinstance(value, ShardSpec):
+        return value
+    if isinstance(value, str):
+        parts = value.split("/")
+        if len(parts) != 2 or not all(
+            p.strip().lstrip("+-").isdigit() for p in parts
+        ):
+            raise SweepConfigError(
+                f"shard string must look like 'i/n' (e.g. '0/4'), got "
+                f"{value!r}"
+            )
+        return ShardSpec(int(parts[0]), int(parts[1]))
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise SweepConfigError(
+                f"shard tuple must be (index, count), got {value!r}"
+            )
+        index, count = value
+        if isinstance(index, bool) or isinstance(count, bool) or (
+            not isinstance(index, int) or not isinstance(count, int)
+        ):
+            raise SweepConfigError(
+                f"shard (index, count) must be two ints, got {value!r}"
+            )
+        return ShardSpec(index, count)
+    raise SweepConfigError(
+        f"shard= takes an (index, count) tuple, an 'i/n' string, or a "
+        f"ShardSpec; got {type(value).__name__}"
+    )
+
+
+def shard_cells(
+    n_cells: int, shard: Union[ShardSpec, Tuple[int, int], str]
+) -> range:
+    """The global cell indices shard ``shard`` owns out of ``n_cells``.
+
+    Contiguous, balanced, and exhaustive: for any ``n_cells`` and shard
+    count the ranges of all shards are pairwise disjoint and their union
+    is ``range(n_cells)`` -- the property the shard tests pin.  Cell
+    indices are *global* grid cross-product positions, so per-cell run
+    seeds (derived from the global index) match the unsharded sweep
+    exactly.
+    """
+    spec = parse_shard(shard)
+    start, stop = spec.cell_range(n_cells)
+    return range(start, stop)
+
+
+def grid_digest(
+    grid: Dict[str, Sequence[Any]],
+    factory_token: Optional[str],
+    m: int,
+    speed: float,
+    seed: int,
+    reps: int,
+    metric_names: Sequence[str],
+) -> str:
+    """A short stable digest of a sweep's full coordinate system.
+
+    Every shard of one logical sweep computes the same digest (the
+    partition does not enter it), so shard manifests from different
+    hosts can be matched up at merge time -- and manifests from a
+    *different* sweep sharing a cache dir can be told apart.
+    """
+    payload = json.dumps(
+        {
+            "grid": {name: [repr(v) for v in vals] for name, vals in grid.items()},
+            "factory": factory_token,
+            "m": m,
+            "speed": speed,
+            "seed": seed,
+            "reps": reps,
+            "metrics": list(metric_names),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Shard manifests
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Provenance record of one shard's slice of a sweep.
+
+    Written into ``<cache>/manifests/shard-<digest>-<i>of<n>.json`` at
+    sweep *plan* time -- before any cell runs -- so even a shard killed
+    mid-flight leaves a record of which cell keys its partial cache may
+    contain.  :func:`merge_caches` uses these to attribute conflicting
+    cells to the run (host, shard, time) that produced each side.
+    """
+
+    grid_digest: str
+    index: int
+    count: int
+    cell_start: int
+    cell_stop: int
+    n_cells_total: int
+    reps: int
+    cell_keys: Tuple[str, ...] = ()
+    instances: Tuple[str, ...] = ()
+    host: Dict[str, Any] = field(default_factory=dict)
+    versions: Dict[str, str] = field(default_factory=dict)
+    created_at: str = ""
+    cache_dir: str = ""
+    schema: str = SHARD_SCHEMA
+
+    @property
+    def filename(self) -> str:
+        return f"shard-{self.grid_digest}-{self.index}of{self.count}.json"
+
+    @property
+    def shard(self) -> str:
+        """The ``"i/n"`` label of this manifest's shard."""
+        return f"{self.index}/{self.count}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "grid_digest": self.grid_digest,
+            "shard": {"index": self.index, "count": self.count},
+            "cells": {
+                "start": self.cell_start,
+                "stop": self.cell_stop,
+                "total": self.n_cells_total,
+            },
+            "reps": self.reps,
+            "cell_keys": list(self.cell_keys),
+            "instances": list(self.instances),
+            "host": self.host,
+            "versions": self.versions,
+            "created_at": self.created_at,
+            "cache_dir": self.cache_dir,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardManifest":
+        if data.get("schema") != SHARD_SCHEMA:
+            raise ValueError(
+                f"shard manifest schema {data.get('schema')!r} is not "
+                f"{SHARD_SCHEMA!r}"
+            )
+        return cls(
+            grid_digest=str(data["grid_digest"]),
+            index=int(data["shard"]["index"]),
+            count=int(data["shard"]["count"]),
+            cell_start=int(data["cells"]["start"]),
+            cell_stop=int(data["cells"]["stop"]),
+            n_cells_total=int(data["cells"]["total"]),
+            reps=int(data.get("reps", 1)),
+            cell_keys=tuple(data.get("cell_keys", ())),
+            instances=tuple(data.get("instances", ())),
+            host=dict(data.get("host", {})),
+            versions=dict(data.get("versions", {})),
+            created_at=str(data.get("created_at", "")),
+            cache_dir=str(data.get("cache_dir", "")),
+        )
+
+    def describe(self) -> str:
+        """One provenance line for conflict errors and merge reports."""
+        host = self.host.get("hostname") or self.host.get("platform") or "?"
+        return (
+            f"shard {self.shard} of grid {self.grid_digest} "
+            f"(cells [{self.cell_start}, {self.cell_stop}), host {host}, "
+            f"created {self.created_at or '?'}, cache {self.cache_dir or '?'})"
+        )
+
+
+def _host_facts() -> Dict[str, Any]:
+    import platform
+
+    return {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+    }
+
+
+def build_shard_manifest(
+    spec: ShardSpec,
+    digest: str,
+    n_cells_total: int,
+    reps: int,
+    cell_keys: Sequence[str],
+    instance_hashes: Sequence[str],
+    cache_root: PathLike,
+) -> ShardManifest:
+    """Assemble a shard's manifest (see :class:`ShardManifest`)."""
+    from repro.obs.manifest import _versions
+
+    start, stop = spec.cell_range(n_cells_total)
+    return ShardManifest(
+        grid_digest=digest,
+        index=spec.index,
+        count=spec.count,
+        cell_start=start,
+        cell_stop=stop,
+        n_cells_total=n_cells_total,
+        reps=reps,
+        cell_keys=tuple(cell_keys),
+        instances=tuple(instance_hashes),
+        host=_host_facts(),
+        versions=_versions(),
+        created_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        cache_dir=str(cache_root),
+    )
+
+
+def write_shard_manifest(
+    manifest: ShardManifest, cache: SweepCache
+) -> Path:
+    """Atomically write ``manifest`` under ``<cache>/manifests/``.
+
+    Content-named per (grid digest, shard), so re-running the same shard
+    overwrites its own manifest instead of accumulating duplicates.
+    """
+    directory = cache.manifests_dir
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / manifest.filename
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(manifest.to_dict(), indent=2) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_shard_manifests(root: PathLike) -> List[ShardManifest]:
+    """Every readable shard manifest under ``<root>/manifests/``.
+
+    Unreadable or foreign-schema files are skipped (they are provenance,
+    not data: a merge without them still merges, it just attributes
+    conflicts less precisely).  Sorted by filename for determinism.
+    """
+    directory = Path(root) / "manifests"
+    if not directory.is_dir():
+        return []
+    out: List[ShardManifest] = []
+    for path in sorted(directory.glob("shard-*.json")):
+        try:
+            out.append(ShardManifest.from_dict(json.loads(path.read_text())))
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+            continue
+    return out
+
+
+# ----------------------------------------------------------------------
+# Merging shard caches
+# ----------------------------------------------------------------------
+
+
+def _result_hash(metrics: Dict[str, float]) -> str:
+    """Content hash of one cell's metric values (order-insensitive)."""
+    canonical = json.dumps(
+        {k: repr(float(v)) for k, v in metrics.items()}, sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _provenance_for(key: str, root: PathLike) -> List[str]:
+    """Provenance lines for ``key`` from ``root``'s shard manifests."""
+    lines = [
+        m.describe() for m in load_shard_manifests(root) if key in m.cell_keys
+    ]
+    return lines or [f"cache {Path(root)} (no shard manifest covers this key)"]
+
+
+def _copy_atomic(src: Path, dest_dir: Path, name: str) -> None:
+    """Copy ``src`` into ``dest_dir/name`` atomically (temp + rename).
+
+    Verbatim byte copy: a merged cell file must render exactly like the
+    original (JSON key order encodes metric order).
+    """
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=dest_dir, suffix=".tmp")
+    try:
+        os.close(fd)
+        shutil.copyfile(src, tmp)
+        os.replace(tmp, dest_dir / name)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+@dataclass
+class MergeReport:
+    """What one :func:`merge_caches` call did, per artifact class."""
+
+    dest: str
+    sources: List[str] = field(default_factory=list)
+    cells_added: int = 0
+    cells_identical: int = 0
+    cells_skipped: int = 0
+    instances_added: int = 0
+    instances_identical: int = 0
+    manifests_copied: int = 0
+
+    def render(self) -> str:
+        lines = [
+            "merge-cache report",
+            "-" * 40,
+            f"{'destination':<24}{self.dest}",
+            f"{'sources':<24}{len(self.sources)}",
+            f"{'cells added':<24}{self.cells_added}",
+            f"{'cells identical':<24}{self.cells_identical}",
+            f"{'cells skipped':<24}{self.cells_skipped}",
+            f"{'instances added':<24}{self.instances_added}",
+            f"{'instances identical':<24}{self.instances_identical}",
+            f"{'manifests copied':<24}{self.manifests_copied}",
+        ]
+        return "\n".join(lines)
+
+
+def merge_caches(
+    sources: Sequence[Union[SweepCache, PathLike]],
+    dest: Union[SweepCache, PathLike],
+    telemetry: Optional[Any] = None,
+) -> MergeReport:
+    """Merge shard sweep caches into one resumable cache.
+
+    For every cell result and instance in each source (processed in the
+    given order, files in sorted-name order within a source):
+
+    * **absent from the destination** -- copied verbatim (atomic temp +
+      rename, preserving byte-exact content so a resume renders exactly
+      like the original run);
+    * **present with identical content** -- counted and skipped, which
+      is what makes overlap and re-merged shards harmless;
+    * **present with different content** -- a hard
+      :class:`~repro.errors.CacheMergeConflictError` carrying the cell
+      key, both result hashes, and provenance lines from the shard
+      manifests covering that key on each side.  Nothing is deleted:
+      the destination keeps its value, the conflicting source is left
+      untouched, and the merge aborts.
+
+    Identity is content, not bytes, where bytes are unstable: instances
+    are compared by :func:`repro.dag.flat.content_hash` (``.npz``
+    archives embed timestamps), cell results by exact metric-value
+    equality (JSON floats round-trip exactly).  Manifests (run + shard)
+    are copied over so the merged cache carries full provenance.
+
+    After merging every shard of a sweep, re-running the *unsharded*
+    sweep with ``cache=dest, resume=True`` serves all cells from the
+    cache and is bit-identical to a single-host run.
+
+    Returns a :class:`MergeReport`; emits ``merge.start`` /
+    ``merge.source`` / ``merge.conflict`` / ``merge.done`` telemetry
+    events when a sink is given.
+    """
+    from repro.dag.flat import content_hash
+
+    dest_cache = dest if isinstance(dest, SweepCache) else SweepCache(dest)
+    if not sources:
+        raise SweepConfigError("merge_caches needs at least one source cache")
+    src_caches: List[SweepCache] = []
+    dest_root = dest_cache.root.resolve()
+    for src in sources:
+        cache = src if isinstance(src, SweepCache) else SweepCache(src)
+        if not cache.root.is_dir():
+            raise SweepConfigError(
+                f"merge_caches source {cache.root} is not a directory "
+                f"(every source must be an existing shard cache)"
+            )
+        if cache.root.resolve() == dest_root:
+            raise SweepConfigError(
+                f"merge_caches destination {dest_cache.root} is also a "
+                f"source: merging a cache into itself is always a no-op "
+                f"or a conflict -- pass a separate destination"
+            )
+        src_caches.append(cache)
+
+    report = MergeReport(
+        dest=str(dest_cache.root),
+        sources=[str(c.root) for c in src_caches],
+    )
+    if telemetry is not None:
+        telemetry.emit(
+            "merge.start", dest=report.dest, sources=report.sources
+        )
+
+    for src in src_caches:
+        before = (
+            report.cells_added,
+            report.cells_identical,
+            report.instances_added,
+        )
+        # -- cell results ---------------------------------------------
+        if src.cells_dir.is_dir():
+            for path in sorted(src.cells_dir.glob("*.json")):
+                key = path.stem
+                metrics = src.load_cell(key, strict=True)
+                if metrics is None:
+                    # Stale schema: not this format's data, never merged.
+                    report.cells_skipped += 1
+                    continue
+                existing = dest_cache.load_cell(key, strict=True)
+                if existing is None:
+                    _copy_atomic(path, dest_cache.cells_dir, path.name)
+                    report.cells_added += 1
+                elif existing == metrics:
+                    report.cells_identical += 1
+                else:
+                    provenance = tuple(
+                        _provenance_for(key, src.root)
+                        + _provenance_for(key, dest_cache.root)
+                    )
+                    if telemetry is not None:
+                        telemetry.emit(
+                            "merge.conflict",
+                            kind="cell",
+                            key=key,
+                            source=str(src.root),
+                            dest=report.dest,
+                        )
+                    raise CacheMergeConflictError(
+                        f"cell {key} exists in both {dest_cache.root} "
+                        f"(result hash {_result_hash(existing)}) and "
+                        f"{src.root} (result hash {_result_hash(metrics)}) "
+                        f"with different values -- same coordinates must "
+                        f"produce identical floats, so one side ran "
+                        f"different code, a different environment, or was "
+                        f"tampered with.\nprovenance:\n  "
+                        + "\n  ".join(provenance),
+                        key=key,
+                        kind="cell",
+                        provenance=provenance,
+                    )
+        # -- instances ------------------------------------------------
+        if src.instances_dir.is_dir():
+            for path in sorted(src.instances_dir.glob("*.npz")):
+                key = path.stem
+                if not dest_cache.instance_path(key).exists():
+                    _copy_atomic(path, dest_cache.instances_dir, path.name)
+                    report.instances_added += 1
+                    continue
+                src_flat = src.load_instance(key, strict=True)
+                dst_flat = dest_cache.load_instance(key, strict=True)
+                src_hash = content_hash(src_flat)
+                dst_hash = content_hash(dst_flat)
+                if src_hash == dst_hash:
+                    report.instances_identical += 1
+                    continue
+                provenance = (
+                    f"cache {src.root}: instance hash {src_hash}",
+                    f"cache {dest_cache.root}: instance hash {dst_hash}",
+                )
+                if telemetry is not None:
+                    telemetry.emit(
+                        "merge.conflict",
+                        kind="instance",
+                        key=key,
+                        source=str(src.root),
+                        dest=report.dest,
+                    )
+                raise CacheMergeConflictError(
+                    f"instance {key} exists in both {dest_cache.root} and "
+                    f"{src.root} with different content "
+                    f"({dst_hash} vs {src_hash}) -- the same workload key "
+                    f"must generate the same instance.\nprovenance:\n  "
+                    + "\n  ".join(provenance),
+                    key=key,
+                    kind="instance",
+                    provenance=provenance,
+                )
+        # -- manifests (run + shard): provenance travels with the data
+        src_manifests = src.manifests_dir
+        if src_manifests.is_dir():
+            for path in sorted(src_manifests.glob("*.json")):
+                _copy_atomic(path, dest_cache.manifests_dir, path.name)
+                report.manifests_copied += 1
+        if telemetry is not None:
+            telemetry.emit(
+                "merge.source",
+                source=str(src.root),
+                cells_added=report.cells_added - before[0],
+                cells_identical=report.cells_identical - before[1],
+                instances_added=report.instances_added - before[2],
+            )
+
+    if telemetry is not None:
+        telemetry.emit(
+            "merge.done",
+            dest=report.dest,
+            cells_added=report.cells_added,
+            cells_identical=report.cells_identical,
+            instances_added=report.instances_added,
+            manifests_copied=report.manifests_copied,
+        )
+    return report
+
+
+def merge_telemetry(
+    sources: Sequence[PathLike], dest: PathLike
+) -> Tuple[Path, int]:
+    """Concatenate shard telemetry ledgers into one JSONL log.
+
+    Each source is parsed with :func:`repro.obs.telemetry.read_events`
+    first (torn tails from killed shards are dropped, anything else
+    malformed raises), then re-serialized event by event into ``dest``
+    in source order.  Per-shard sessions stay intact -- each shard's
+    ``telemetry.open`` marks a clock reset, which
+    :func:`repro.obs.audit_events` already understands -- so the merged
+    ledger summarizes and audits exactly like a ledger produced by one
+    process running the shards back to back.
+
+    Returns ``(dest_path, n_events)``.
+    """
+    from repro.obs.telemetry import read_events
+
+    if not sources:
+        raise SweepConfigError(
+            "merge_telemetry needs at least one source event log"
+        )
+    dest_path = Path(dest)
+    batches: List[List[Dict[str, Any]]] = []
+    for src in sources:
+        src_path = Path(src)
+        if not src_path.exists():
+            raise SweepConfigError(
+                f"merge_telemetry source {src_path} does not exist"
+            )
+        if src_path.resolve() == dest_path.resolve():
+            raise SweepConfigError(
+                f"merge_telemetry destination {dest_path} is also a "
+                f"source -- pass a separate destination"
+            )
+        batches.append(read_events(src_path))
+    dest_path.parent.mkdir(parents=True, exist_ok=True)
+    n_events = 0
+    fd, tmp = tempfile.mkstemp(dir=dest_path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            for events in batches:
+                for event in events:
+                    fh.write(json.dumps(event) + "\n")
+                    n_events += 1
+        os.replace(tmp, dest_path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return dest_path, n_events

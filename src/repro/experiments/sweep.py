@@ -48,7 +48,7 @@ from repro.dag.flat import (
 )
 from repro.dag.job import JobSet
 from repro.errors import SweepConfigError
-from repro.experiments.cache import SweepCache, cell_key
+from repro.experiments.cache import CACHE_ENV, SweepCache, cell_key
 from repro.experiments.parallel import (
     SharedInstance,
     attach_flat,
@@ -81,11 +81,17 @@ class SweepCell:
 
 @dataclass
 class SweepResult:
-    """All cells of a grid sweep, with a paper-style text rendering."""
+    """All cells of a grid sweep, with a paper-style text rendering.
+
+    ``shard`` is the ``"i/n"`` label when the sweep ran one shard of a
+    partitioned grid (``cells`` then holds only that shard's grid
+    points, still in global cross-product order), else None.
+    """
 
     param_names: List[str]
     metric_names: List[str]
     cells: List[SweepCell]
+    shard: Optional[str] = None
 
     def best(self, metric: str = "max_flow") -> SweepCell:
         """The cell minimizing ``metric``."""
@@ -285,6 +291,7 @@ def grid_sweep(
     telemetry: Optional[Any] = None,
     cell_timeout: Optional[float] = None,
     retries: Optional[int] = None,
+    shard: Union[tuple, str, None] = None,
 ) -> SweepResult:
     """Run the full parameter cross product with paired comparisons.
 
@@ -355,6 +362,28 @@ def grid_sweep(
         :class:`~repro.errors.CellCrashedError`.  Completed cells are
         checkpointed into the cache as they finish, so an aborted sweep
         resumes losslessly with ``resume=True``.
+    shard:
+        Run one shard of the grid instead of all of it: an ``(index,
+        count)`` tuple or the equivalent ``"index/count"`` string (both
+        forms normalize identically; invalid input raises
+        :class:`~repro.errors.SweepConfigError`).  Shard ``i`` of ``n``
+        owns a contiguous, balanced slice of the grid's cross-product
+        cells -- the disjoint union over all shards is exactly the
+        unsharded sweep.  Cell keys and per-cell run seeds use *global*
+        cell indices, so a shard's cached cells are exactly the cells
+        the unsharded sweep would cache: run each shard on its own host
+        into its own cache dir, combine with
+        :func:`repro.experiments.shard.merge_caches`, and a final
+        ``resume=True`` sweep over the merged cache is bit-identical to
+        a single-host run (EXPERIMENTS.md has the full recipe).  A
+        sharded sweep requires an explicit ``cache`` (or ``REPRO_CACHE``)
+        and a cache-keyable scheduler factory -- silently sharding into
+        the implicit default directory, or computing shards whose cells
+        cannot be cached for merging, raises ``SweepConfigError``
+        instead.  Each shard writes a shard manifest (grid digest,
+        coordinate range, owned cell keys, host metadata) under
+        ``<cache>/manifests/`` *before* running, so even a killed shard
+        leaves provenance for the merge step.
 
     Returns
     -------
@@ -373,8 +402,36 @@ def grid_sweep(
         raise SweepConfigError(
             f"unknown metrics {unknown}; available: {sorted(METRICS)}"
         )
+    spec = None
+    if shard is not None:
+        from repro.experiments.shard import parse_shard
+
+        spec = parse_shard(shard)
     if isinstance(cache, (str,)) or hasattr(cache, "__fspath__"):
         cache = SweepCache(cache)
+    if cache is None and spec is not None:
+        # Precedence rule (see repro.experiments.cache): explicit arg >
+        # REPRO_CACHE > default -- except a sharded sweep refuses the
+        # implicit default, because n shards falling back to whatever
+        # ".repro_cache" means on each host produces caches nobody can
+        # find (or, on one host, a single dir the shards were meant to
+        # keep separate).
+        if os.environ.get(CACHE_ENV):
+            cache = SweepCache()
+        else:
+            raise SweepConfigError(
+                f"sharded sweep (shard={spec}) needs an explicit cache "
+                f"directory: pass cache=... (or set {CACHE_ENV}) so each "
+                f"shard's results land somewhere merge_caches can find. "
+                f"Refusing to silently shard into the default "
+                f"'.repro_cache'."
+            )
+    if cache is None and resume:
+        # resume without a cache historically no-opped; resolve the
+        # documented precedence chain instead so `resume=True` alone
+        # picks up REPRO_CACHE or the default dir (matches the CLI and
+        # run_figure2_cells).
+        cache = SweepCache()
     if telemetry is None:
         # CLI path: the --telemetry flag routes through REPRO_TELEMETRY
         # rather than threading a parameter into every figure function.
@@ -406,6 +463,17 @@ def grid_sweep(
         rep_hashes.append(content_hash(flat))
 
     factory_token = _callable_token(scheduler_factory)
+    if spec is not None and factory_token is None:
+        # An unkeyable factory bypasses the cell cache, and a shard
+        # whose cells are never cached has nothing to merge -- the whole
+        # point of sharding.  Fail loudly instead of burning n hosts.
+        raise SweepConfigError(
+            f"sharded sweep (shard={spec}) needs a cache-keyable "
+            f"scheduler factory, but {scheduler_factory!r} captures "
+            f"state with no stable content identity, so its cells "
+            f"cannot be cached for merging. Use a module-level "
+            f"function, class, or functools.partial over plain values."
+        )
     if cache is not None and factory_token is None:
         warnings.warn(
             f"grid_sweep: cannot derive a stable content key for "
@@ -421,10 +489,22 @@ def grid_sweep(
             telemetry.emit(
                 "cache.bypass", factory=repr(scheduler_factory)
             )
+    # The shard's slice of the grid, as *global* cell indices: run
+    # seeds and cell keys derive from a cell's cross-product position,
+    # so a sharded cell is byte-for-byte the cell the unsharded sweep
+    # would compute (and cache) at the same coordinates.
+    if spec is not None:
+        from repro.experiments.shard import shard_cells
+
+        cell_indices = list(shard_cells(len(combos), spec))
+    else:
+        cell_indices = list(range(len(combos)))
+
     tasks: List[tuple] = []
     task_keys: List[Optional[str]] = []
     cached_results: Dict[int, Dict[str, float]] = {}
-    for cell_idx, combo in enumerate(combos):
+    for cell_idx in cell_indices:
+        combo = combos[cell_idx]
         params = dict(zip(param_names, combo))
         for rep in range(reps):
             run_seed = derive_seed(seed, cell_idx, rep)
@@ -450,13 +530,48 @@ def grid_sweep(
                     }
             tasks.append((params, rep, run_seed))
 
+    # Shard manifest: written at *plan* time, before any cell runs, so
+    # a shard killed mid-flight still leaves a provenance record of
+    # which cell keys its partial cache may contain (merge_caches uses
+    # it to attribute conflicts to a host/shard/time).
+    if spec is not None:
+        from repro.experiments.shard import (
+            build_shard_manifest,
+            grid_digest,
+            write_shard_manifest,
+        )
+
+        digest = grid_digest(
+            grid, factory_token, m, speed, seed, reps, metric_names
+        )
+        shard_manifest = build_shard_manifest(
+            spec,
+            digest,
+            n_cells_total=len(combos),
+            reps=reps,
+            cell_keys=[k for k in task_keys if k is not None],
+            instance_hashes=rep_hashes,
+            cache_root=cache.root,
+        )
+        write_shard_manifest(shard_manifest, cache)
+        if telemetry is not None:
+            telemetry.emit(
+                "shard.plan",
+                shard=str(spec),
+                grid_digest=digest,
+                cell_start=shard_manifest.cell_start,
+                cell_stop=shard_manifest.cell_stop,
+                n_cells_total=len(combos),
+                cache_dir=str(cache.root),
+            )
+
     # Fan out only the cold tasks.
     cold_indices = [i for i in range(len(tasks)) if i not in cached_results]
     if telemetry is not None:
         telemetry.emit(
             "sweep.start",
             kind="grid_sweep",
-            n_cells=len(combos),
+            n_cells=len(cell_indices),
             reps=reps,
             n_tasks=len(tasks),
             n_cold=len(cold_indices),
@@ -464,6 +579,7 @@ def grid_sweep(
             speed=speed,
             metrics=metric_names,
             factory=factory_token or repr(scheduler_factory),
+            shard=str(spec) if spec is not None else None,
         )
     shared: List[SharedInstance] = []
     try:
@@ -570,12 +686,15 @@ def grid_sweep(
             )
 
     # Aggregate in (cell, rep) task order -- the same float summation
-    # order as the serial loop, keeping means bit-identical.
+    # order as the serial loop, keeping means bit-identical.  Task
+    # positions are local to this run's cell list (the shard's slice,
+    # or the whole grid), while cell identity stays global.
     cells: List[SweepCell] = []
-    for cell_idx, combo in enumerate(combos):
+    for local_idx, cell_idx in enumerate(cell_indices):
+        combo = combos[cell_idx]
         sums = {name: 0.0 for name in metric_names}
         for rep in range(reps):
-            values = rep_metrics[cell_idx * reps + rep]
+            values = rep_metrics[local_idx * reps + rep]
             for name in metric_names:
                 sums[name] += values[name]
         cells.append(
@@ -601,6 +720,7 @@ def grid_sweep(
                 "reps": reps,
                 "metrics": metric_names,
                 "factory": factory_token or repr(scheduler_factory),
+                "shard": str(spec) if spec is not None else None,
             },
             seed=seed,
             rep_seeds=[derive_seed(seed, 9000, rep) for rep in range(reps)],
@@ -609,7 +729,7 @@ def grid_sweep(
             event_log=log_path,
             cache_dir=cache.root if cache is not None else None,
             extra={
-                "n_cells": len(combos),
+                "n_cells": len(cell_indices),
                 "n_tasks": len(tasks),
                 "n_cold": len(cold_indices),
                 "n_cached": len(cached_results),
@@ -633,4 +753,5 @@ def grid_sweep(
         param_names=param_names,
         metric_names=metric_names,
         cells=cells,
+        shard=str(spec) if spec is not None else None,
     )

@@ -115,6 +115,7 @@ def summarize_events(events: Sequence[Event]) -> str:
         ("pool respawns", "pool.respawn"),
         ("shm reclaims", "shm.reclaim"),
         ("failed checkpoints", "cache.store_failed"),
+        ("merge conflicts", "merge.conflict"),
     ]
     if any(counts.get(kind) for _, kind in fault_rows):
         lines.append("")
@@ -199,6 +200,8 @@ def audit_events(events: Sequence[Event]) -> List[str]:
       violation -- it means a cell exhausted its retry budget, so the
       run did not recover (``tools/bench_gate.py --telemetry`` fails on
       it);
+    * merge accounting: any ``merge.conflict`` is a violation -- shard
+      caches disagreed on a content key, so the merge aborted;
     * lifecycle sanity: at most one ``telemetry.close`` per
       ``telemetry.open``, and event timestamps are monotone.
     """
@@ -282,6 +285,16 @@ def audit_events(events: Sequence[Event]) -> List[str]:
         problems.append(
             f"{counts['fault.giveup']} fault.giveup event(s): a cell "
             f"exhausted its retry budget -- the sweep did not recover"
+        )
+
+    # Merge accounting: a merge.conflict means two shard caches held
+    # different results under the same content key -- never recoverable
+    # by retrying, always a violation (one side ran different code, a
+    # different environment, or was tampered with).
+    if counts.get("merge.conflict"):
+        problems.append(
+            f"{counts['merge.conflict']} merge.conflict event(s): shard "
+            f"caches disagree on a cell -- the merge aborted"
         )
 
     # Lifecycle sanity.

@@ -121,13 +121,39 @@ class TestSweepCacheStore:
 
     def test_clear_and_stats(self, tmp_path):
         cache = SweepCache(tmp_path / "c")
-        assert cache.stats() == {"instances": 0, "cells": 0}
+        empty = {"instances": 0, "cells": 0, "manifests": 0}
+        assert cache.stats() == empty
         cache.store_cell(cell_key("a"), {"max_flow": 1.0})
         cache.store_instance(SPEC.cache_key(1), SPEC.build_flat(seed=1))
-        assert cache.stats() == {"instances": 1, "cells": 1}
+        assert cache.stats() == {"instances": 1, "cells": 1, "manifests": 0}
         cache.clear()
-        assert cache.stats() == {"instances": 0, "cells": 0}
+        assert cache.stats() == empty
         assert not (tmp_path / "c").exists()
+
+    def test_clear_removes_manifests_and_sidecars(self, tmp_path):
+        # A "cleared" cache must not keep provenance or half-written
+        # sidecars behind: a later merge would read them as real.
+        cache = SweepCache(tmp_path / "c")
+        cache.store_cell(cell_key("a"), {"max_flow": 1.0})
+        cache.manifests_dir.mkdir(parents=True, exist_ok=True)
+        (cache.manifests_dir / "shard-x-0of2.json").write_text("{}")
+        (cache.cells_dir / "torn.tmp").write_text("{half")
+        assert cache.stats()["manifests"] == 1
+        cache.clear()
+        assert not cache.root.exists()
+
+    def test_clear_follows_a_symlinked_root(self, tmp_path):
+        # rmtree on a symlink silently deletes nothing; clear() must go
+        # through the link (and drop the link) or "clean-cache" leaves
+        # every poisoned file in place.
+        real = tmp_path / "real"
+        link = tmp_path / "link"
+        cache = SweepCache(real)
+        cache.store_cell(cell_key("a"), {"max_flow": 1.0})
+        link.symlink_to(real)
+        SweepCache(link).clear()
+        assert not link.exists()
+        assert not real.exists()
 
 
 class TestGridSweepResume:

@@ -1,8 +1,10 @@
 """Tests for the ``python -m repro.experiments`` command line."""
 
+import json
+
 import pytest
 
-from repro.experiments.__main__ import main
+from repro.experiments.__main__ import EXIT_MERGE_CONFLICT, main
 
 
 class TestCli:
@@ -121,3 +123,125 @@ class TestTelemetryCli:
     def test_log_path_rejected_for_experiments(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["fig3", str(tmp_path / "events.jsonl")])
+
+
+class TestMaintenanceCli:
+    """merge-cache / merge-telemetry / clean-cache (ISSUE 8)."""
+
+    @staticmethod
+    def _shard_caches(tmp_path, n=2):
+        from repro.core.work_stealing import WorkStealingScheduler
+        from repro.experiments.sweep import grid_sweep
+        from repro.workloads.distributions import ExponentialDistribution
+        from repro.workloads.generator import WorkloadSpec
+
+        spec = WorkloadSpec(
+            distribution=ExponentialDistribution(mean_ms=4.0),
+            qps=300.0,
+            n_jobs=10,
+            m=4,
+        )
+        for i in range(n):
+            grid_sweep(
+                WorkStealingScheduler, {"k": [0, 2]}, spec,
+                m=4, reps=1, seed=5, max_workers=1,
+                cache=tmp_path / f"s{i}", shard=(i, n),
+            )
+        return [tmp_path / f"s{i}" for i in range(n)]
+
+    def test_merge_cache_happy_path(self, tmp_path, capsys):
+        s0, s1 = self._shard_caches(tmp_path)
+        rc = main([
+            "merge-cache", str(s0), str(s1),
+            "--dest", str(tmp_path / "merged"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "merge-cache report" in out
+        assert "cells added" in out
+        assert (tmp_path / "merged" / "cells").is_dir()
+
+    def test_merge_cache_conflict_exits_2_with_provenance(
+        self, tmp_path, capsys
+    ):
+        s0, s1 = self._shard_caches(tmp_path)
+        main(["merge-cache", str(s0), "--dest", str(tmp_path / "merged")])
+        capsys.readouterr()
+        victim = sorted((s0 / "cells").glob("*.json"))[0]
+        data = json.loads(victim.read_text())
+        metric = next(iter(data["metrics"]))
+        data["metrics"][metric] += 1.0
+        victim.write_text(json.dumps(data))
+
+        rc = main(["merge-cache", str(s0), "--dest", str(tmp_path / "merged")])
+        err = capsys.readouterr().err
+        assert rc == EXIT_MERGE_CONFLICT
+        assert "merge conflict" in err
+        assert "shard 0/2" in err  # provenance from the shard manifest
+
+    def test_merge_cache_usage_errors_exit_via_parser(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "merge-cache", str(tmp_path / "missing"),
+                "--dest", str(tmp_path / "merged"),
+            ])
+        with pytest.raises(SystemExit):  # --dest is required
+            main(["merge-cache", str(tmp_path)])
+
+    def test_merge_telemetry_happy_path(self, tmp_path, capsys):
+        from repro.obs import Telemetry, read_events
+
+        logs = []
+        for i in range(2):
+            log = tmp_path / f"s{i}.jsonl"
+            with Telemetry(log, label=f"shard-{i}") as tel:
+                tel.emit("cell.run", rep=0)
+            logs.append(log)
+        merged = tmp_path / "merged.jsonl"
+        rc = main([
+            "merge-telemetry", str(logs[0]), str(logs[1]),
+            "--dest", str(merged),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "merged" in out and "2 log(s)" in out
+        events = read_events(merged)
+        assert [e["label"] for e in events if e["event"] == "telemetry.open"] \
+            == ["shard-0", "shard-1"]
+
+    def test_merge_telemetry_missing_source_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "merge-telemetry", str(tmp_path / "nope.jsonl"),
+                "--dest", str(tmp_path / "merged.jsonl"),
+            ])
+
+    def test_clean_cache_removes_everything(self, tmp_path, capsys):
+        from repro.experiments.cache import SweepCache
+
+        root = tmp_path / "cache"
+        cache = SweepCache(root)
+        cache.store_cell("abc", {"max_flow": 1.0})
+        cache.manifests_dir.mkdir(parents=True, exist_ok=True)
+        (cache.manifests_dir / "shard-x-0of2.json").write_text("{}")
+
+        rc = main(["clean-cache", "--cache-dir", str(root)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cleared" in out
+        assert "1 cells" in out and "1 manifests" in out
+        assert not root.exists()
+
+    def test_clean_cache_resolves_the_env_default(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments.cache import CACHE_ENV, SweepCache
+
+        root = tmp_path / "env_cache"
+        SweepCache(root).store_cell("abc", {"max_flow": 1.0})
+        monkeypatch.setenv(CACHE_ENV, str(root))
+        rc = main(["clean-cache"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert str(root) in out
+        assert not root.exists()

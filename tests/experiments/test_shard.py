@@ -1,0 +1,497 @@
+"""Sharded sweeps + cache merge: the scale-out contract (ISSUE 8).
+
+Three claims, in increasing strength:
+
+1. **Partition**: for any grid and shard count, the shards' cell sets
+   are disjoint, balanced, and their union is exactly the unsharded
+   sweep -- at the index level (property-tested over random sizes) and
+   at the *cell-key* level (random grids, real caches).
+2. **Losslessness**: merging shard caches and resuming over the result
+   is bit-identical to a single-host sweep -- including after a shard
+   was killed mid-flight and re-run.
+3. **Integrity**: the same key with different content is a hard
+   :class:`~repro.errors.CacheMergeConflictError` carrying provenance
+   from the shard manifests of both sides; a merge never silently
+   picks a winner.
+"""
+
+import json
+
+import pytest
+
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.errors import CacheMergeConflictError, SweepConfigError
+from repro.experiments.cache import CACHE_ENV, SweepCache
+from repro.experiments.shard import (
+    ShardManifest,
+    ShardSpec,
+    grid_digest,
+    load_shard_manifests,
+    merge_caches,
+    merge_telemetry,
+    parse_shard,
+    shard_cells,
+)
+from repro.experiments.sweep import grid_sweep
+from repro.workloads.distributions import BingDistribution
+from repro.workloads.generator import WorkloadSpec
+
+SPEC = WorkloadSpec(BingDistribution(), qps=800.0, n_jobs=30, m=4, target_chunks=8)
+
+#: Small enough to keep every sweep in this file sub-second.
+TINY = WorkloadSpec(BingDistribution(), qps=600.0, n_jobs=12, m=4, target_chunks=4)
+
+
+def _make_scheduler(k):  # top-level: picklable
+    return WorkStealingScheduler(k=k, steals_per_tick=16)
+
+
+def _configured(k, steals_per_tick):
+    return WorkStealingScheduler(k=k, steals_per_tick=steals_per_tick)
+
+
+KWARGS = dict(
+    jobset_factory=SPEC,
+    m=4,
+    reps=2,
+    seed=3,
+    metrics=("max_flow", "mean_flow"),
+    max_workers=1,
+)
+
+
+def _cell_names(root) -> set:
+    return {p.name for p in (SweepCache(root).cells_dir).glob("*.json")}
+
+
+class TestParseShard:
+    def test_tuple_and_string_forms_normalize_identically(self):
+        for i, n in [(0, 1), (0, 4), (3, 4), (7, 8)]:
+            assert parse_shard((i, n)) == parse_shard(f"{i}/{n}")
+            assert parse_shard((i, n)) == ShardSpec(i, n)
+
+    def test_spec_passes_through(self):
+        spec = ShardSpec(1, 3)
+        assert parse_shard(spec) is spec
+
+    def test_str_round_trip(self):
+        assert str(ShardSpec(2, 5)) == "2/5"
+        assert parse_shard(str(ShardSpec(2, 5))) == ShardSpec(2, 5)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            (0, 0),            # zero shards
+            (2, 2),            # index == count (0-based)
+            (-1, 2),           # negative index
+            "2/2",
+            "0/0",
+            "x/3",
+            "1/",
+            "1",
+            "1/2/3",
+            "0.5/2",
+            (1.0, 2),          # non-int
+            (True, 2),         # bool is not a shard index
+            (1, 2, 3),         # wrong arity
+            5,                 # wrong type entirely
+            None,
+        ],
+    )
+    def test_invalid_forms_raise_typed_config_errors(self, bad):
+        with pytest.raises(SweepConfigError):
+            parse_shard(bad)
+
+    def test_errors_still_catchable_as_valueerror(self):
+        with pytest.raises(ValueError):
+            parse_shard((0, 0))
+
+
+class TestPartition:
+    def test_disjoint_exhaustive_balanced_property(self):
+        # Pure index-level property over a dense sample of sizes: the
+        # shards of any (n_cells, count) pairing tile range(n_cells)
+        # exactly, in order, with sizes differing by at most one.
+        for n_cells in list(range(0, 40)) + [97, 256, 1000]:
+            for count in range(1, 12):
+                ranges = [
+                    list(shard_cells(n_cells, (i, count)))
+                    for i in range(count)
+                ]
+                flat = [idx for r in ranges for idx in r]
+                assert flat == list(range(n_cells)), (n_cells, count)
+                sizes = [len(r) for r in ranges]
+                assert max(sizes) - min(sizes) <= 1, (n_cells, count)
+
+    def test_cell_key_union_equals_unsharded_key_set(self, tmp_path, rng):
+        # The ISSUE's property test, at the key level with real caches:
+        # for random grids and any n, the disjoint union of the shards'
+        # cached cell keys is exactly the unsharded sweep's key set.
+        for trial in range(3):
+            k_values = sorted(
+                int(v) for v in rng.choice(65, size=rng.integers(2, 5), replace=False)
+            )
+            spt_values = [1, 64][: int(rng.integers(1, 3))]
+            grid = {"k": k_values, "steals_per_tick": spt_values}
+            base = tmp_path / f"t{trial}"
+            kwargs = dict(KWARGS, jobset_factory=TINY, reps=1, seed=trial)
+            grid_sweep(_configured, grid, cache=base / "full", **kwargs)
+            full_keys = _cell_names(base / "full")
+            for n in (1, 2, 3, 5, 7):
+                shard_keys = []
+                for i in range(n):
+                    cache_i = base / f"n{n}s{i}"
+                    grid_sweep(
+                        _configured, grid, cache=cache_i,
+                        shard=(i, n), **kwargs,
+                    )
+                    shard_keys.append(_cell_names(cache_i))
+                union = set().union(*shard_keys)
+                assert union == full_keys, (trial, n)
+                # Disjoint: no cell computed by two shards.
+                assert sum(len(s) for s in shard_keys) == len(full_keys)
+
+    def test_sharded_cells_are_the_global_slice(self, tmp_path):
+        grid = {"k": [0, 4, 16, 64, 256]}
+        full = grid_sweep(_make_scheduler, grid, **KWARGS)
+        start = 0
+        for i in range(3):
+            part = grid_sweep(
+                _make_scheduler, grid, cache=tmp_path / f"s{i}",
+                shard=(i, 3), **KWARGS,
+            )
+            assert part.shard == f"{i}/3"
+            stop = start + len(part.cells)
+            assert [c.params for c in part.cells] == [
+                c.params for c in full.cells[start:stop]
+            ]
+            # Same global coordinates -> same derived seeds -> the
+            # exact floats of the unsharded sweep, not approximations.
+            assert [c.metrics for c in part.cells] == [
+                c.metrics for c in full.cells[start:stop]
+            ]
+            start = stop
+        assert start == len(full.cells)
+
+    def test_more_shards_than_cells_yields_empty_shards(self, tmp_path):
+        grid = {"k": [0, 4]}
+        sizes = []
+        for i in range(4):
+            part = grid_sweep(
+                _make_scheduler, grid, cache=tmp_path / f"s{i}",
+                shard=(i, 4), **KWARGS,
+            )
+            sizes.append(len(part.cells))
+        assert sum(sizes) == 2
+        assert sizes.count(0) == 2
+
+
+class TestShardedSweepConfig:
+    def test_shard_without_cache_raises(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        with pytest.raises(SweepConfigError, match="explicit cache"):
+            grid_sweep(_make_scheduler, {"k": [0]}, shard=(0, 2), **KWARGS)
+
+    def test_repro_cache_env_satisfies_the_shard_rule(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "env"))
+        part = grid_sweep(
+            _make_scheduler, {"k": [0, 4]}, shard=(0, 2), **KWARGS
+        )
+        assert len(part.cells) == 1
+        assert _cell_names(tmp_path / "env")
+
+    def test_unkeyable_factory_with_shard_raises(self, tmp_path):
+        # Unsharded sweeps warn and bypass the cell cache; a shard
+        # whose cells cannot be cached has nothing to merge, so the
+        # same condition is a hard typed error here.
+        opaque = object()
+
+        def factory(k):
+            assert opaque is not None
+            return WorkStealingScheduler(k=k, steals_per_tick=16)
+
+        with pytest.raises(SweepConfigError, match="cache-keyable"):
+            grid_sweep(
+                factory, {"k": [0]}, cache=tmp_path, shard=(0, 2), **KWARGS
+            )
+
+    def test_facade_accepts_both_shard_forms(self, tmp_path):
+        import repro
+
+        a = repro.sweep(
+            "flat", {"k": [0, 4]}, TINY, m=4, reps=1, seed=0,
+            max_workers=1, cache=tmp_path / "a", shard=(1, 2),
+        )
+        b = repro.sweep(
+            "flat", {"k": [0, 4]}, TINY, m=4, reps=1, seed=0,
+            max_workers=1, cache=tmp_path / "b", shard="1/2",
+        )
+        assert a.shard == b.shard == "1/2"
+        assert [c.metrics for c in a.cells] == [c.metrics for c in b.cells]
+        assert _cell_names(tmp_path / "a") == _cell_names(tmp_path / "b")
+
+
+class TestMergeCaches:
+    def _run_shards(self, tmp_path, grid=None, n=2):
+        grid = grid or {"k": [0, 4, 16]}
+        for i in range(n):
+            grid_sweep(
+                _make_scheduler, grid, cache=tmp_path / f"s{i}",
+                shard=(i, n), **KWARGS,
+            )
+        return grid
+
+    def test_merge_then_resume_is_bit_identical(self, tmp_path, monkeypatch):
+        grid = self._run_shards(tmp_path)
+        full = grid_sweep(_make_scheduler, grid, cache=tmp_path / "full", **KWARGS)
+        report = merge_caches(
+            [tmp_path / "s0", tmp_path / "s1"], tmp_path / "merged"
+        )
+        assert report.cells_added == len(full.cells) * KWARGS["reps"]
+        # Byte-identical cell files: the merged cache IS the unsharded
+        # cache, not an equivalent reconstruction of it.
+        assert _cell_names(tmp_path / "merged") == _cell_names(tmp_path / "full")
+        for name in _cell_names(tmp_path / "full"):
+            a = (tmp_path / "full" / "cells" / name).read_bytes()
+            b = (tmp_path / "merged" / "cells" / name).read_bytes()
+            assert a == b
+
+        # Resume over the merge must touch no simulator at all.
+        def boom(self, *a, **kw):  # pragma: no cover - must not run
+            raise AssertionError("merged cache missed: scheduler ran")
+
+        monkeypatch.setattr(WorkStealingScheduler, "run", boom)
+        resumed = grid_sweep(
+            _make_scheduler, grid, cache=tmp_path / "merged",
+            resume=True, **KWARGS,
+        )
+        assert [(c.params, c.metrics) for c in resumed.cells] == [
+            (c.params, c.metrics) for c in full.cells
+        ]
+
+    def test_killed_shard_rerun_merge_identical(self, tmp_path, monkeypatch):
+        # Simulate a shard killed mid-flight: some of its checkpointed
+        # cells survive, the rest never ran.  Merging the partial shard
+        # is legal (manifests exist from plan time); re-running the
+        # shard with resume fills only the gap; the final merge is
+        # bit-identical to the unsharded table.
+        grid = self._run_shards(tmp_path)
+        full = grid_sweep(_make_scheduler, grid, cache=tmp_path / "full", **KWARGS)
+        victims = sorted((tmp_path / "s1" / "cells").glob("*.json"))[1:]
+        assert victims
+        for victim in victims:
+            victim.unlink()
+
+        merge_caches([tmp_path / "s0", tmp_path / "s1"], tmp_path / "merged")
+        assert len(_cell_names(tmp_path / "merged")) < len(
+            _cell_names(tmp_path / "full")
+        )
+
+        # Re-run the killed shard; resume serves its surviving cells.
+        grid_sweep(
+            _make_scheduler, grid, cache=tmp_path / "s1", resume=True,
+            shard=(1, 2), **KWARGS,
+        )
+        merge_caches([tmp_path / "s1"], tmp_path / "merged")
+        assert _cell_names(tmp_path / "merged") == _cell_names(tmp_path / "full")
+
+        def boom(self, *a, **kw):  # pragma: no cover - must not run
+            raise AssertionError("merged cache missed: scheduler ran")
+
+        monkeypatch.setattr(WorkStealingScheduler, "run", boom)
+        resumed = grid_sweep(
+            _make_scheduler, grid, cache=tmp_path / "merged",
+            resume=True, **KWARGS,
+        )
+        assert [(c.params, c.metrics) for c in resumed.cells] == [
+            (c.params, c.metrics) for c in full.cells
+        ]
+
+    def test_overlapping_identical_shards_merge_silently(self, tmp_path):
+        self._run_shards(tmp_path)
+        merge_caches([tmp_path / "s0", tmp_path / "s1"], tmp_path / "merged")
+        report = merge_caches([tmp_path / "s0"], tmp_path / "merged")
+        assert report.cells_added == 0
+        assert report.cells_identical > 0
+        assert report.instances_identical > 0
+
+    def test_cell_conflict_raises_with_provenance(self, tmp_path):
+        self._run_shards(tmp_path)
+        merge_caches([tmp_path / "s0"], tmp_path / "merged")
+        victim = sorted((tmp_path / "s0" / "cells").glob("*.json"))[0]
+        data = json.loads(victim.read_text())
+        metric = next(iter(data["metrics"]))
+        data["metrics"][metric] += 1.0
+        victim.write_text(json.dumps(data))
+
+        with pytest.raises(CacheMergeConflictError) as excinfo:
+            merge_caches([tmp_path / "s0"], tmp_path / "merged")
+        exc = excinfo.value
+        assert exc.kind == "cell"
+        assert exc.key == victim.stem
+        # Provenance from the shard manifests of *both* sides.
+        assert any("shard 0/2" in line for line in exc.provenance)
+        assert len(exc.provenance) >= 2
+        assert "shard 0/2" in str(exc)
+        # Nothing was deleted or overwritten by the failed merge.
+        merged_cell = tmp_path / "merged" / "cells" / victim.name
+        assert json.loads(merged_cell.read_text())["metrics"][metric] != (
+            data["metrics"][metric]
+        )
+
+    def test_instance_conflict_raises(self, tmp_path):
+        self._run_shards(tmp_path)
+        merge_caches([tmp_path / "s0"], tmp_path / "merged")
+        # Replace one cached instance with a different (valid) instance
+        # under the same key: content-hash comparison must catch it
+        # even though both files parse fine.
+        src = SweepCache(tmp_path / "s0")
+        key = sorted(p.stem for p in src.instances_dir.glob("*.npz"))[0]
+        src.store_instance(key, SPEC.build_flat(seed=999))
+        with pytest.raises(CacheMergeConflictError) as excinfo:
+            merge_caches([src], tmp_path / "merged")
+        assert excinfo.value.kind == "instance"
+        assert excinfo.value.key == key
+
+    def test_merge_is_conflict_catchable_as_runtimeerror(self, tmp_path):
+        self._run_shards(tmp_path)
+        merge_caches([tmp_path / "s0"], tmp_path / "merged")
+        victim = sorted((tmp_path / "s0" / "cells").glob("*.json"))[0]
+        data = json.loads(victim.read_text())
+        data["metrics"]["max_flow"] = -1.0
+        victim.write_text(json.dumps(data))
+        with pytest.raises(RuntimeError):
+            merge_caches([tmp_path / "s0"], tmp_path / "merged")
+
+    def test_config_errors(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        with pytest.raises(SweepConfigError, match="at least one source"):
+            merge_caches([], tmp_path / "dest")
+        with pytest.raises(SweepConfigError, match="is not a directory"):
+            merge_caches([tmp_path / "missing"], tmp_path / "dest")
+        with pytest.raises(SweepConfigError, match="into itself"):
+            merge_caches([tmp_path / "a"], tmp_path / "a")
+
+    def test_merge_emits_telemetry(self, tmp_path):
+        from repro.obs import Telemetry, read_events
+
+        self._run_shards(tmp_path)
+        log = tmp_path / "merge.jsonl"
+        with Telemetry(log) as tel:
+            merge_caches(
+                [tmp_path / "s0", tmp_path / "s1"], tmp_path / "merged",
+                telemetry=tel,
+            )
+        kinds = [e["event"] for e in read_events(log)]
+        assert "merge.start" in kinds
+        assert kinds.count("merge.source") == 2
+        assert "merge.done" in kinds
+        assert "merge.conflict" not in kinds
+
+
+class TestMergeTelemetry:
+    def _write_log(self, path, label):
+        from repro.obs import Telemetry
+
+        with Telemetry(path, label=label) as tel:
+            tel.emit("cell.run", rep=0)
+        return path
+
+    def test_merges_and_validates(self, tmp_path):
+        a = self._write_log(tmp_path / "a.jsonl", "s0")
+        b = self._write_log(tmp_path / "b.jsonl", "s1")
+        dest, n = merge_telemetry([a, b], tmp_path / "merged.jsonl")
+        from repro.obs import audit_events, read_events
+
+        events = read_events(dest)
+        assert len(events) == n
+        labels = [
+            e.get("label") for e in events if e["event"] == "telemetry.open"
+        ]
+        assert labels == ["s0", "s1"]
+        assert audit_events(events) == []
+
+    def test_config_errors(self, tmp_path):
+        a = self._write_log(tmp_path / "a.jsonl", "s0")
+        with pytest.raises(SweepConfigError, match="at least one source"):
+            merge_telemetry([], tmp_path / "merged.jsonl")
+        with pytest.raises(SweepConfigError, match="does not exist"):
+            merge_telemetry([tmp_path / "nope.jsonl"], tmp_path / "m.jsonl")
+        with pytest.raises(SweepConfigError, match="also a source"):
+            merge_telemetry([a], a)
+
+
+class TestShardManifests:
+    def test_written_at_plan_time_even_if_the_sweep_dies(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.experiments.sweep as sweep_mod
+
+        def die(*a, **kw):
+            raise RuntimeError("host lost power")
+
+        monkeypatch.setattr(sweep_mod, "parallel_map", die)
+        with pytest.raises(RuntimeError, match="host lost power"):
+            grid_sweep(
+                _make_scheduler, {"k": [0, 4]}, cache=tmp_path / "s0",
+                shard=(0, 2), **KWARGS,
+            )
+        manifests = load_shard_manifests(tmp_path / "s0")
+        assert len(manifests) == 1
+        m = manifests[0]
+        assert (m.index, m.count) == (0, 2)
+        assert m.cell_keys  # the keys the partial cache may contain
+        assert m.host.get("hostname")
+
+    def test_round_trip_and_digest_stability(self, tmp_path):
+        grid = {"k": [0, 4, 16]}
+        for i in range(2):
+            grid_sweep(
+                _make_scheduler, grid, cache=tmp_path / f"s{i}",
+                shard=(i, 2), **KWARGS,
+            )
+        m0 = load_shard_manifests(tmp_path / "s0")[0]
+        m1 = load_shard_manifests(tmp_path / "s1")[0]
+        # Same logical sweep -> same digest on every shard; the
+        # partition itself never enters it.
+        assert m0.grid_digest == m1.grid_digest
+        assert m0.shard == "0/2" and m1.shard == "1/2"
+        assert m0.cell_stop == m1.cell_start  # contiguous handoff
+        clone = ShardManifest.from_dict(m0.to_dict())
+        assert clone == m0
+
+    def test_digest_separates_different_sweeps(self):
+        base = dict(
+            grid={"k": [0, 4]}, factory_token="f", m=4, speed=1.0,
+            seed=3, reps=2, metric_names=["max_flow"],
+        )
+        d = grid_digest(**base)
+        assert d == grid_digest(**base)  # deterministic
+        for delta in (
+            {"grid": {"k": [0, 8]}},
+            {"factory_token": "g"},
+            {"m": 8},
+            {"speed": 1.2},
+            {"seed": 4},
+            {"reps": 3},
+            {"metric_names": ["max_flow", "mean_flow"]},
+        ):
+            assert grid_digest(**{**base, **delta}) != d, delta
+
+    def test_loader_skips_unreadable_files(self, tmp_path):
+        directory = tmp_path / "manifests"
+        directory.mkdir()
+        (directory / "shard-junk-0of2.json").write_text("{torn")
+        (directory / "shard-old-0of2.json").write_text(
+            '{"schema": "repro-shard/0"}'
+        )
+        assert load_shard_manifests(tmp_path) == []
+
+
+@pytest.fixture
+def rng():
+    import numpy as np
+
+    return np.random.default_rng(1234)

@@ -198,7 +198,86 @@ class TestKnobThreading:
     def test_exported_and_documented(self):
         assert "sweep" in repro.__all__
         assert repro.sweep is not None
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
+
+
+class TestSharding:
+    """The ISSUE-8 facade surface: ``shard=`` plus ``merge_caches``.
+
+    The partition/merge semantics themselves live in
+    ``tests/experiments/test_shard.py``; this class pins only that the
+    facade forwards the knob faithfully and exports the merge API.
+    """
+
+    def test_shard_forms_are_equivalent_through_the_facade(
+        self, spec, tmp_path
+    ):
+        kwargs = dict(m=4, reps=1, seed=4, max_workers=1)
+        a = repro.sweep(
+            WorkStealingScheduler, {"k": [0, 2, 4]}, spec,
+            cache=tmp_path / "a", shard=(1, 2), **kwargs,
+        )
+        b = repro.sweep(
+            WorkStealingScheduler, {"k": [0, 2, 4]}, spec,
+            cache=tmp_path / "b", shard="1/2", **kwargs,
+        )
+        assert a.shard == b.shard == "1/2"
+        assert cells_of(a) == cells_of(b)
+
+    def test_shard_union_matches_the_unsharded_facade_sweep(
+        self, spec, tmp_path
+    ):
+        kwargs = dict(m=4, reps=1, seed=4, max_workers=1)
+        full = repro.sweep(
+            WorkStealingScheduler, {"k": [0, 2, 4]}, spec, **kwargs
+        )
+        assert full.shard is None
+        parts = []
+        for i in range(2):
+            part = repro.sweep(
+                WorkStealingScheduler, {"k": [0, 2, 4]}, spec,
+                cache=tmp_path / f"s{i}", shard=(i, 2), **kwargs,
+            )
+            parts.extend(cells_of(part))
+        assert parts == cells_of(full)
+
+    def test_shard_validation_errors_are_typed_at_the_facade(
+        self, spec, tmp_path
+    ):
+        for bad in [(0, 0), (2, 2), "x/3", "1", (1.5, 2)]:
+            with pytest.raises(SweepConfigError):
+                repro.sweep(
+                    WorkStealingScheduler, {"k": [0]}, spec,
+                    m=4, cache=tmp_path, shard=bad,
+                )
+        # ...and still catchable by pre-typed ValueError handlers.
+        with pytest.raises(ValueError):
+            repro.sweep(
+                WorkStealingScheduler, {"k": [0]}, spec,
+                m=4, cache=tmp_path, shard=(0, 0),
+            )
+
+    def test_merge_caches_is_a_root_export(self, spec, tmp_path):
+        assert "merge_caches" in repro.__all__
+        kwargs = dict(m=4, reps=1, seed=4, max_workers=1)
+        for i in range(2):
+            repro.sweep(
+                WorkStealingScheduler, {"k": [0, 2]}, spec,
+                cache=tmp_path / f"s{i}", shard=(i, 2), **kwargs,
+            )
+        report = repro.merge_caches(
+            [tmp_path / "s0", tmp_path / "s1"], tmp_path / "merged"
+        )
+        assert report.cells_added == 2
+        full = repro.sweep(
+            WorkStealingScheduler, {"k": [0, 2]}, spec,
+            cache=tmp_path / "merged", resume=True, **kwargs,
+        )
+        assert [c.params["k"] for c in full.cells] == [0, 2]
+
+    def test_conflict_error_is_a_root_export(self):
+        assert "CacheMergeConflictError" in repro.__all__
+        assert issubclass(repro.CacheMergeConflictError, repro.ReproError)
 
 
 class TestAdapters:

@@ -16,6 +16,7 @@ import pytest
 import repro
 from repro.errors import (
     CacheCorruptError,
+    CacheMergeConflictError,
     CellCrashedError,
     CellTimeoutError,
     FaultInjected,
@@ -32,6 +33,7 @@ class TestHierarchy:
             SweepConfigError,
             UnkeyableFactoryError,
             CacheCorruptError,
+            CacheMergeConflictError,
             CellCrashedError,
             CellTimeoutError,
             FaultInjected,
@@ -47,6 +49,7 @@ class TestHierarchy:
             (SweepConfigError, ValueError),
             (UnkeyableFactoryError, ValueError),
             (CacheCorruptError, RuntimeError),
+            (CacheMergeConflictError, RuntimeError),
             (CellCrashedError, RuntimeError),
             (CellTimeoutError, TimeoutError),
         ],
@@ -63,6 +66,7 @@ class TestHierarchy:
             "SweepConfigError",
             "UnkeyableFactoryError",
             "CacheCorruptError",
+            "CacheMergeConflictError",
             "CellCrashedError",
             "CellTimeoutError",
         ):
@@ -92,6 +96,20 @@ class TestPayloads:
     def test_cell_crashed_carries_attempts(self):
         exc = CellCrashedError("died", attempts=4)
         assert exc.attempts == 4
+
+    def test_merge_conflict_carries_key_kind_and_provenance(self):
+        exc = CacheMergeConflictError(
+            "clash",
+            key="abc123",
+            kind="instance",
+            provenance=["shard 0/2 of grid deadbeef", "cache /tmp/b"],
+        )
+        assert exc.key == "abc123"
+        assert exc.kind == "instance"
+        assert exc.provenance == (
+            "shard 0/2 of grid deadbeef",
+            "cache /tmp/b",
+        )
 
     def test_fault_injected_carries_stage_and_pickles(self):
         exc = FaultInjected("dispatch", "clause 1 index=2")

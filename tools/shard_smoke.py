@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""Multi-process shard/merge smoke: the CI teeth behind scale-out.
+
+Simulates the multi-host deployment on one machine, with real process
+isolation:
+
+1. runs a 2-shard grid sweep as two **separate subprocesses** (fresh
+   interpreters -- nothing shared but the filesystem, exactly like two
+   hosts sharing nothing), each into its own cache dir with its own
+   telemetry log;
+2. merges the shard caches with ``python -m repro.experiments
+   merge-cache`` and the telemetry logs with ``merge-telemetry``;
+3. runs the **unsharded** sweep in-process and asserts the merged cache
+   is byte-identical to the unsharded sweep's cache (every cell file),
+   that a ``resume=True`` sweep over the merged cache serves every cell
+   from cache and reproduces the unsharded metrics table exactly, and
+   that the merged ledger passes ``audit_events``;
+4. corrupts one cached cell in a shard copy and asserts the merge CLI
+   fails with exit code 2 and a provenance-bearing conflict message.
+
+Exit 0 = all claims hold.  Usage::
+
+    python tools/shard_smoke.py
+    python tools/shard_smoke.py --n-jobs 60 --keep  # keep scratch dir
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: One shard's sweep, run in a fresh interpreter.  Parameters arrive as
+#: a JSON blob in argv[1] so the child and parent cannot drift.
+CHILD_SCRIPT = """
+import json, sys
+import repro
+from repro.obs import Telemetry
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import BingDistribution
+
+cfg = json.loads(sys.argv[1])
+spec = WorkloadSpec(
+    BingDistribution(), qps=cfg["qps"], n_jobs=cfg["n_jobs"],
+    m=cfg["m"], target_chunks=8,
+)
+with Telemetry(cfg["log"], label=f"shard-{cfg['shard']}") as tel:
+    result = repro.sweep(
+        "flat", cfg["grid"], spec, m=cfg["m"], reps=cfg["reps"],
+        seed=cfg["seed"], metrics=("max_flow", "mean_flow"),
+        max_workers=1, cache=cfg["cache"], shard=cfg["shard"],
+        telemetry=tel,
+    )
+print(json.dumps({
+    "shard": result.shard,
+    "cells": [[c.params, c.metrics] for c in result.cells],
+}))
+"""
+
+
+def run_cli(*cli_args: str, env: dict) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *cli_args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-jobs", type=int, default=40)
+    parser.add_argument("--qps", type=float, default=800.0)
+    parser.add_argument("--m", type=int, default=4)
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--keep", action="store_true", help="keep the scratch directory"
+    )
+    args = parser.parse_args(argv)
+
+    import repro
+    from repro.obs import audit_events, read_events
+    from repro.workloads import WorkloadSpec
+    from repro.workloads.distributions import BingDistribution
+
+    scratch = Path(tempfile.mkdtemp(prefix="shard_smoke_"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    grid = {"k": [0, 4, 16, 64]}
+    try:
+        # -- 1: two shard sweeps, separate interpreters ---------------
+        t0 = time.perf_counter()
+        procs = []
+        for i in range(2):
+            cfg = {
+                "grid": grid,
+                "n_jobs": args.n_jobs,
+                "qps": args.qps,
+                "m": args.m,
+                "reps": args.reps,
+                "seed": args.seed,
+                "shard": f"{i}/2",
+                "cache": str(scratch / f"shard{i}"),
+                "log": str(scratch / f"shard{i}.jsonl"),
+            }
+            procs.append(
+                subprocess.Popen(
+                    [sys.executable, "-c", CHILD_SCRIPT, json.dumps(cfg)],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                    env=env,
+                )
+            )
+        shard_cells = []
+        for i, proc in enumerate(procs):
+            out, err = proc.communicate(timeout=600)
+            if proc.returncode != 0:
+                print(f"FAIL: shard {i} exited {proc.returncode}:\n{err}",
+                      file=sys.stderr)
+                return 1
+            shard_cells.extend(json.loads(out.splitlines()[-1])["cells"])
+        wall_shards = time.perf_counter() - t0
+
+        # -- 2: merge cache + telemetry via the CLI --------------------
+        t0 = time.perf_counter()
+        merged = scratch / "merged"
+        proc = run_cli(
+            "merge-cache", str(scratch / "shard0"), str(scratch / "shard1"),
+            "--dest", str(merged), env=env,
+        )
+        if proc.returncode != 0:
+            print(f"FAIL: merge-cache exited {proc.returncode}:\n"
+                  f"{proc.stderr}", file=sys.stderr)
+            return 1
+        proc = run_cli(
+            "merge-telemetry",
+            str(scratch / "shard0.jsonl"), str(scratch / "shard1.jsonl"),
+            "--dest", str(scratch / "merged.jsonl"), env=env,
+        )
+        if proc.returncode != 0:
+            print(f"FAIL: merge-telemetry exited {proc.returncode}:\n"
+                  f"{proc.stderr}", file=sys.stderr)
+            return 1
+        wall_merge = time.perf_counter() - t0
+
+        # -- 3: identity with the unsharded sweep ----------------------
+        t0 = time.perf_counter()
+        spec = WorkloadSpec(
+            BingDistribution(), qps=args.qps, n_jobs=args.n_jobs,
+            m=args.m, target_chunks=8,
+        )
+        kwargs = dict(
+            grid=grid, m=args.m, reps=args.reps, seed=args.seed,
+            metrics=("max_flow", "mean_flow"), max_workers=1,
+        )
+        full = repro.sweep("flat", workload=spec,
+                           cache=scratch / "full", **kwargs)
+        wall_full = time.perf_counter() - t0
+
+        full_cells = [[c.params, c.metrics] for c in full.cells]
+        if shard_cells != full_cells:
+            print("FAIL: shard union != unsharded metrics table",
+                  file=sys.stderr)
+            return 1
+
+        full_files = sorted((scratch / "full" / "cells").glob("*.json"))
+        merged_files = sorted((merged / "cells").glob("*.json"))
+        if [p.name for p in full_files] != [p.name for p in merged_files]:
+            print("FAIL: merged cache holds different cell keys than the "
+                  "unsharded cache", file=sys.stderr)
+            return 1
+        for a, b in zip(full_files, merged_files):
+            if a.read_bytes() != b.read_bytes():
+                print(f"FAIL: cell {a.name} differs byte-wise after merge",
+                      file=sys.stderr)
+                return 1
+
+        resumed = repro.sweep("flat", workload=spec, cache=merged,
+                              resume=True, **kwargs)
+        if [[c.params, c.metrics] for c in resumed.cells] != full_cells:
+            print("FAIL: resume over merged cache != unsharded sweep",
+                  file=sys.stderr)
+            return 1
+
+        events = read_events(scratch / "merged.jsonl")
+        problems = audit_events(events)
+        if problems:
+            print("FAIL: merged telemetry ledger failed audit:",
+                  file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 1
+        n_cells = sum(
+            1 for e in events if e.get("event") in ("cell.run", "cell.cached")
+        )
+        if n_cells != len(grid["k"]) * args.reps:
+            print(f"FAIL: merged ledger records {n_cells} cell events, "
+                  f"expected {len(grid['k']) * args.reps}", file=sys.stderr)
+            return 1
+
+        # -- 4: corrupted cell -> clean conflict error, exit 2 ---------
+        tampered = scratch / "shard1_tampered"
+        shutil.copytree(scratch / "shard1", tampered)
+        victim = sorted((tampered / "cells").glob("*.json"))[0]
+        data = json.loads(victim.read_text())
+        metric = next(iter(data["metrics"]))
+        data["metrics"][metric] += 1.0
+        victim.write_text(json.dumps(data))
+        proc = run_cli(
+            "merge-cache", str(tampered), "--dest", str(merged), env=env,
+        )
+        if proc.returncode != 2:
+            print(f"FAIL: tampered merge exited {proc.returncode} "
+                  f"(expected 2):\n{proc.stdout}\n{proc.stderr}",
+                  file=sys.stderr)
+            return 1
+        if "merge conflict" not in proc.stderr or "shard 1/2" not in proc.stderr:
+            print(f"FAIL: conflict message lacks provenance:\n{proc.stderr}",
+                  file=sys.stderr)
+            return 1
+
+        print(
+            f"OK: 2 shard processes ({wall_shards:.1f}s) + merge "
+            f"({wall_merge:.2f}s) == unsharded sweep ({wall_full:.1f}s); "
+            f"merged cache byte-identical, resume identical, ledger "
+            f"audited, tampered cell -> conflict exit 2 with provenance"
+        )
+        return 0
+    finally:
+        if args.keep:
+            print(f"(scratch kept at {scratch})")
+        else:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
