@@ -52,6 +52,14 @@ runs a deterministic slice of the grid, and :func:`repro.merge_caches`
 combines the shard caches into one resumable cache (content-hash
 conflict detection, bit-identical resume-after-merge); see
 EXPERIMENTS.md.
+
+:func:`repro.search` and :func:`repro.ablate` answer *questions* on top
+of the cached sweep path: deterministic successive halving / bisection
+over a candidate space (including the paper's minimum speed
+augmentation meeting a flow-time budget), and declarative baseline +
+deltas ablation reports -- every candidate evaluation is a cached,
+byte-identical sweep cell, so refinement and repetition are nearly
+free; see EXPERIMENTS.md ("Ask a question, not a grid").
 """
 
 from repro.core import (
@@ -101,13 +109,14 @@ from repro.sim import (
     run_centralized,
     run_work_stealing,  # deprecated shim; importable, not in __all__
 )
-from repro.api import run, sweep
+from repro.api import ablate, run, search, sweep
 from repro.errors import (
     CacheCorruptError,
     CacheMergeConflictError,
     CellCrashedError,
     CellTimeoutError,
     ReproError,
+    SearchInfeasibleError,
     SweepConfigError,
     UnkeyableFactoryError,
 )
@@ -115,7 +124,7 @@ from repro.obs import Telemetry
 from repro.sim.stream_engine import StreamResult
 from repro.workloads import StreamSpec, WorkloadSpec
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 
 def merge_caches(sources, dest, telemetry=None):
@@ -141,6 +150,9 @@ __all__ = [
     "sweep",
     "merge_caches",
     "Telemetry",
+    # adaptive experimentation (ISSUE 9)
+    "search",
+    "ablate",
     # typed error hierarchy (ISSUE 4)
     "ReproError",
     "SweepConfigError",
@@ -149,6 +161,7 @@ __all__ = [
     "CacheMergeConflictError",
     "CellCrashedError",
     "CellTimeoutError",
+    "SearchInfeasibleError",
     # core
     "Scheduler",
     "FifoScheduler",

@@ -610,12 +610,12 @@ def sweep(
         )
     # Lazy import: repro.api must stay importable without pulling the
     # experiments stack (numpy-heavy) until a sweep actually runs.
-    from repro.experiments.sweep import grid_sweep
+    from repro.experiments.sweep import _grid_sweep
 
     size = _resolve_size(m, num_workers, who="sweep()")
     s = _resolve_speed(speed, augmentation)
     factory = _as_factory(scheduler)
-    return grid_sweep(
+    return _grid_sweep(
         factory,
         grid,
         workload,
@@ -631,4 +631,217 @@ def sweep(
         cell_timeout=cell_timeout,
         retries=retries,
         shard=shard,
+    )
+
+
+# ----------------------------------------------------------------------
+# The repro.search() / repro.ablate() facades (ISSUE 9)
+# ----------------------------------------------------------------------
+
+
+def search(
+    scheduler: Union[Scheduler, type, str, Callable],
+    space: Dict[str, Sequence[Any]],
+    workload: Callable[[int], Any],
+    *,
+    budget: Optional[float] = None,
+    objective: str = "max_flow",
+    metrics: Optional[Sequence[str]] = None,
+    m: Optional[int] = None,
+    num_workers: Optional[int] = None,
+    speed: Optional[float] = None,
+    augmentation: Optional[float] = None,
+    r0: int = 1,
+    eta: int = 2,
+    rounds: Optional[int] = None,
+    reps: int = 1,
+    seed: int = 0,
+    refine: Optional[str] = None,
+    refine_generations: int = 3,
+    refine_population: Optional[int] = None,
+    cache: Any = None,
+    max_workers: Optional[int] = None,
+    telemetry: Optional[Any] = None,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+):
+    """Adaptively search a candidate space instead of sweeping it.
+
+    The third member of the facade family: ``repro.run`` simulates one
+    instance, ``repro.sweep`` pays for every grid point, ``repro.search``
+    answers the *question* behind the grid while evaluating only the
+    candidates that stay competitive.  Two modes, picked by ``budget``:
+
+    * **optimize** (``budget=None``) -- deterministic successive halving
+      over the full ``space`` (optionally polished by a ``refine="ga"``
+      stage): round ``r`` evaluates the surviving candidates at
+      ``r0 * eta**r`` repetitions and keeps the best ``1/eta`` fraction.
+      Returns the incumbent as a
+      :class:`~repro.experiments.search.SearchResult`.
+    * **threshold** (``budget=<float>``) -- ``space`` must hold exactly
+      one axis, sorted ascending; bisects it for the smallest value
+      whose ``objective`` meets the budget, assuming the objective is
+      non-increasing along the axis.  The axis may be a scheduler knob
+      or the speed axis itself (``{"speed": [...]}`` /
+      ``{"augmentation": [...]}``) -- the paper's minimum-epsilon
+      question::
+
+          repro.search(
+              WorkStealingScheduler(k=16),
+              {"speed": [1.0, 1.1, 1.25, 1.5, 2.0]},
+              workload, m=16, budget=150.0, reps=3,
+          )
+
+        raises :class:`~repro.errors.SearchInfeasibleError` when even
+        the largest candidate misses the budget.
+
+    Accepts every scheduler form of :func:`run`/:func:`sweep` (instance
+    prototype, subclass, engine name, raw factory) and the same keyword
+    aliases (``num_workers``≡``m``, ``augmentation``≡``speed``).  Every
+    candidate evaluation routes through the content-addressed cell
+    cache with *global* cell identity, so search cells are byte-identical
+    to exhaustive-sweep cells, refinement rounds re-hitting a coordinate
+    are nearly free, and a rerun against the same ``cache`` directory is
+    almost entirely cache hits.  Same seed, same pruning decisions, same
+    incumbent -- bit-for-bit.
+    """
+    from repro.experiments.search import successive_halving, threshold_search
+
+    size = _resolve_size(m, num_workers, who="search()")
+    s = _resolve_speed(speed, augmentation)
+    factory = _as_factory(scheduler)
+    if budget is not None:
+        if not isinstance(space, dict) or len(space) != 1:
+            raise SweepConfigError(
+                f"threshold search (budget=...) needs exactly one "
+                f"candidate axis, got "
+                f"{sorted(space) if isinstance(space, dict) else space!r}; "
+                f"pass space={{param: sorted_values}}"
+            )
+        ((param, values),) = space.items()
+        return threshold_search(
+            factory,
+            param,
+            values,
+            workload,
+            m=size,
+            budget=budget,
+            objective=objective,
+            metrics=metrics,
+            reps=reps,
+            seed=seed,
+            speed=s,
+            cache=cache,
+            max_workers=max_workers,
+            telemetry=telemetry,
+            cell_timeout=cell_timeout,
+            retries=retries,
+        )
+    if reps != 1:
+        raise SweepConfigError(
+            f"reps={reps} only applies to threshold mode (budget=...); "
+            f"successive halving controls repetitions through r0/eta "
+            f"(round r evaluates at r0 * eta**r reps)"
+        )
+    return successive_halving(
+        factory,
+        space,
+        workload,
+        m=size,
+        objective=objective,
+        metrics=metrics,
+        r0=r0,
+        eta=eta,
+        rounds=rounds,
+        seed=seed,
+        speed=s,
+        refine=refine,
+        refine_generations=refine_generations,
+        refine_population=refine_population,
+        cache=cache,
+        max_workers=max_workers,
+        telemetry=telemetry,
+        cell_timeout=cell_timeout,
+        retries=retries,
+    )
+
+
+def ablate(
+    scheduler: Union[Scheduler, type, str, Callable],
+    baseline: Dict[str, Any],
+    deltas: Dict[str, Dict[str, Any]],
+    workload: Callable[[int], Any],
+    *,
+    objective: str = "max_flow",
+    metrics: Optional[Sequence[str]] = None,
+    m: Optional[int] = None,
+    num_workers: Optional[int] = None,
+    speed: Optional[float] = None,
+    augmentation: Optional[float] = None,
+    reps: int = 1,
+    seed: int = 0,
+    cache: Any = None,
+    max_workers: Optional[int] = None,
+    telemetry: Optional[Any] = None,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+):
+    """Declarative ablation: baseline + named deltas -> ranked impact.
+
+    Runs the baseline configuration and one variant per entry of
+    ``deltas`` (each applied independently on top of the baseline) on
+    the **same** instances -- identical repetition seeds, so every
+    impact number is a paired comparison -- and returns an
+    :class:`~repro.experiments.ablate.AblationReport` ranked by
+    ``|impact on the objective|`` with ``summary()`` /
+    ``to_markdown()`` / ``as_dict()`` renderings.
+
+    Delta (and baseline) mappings address all knob layers: scheduler
+    parameters (``{"k": 0}``), machine size (``m`` / ``num_workers``),
+    speed (``speed`` / ``augmentation``), workload fields
+    (``{"workload.qps": 1500}``), and the engine itself
+    (``{"scheduler": "flat"}`` -- any scheduler form :func:`run`
+    accepts).  See :mod:`repro.experiments.ablate` for the full
+    vocabulary and an example.
+
+    Accepts every scheduler form of :func:`run`/:func:`sweep`; all
+    variants run through the content-addressed cell cache, so repeated
+    reports are free.
+    """
+    from repro.experiments.ablate import ablate as _ablate
+
+    size = _resolve_size(m, num_workers, who="ablate()")
+    s = _resolve_speed(speed, augmentation)
+    factory = _as_factory(scheduler)
+
+    def normalize(who: str, overrides: Any) -> Any:
+        # Engine deltas: the core harness wants a factory callable; the
+        # facade accepts the full scheduler vocabulary there too.
+        if isinstance(overrides, dict) and "scheduler" in overrides:
+            overrides = dict(overrides)
+            overrides["scheduler"] = _as_factory(overrides["scheduler"])
+        return overrides
+
+    baseline = normalize("baseline", baseline)
+    if isinstance(deltas, dict):
+        deltas = {
+            name: normalize(name, overrides)
+            for name, overrides in deltas.items()
+        }
+    return _ablate(
+        factory,
+        baseline,
+        deltas,
+        workload,
+        m=size,
+        objective=objective,
+        metrics=metrics,
+        reps=reps,
+        seed=seed,
+        speed=s,
+        cache=cache,
+        max_workers=max_workers,
+        telemetry=telemetry,
+        cell_timeout=cell_timeout,
+        retries=retries,
     )

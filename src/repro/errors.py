@@ -18,6 +18,7 @@ handlers keep working unchanged.
     |-- CacheMergeConflictError       (+ RuntimeError) shard caches disagree on a cell
     |-- CellCrashedError              (+ RuntimeError) worker died / cell errored
     |-- CellTimeoutError              (+ TimeoutError) cell deadline exceeded
+    |-- SearchInfeasibleError         (+ RuntimeError) no candidate meets the budget
     `-- FaultInjected                                  raised by repro.testing.faults
 
 Catch :class:`ReproError` to handle anything this package raises;
@@ -27,6 +28,8 @@ executor faults distinctly from user errors.
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "ReproError",
     "SweepConfigError",
@@ -35,6 +38,7 @@ __all__ = [
     "CacheMergeConflictError",
     "CellCrashedError",
     "CellTimeoutError",
+    "SearchInfeasibleError",
     "FaultInjected",
 ]
 
@@ -126,6 +130,37 @@ class CellTimeoutError(ReproError, TimeoutError):
         super().__init__(message)
         self.timeout = timeout
         self.attempts = attempts
+
+
+class SearchInfeasibleError(ReproError, RuntimeError):
+    """A threshold search found *no* candidate meeting its budget.
+
+    Raised by :func:`repro.experiments.search.threshold_search` (and so
+    by ``repro.search(budget=...)``) when even the largest candidate
+    value of the searched parameter leaves the objective above the
+    budget.  Distinct from :class:`SweepConfigError` on purpose: the
+    call was *well-formed*, the question simply has no answer inside
+    the candidate set -- widen the candidate range to proceed.  The CLI
+    maps it to :data:`repro.experiments.exitcodes.EXIT_SEARCH_INFEASIBLE`.
+
+    ``objective`` / ``budget`` restate the failed constraint;
+    ``best_params`` / ``best_value`` carry the closest attempt so the
+    caller can see how far off the budget was without re-running.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        objective: str = "",
+        budget: float = float("nan"),
+        best_params: Optional[dict] = None,
+        best_value: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.objective = objective
+        self.budget = budget
+        self.best_params = dict(best_params or {})
+        self.best_value = best_value
 
 
 class FaultInjected(ReproError):

@@ -45,8 +45,21 @@ cache=...)`` runs one deterministic slice of the grid per host, and
 content-hash conflict detection, provenance-bearing errors, and
 resume-after-merge bit-identical to a single-host sweep.  See
 :mod:`repro.experiments.shard` and EXPERIMENTS.md.
+
+Adaptive experimentation (ISSUE 9): ``python -m repro.experiments
+search`` / ``ablate`` (and the :func:`repro.search` /
+:func:`repro.ablate` facades) answer threshold and which-knob-matters
+questions on top of the cached sweep path; see
+:mod:`repro.experiments.search` / :mod:`repro.experiments.ablate`.
+Subcommand exit codes live in :mod:`repro.experiments.exitcodes`.
+
+Deprecated (ISSUE 9): the package-level ``grid_sweep`` and
+``run_figure2_cells`` names remain importable but warn once per
+process on call -- use :func:`repro.sweep` (or the figure functions)
+instead.
 """
 
+from repro.experiments.ablate import AblationDelta, AblationReport, ablate
 from repro.experiments.cache import (
     SweepCache,
     cell_key,
@@ -108,6 +121,12 @@ from repro.experiments.shard import (
     parse_shard,
     shard_cells,
 )
+from repro.experiments.search import (
+    SearchResult,
+    SearchRound,
+    successive_halving,
+    threshold_search,
+)
 from repro.experiments.sweep import METRICS, SweepCell, SweepResult, grid_sweep
 from repro.experiments.verify import (
     ShapeCheck,
@@ -163,6 +182,14 @@ __all__ = [
     "SweepResult",
     "SweepCell",
     "METRICS",
+    # adaptive experimentation (ISSUE 9)
+    "SearchResult",
+    "SearchRound",
+    "successive_halving",
+    "threshold_search",
+    "AblationDelta",
+    "AblationReport",
+    "ablate",
     "ShardSpec",
     "ShardManifest",
     "MergeReport",

@@ -7,11 +7,27 @@ Usage::
     python -m repro.experiments fig2a --telemetry events.jsonl
     python -m repro.experiments telemetry events.jsonl
 
+Adaptive experimentation (ISSUE 9; see EXPERIMENTS.md "Ask a question,
+not a grid")::
+
+    python -m repro.experiments search --space '{"k": [0, 4, 16, 64]}' \
+        --workload '{"qps": 1200, "n_jobs": 1500}' --m 16
+    python -m repro.experiments search --fixed '{"k": 16}' \
+        --space '{"speed": [1.0, 1.1, 1.25, 1.5, 2.0]}' --budget 150 \
+        --workload '{"qps": 1200, "n_jobs": 1500}' --m 16 --reps 3
+    python -m repro.experiments ablate --fixed '{"k": 16}' \
+        --deltas '{"no-steal": {"k": 0}, "half-m": {"m": 8}}' \
+        --workload '{"qps": 1200, "n_jobs": 1500}' --m 16
+
 Cache maintenance for sharded sweeps (see EXPERIMENTS.md)::
 
     python -m repro.experiments merge-cache SRC [SRC ...] --dest DIR
     python -m repro.experiments merge-telemetry SRC [SRC ...] --dest FILE
     python -m repro.experiments clean-cache [--cache-dir DIR]
+
+Exit codes are unified across subcommands in
+:mod:`repro.experiments.exitcodes` (0 ok, 1 failed check, 2 merge
+conflict / usage error, 3 infeasible search budget).
 
 ``merge-cache`` combines shard caches losslessly; a content conflict
 (same cell key, different result) prints a provenance-bearing error and
@@ -108,13 +124,24 @@ def _run_one(
     return text
 
 
-#: Exit code for a cache-merge content conflict (vs 1 = usage/audit
-#: failure): scripted multi-host pipelines branch on it.
-EXIT_MERGE_CONFLICT = 2
+# The unified exit-code vocabulary (ISSUE 9); re-exported here so
+# ``from repro.experiments.__main__ import EXIT_MERGE_CONFLICT`` keeps
+# working -- repro.experiments.exitcodes is the canonical home.
+from repro.experiments.exitcodes import (  # noqa: E402
+    EXIT_FAILURE,
+    EXIT_MERGE_CONFLICT,
+    EXIT_OK,
+    EXIT_SEARCH_INFEASIBLE,
+)
 
 #: Maintenance subcommands dispatched before the experiment parser --
 #: they take source paths, not experiment ids.
 MAINTENANCE_COMMANDS = ("merge-cache", "merge-telemetry", "clean-cache")
+
+#: Adaptive-experimentation subcommands (ISSUE 9), likewise dispatched
+#: before the experiment parser -- they take JSON knob payloads, not
+#: experiment ids.
+ADAPTIVE_COMMANDS = ("search", "ablate")
 
 
 def _maintenance_main(argv: list[str]) -> int:
@@ -204,12 +231,321 @@ def _maintenance_main(argv: list[str]) -> int:
         return 1  # pragma: no cover - parser.error raises SystemExit
 
 
+#: Distribution names the adaptive CLI's --workload JSON accepts.
+WORKLOAD_DISTRIBUTIONS = (
+    "bing", "finance", "lognormal", "uniform", "constant", "exponential",
+)
+
+
+def _parse_json_arg(parser, name: str, raw: str, expect: type):
+    """Parse one --flag JSON payload, failing as a usage error."""
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        parser.error(f"{name} is not valid JSON: {exc}")
+    if not isinstance(value, expect):
+        parser.error(
+            f"{name} must be a JSON {expect.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _build_workload(parser, raw: str, m: int):
+    """A WorkloadSpec from the --workload JSON payload.
+
+    Keys: ``distribution`` (one of :data:`WORKLOAD_DISTRIBUTIONS`, with
+    optional ``distribution_args``), plus any
+    :class:`~repro.workloads.generator.WorkloadSpec` field
+    (``qps``/``n_jobs`` required; ``m`` defaults to the run's --m).
+    """
+    from repro.workloads import distributions as dist_mod
+    from repro.workloads.generator import WorkloadSpec
+
+    payload = _parse_json_arg(parser, "--workload", raw, dict)
+    name = payload.pop("distribution", "bing")
+    dist_args = payload.pop("distribution_args", {})
+    classes = {
+        "bing": dist_mod.BingDistribution,
+        "finance": dist_mod.FinanceDistribution,
+        "lognormal": dist_mod.LogNormalDistribution,
+        "uniform": dist_mod.UniformDistribution,
+        "constant": dist_mod.ConstantDistribution,
+        "exponential": dist_mod.ExponentialDistribution,
+    }
+    if name not in classes:
+        parser.error(
+            f"--workload distribution must be one of "
+            f"{sorted(classes)}, got {name!r}"
+        )
+    missing = [key for key in ("qps", "n_jobs") if key not in payload]
+    if missing:
+        parser.error(f"--workload JSON needs {missing}")
+    payload.setdefault("m", m)
+    try:
+        return WorkloadSpec(classes[name](**dist_args), **payload)
+    except TypeError as exc:
+        parser.error(f"--workload: {exc}")
+
+
+def _build_scheduler(parser, name: str, fixed_raw: str | None):
+    """A scheduler factory from --scheduler (+ optional --fixed JSON).
+
+    ``name`` is anything :func:`repro.api._as_factory` takes as a
+    string (an engine name); ``--fixed`` pins scheduler keyword
+    arguments outside the searched space (e.g. ``'{"k": 16}'`` while
+    bisecting speed).
+    """
+    import functools
+
+    from repro.api import _as_factory
+    from repro.errors import SweepConfigError
+
+    try:
+        factory = _as_factory(name)
+    except (SweepConfigError, TypeError) as exc:
+        parser.error(str(exc))
+    if fixed_raw is None:
+        return factory
+    fixed = _parse_json_arg(parser, "--fixed", fixed_raw, dict)
+    return functools.partial(factory, **fixed)
+
+
+def _adaptive_main(argv: list[str]) -> int:
+    """The ``search`` / ``ablate`` CLI (ISSUE 9).
+
+    Exit codes follow :mod:`repro.experiments.exitcodes`:
+    :data:`EXIT_OK` on success, argparse's 2 on usage errors (including
+    :class:`~repro.errors.SweepConfigError` from the harness), and
+    :data:`EXIT_SEARCH_INFEASIBLE` when ``search --budget`` proves no
+    candidate qualifies.
+    """
+    command = argv[0]
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.experiments {command}",
+        description={
+            "search": (
+                "Adaptive search: successive halving over a JSON "
+                "space, or (with --budget) bisection for the smallest "
+                "candidate meeting a flow-time budget.  Every "
+                "evaluation is a cached, byte-identical sweep cell."
+            ),
+            "ablate": (
+                "Declarative ablation: a baseline plus named deltas, "
+                "run on identical instances, ranked by impact on the "
+                "objective."
+            ),
+        }[command],
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="work-stealing",
+        help=(
+            "engine name (work-stealing, flat, speedup-fifo, "
+            "speedup-equi); combine with --fixed to pin scheduler "
+            "parameters"
+        ),
+    )
+    parser.add_argument(
+        "--fixed",
+        default=None,
+        metavar="JSON",
+        help='pinned scheduler kwargs, e.g. \'{"k": 16}\'',
+    )
+    parser.add_argument(
+        "--workload",
+        required=True,
+        metavar="JSON",
+        help=(
+            'workload spec, e.g. \'{"distribution": "bing", '
+            '"qps": 1200, "n_jobs": 1500}\' (any WorkloadSpec field; '
+            "distribution_args feed the distribution constructor)"
+        ),
+    )
+    parser.add_argument("--m", type=int, required=True, help="machine size")
+    parser.add_argument(
+        "--speed", type=float, default=1.0, help="speed augmentation factor"
+    )
+    parser.add_argument(
+        "--objective", default="max_flow", help="metric to minimize"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="search seed")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "content-addressed cell cache (default: REPRO_CACHE, else "
+            ".repro_cache/); reruns against the same directory are "
+            "nearly all cache hits"
+        ),
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes"
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append JSONL telemetry (search.*/ablate.* events) to PATH",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the structured result as JSON instead of the summary",
+    )
+    if command == "search":
+        parser.add_argument(
+            "--space",
+            required=True,
+            metavar="JSON",
+            help=(
+                'candidate space, e.g. \'{"k": [0, 4, 16, 64]}\'; with '
+                "--budget it must hold exactly one ascending axis "
+                '(which may be "speed"/"augmentation")'
+            ),
+        )
+        parser.add_argument(
+            "--budget",
+            type=float,
+            default=None,
+            help=(
+                "threshold mode: find the smallest candidate with "
+                "objective <= BUDGET (exit 3 when none qualifies)"
+            ),
+        )
+        parser.add_argument(
+            "--r0", type=int, default=1, help="round-0 repetitions (halving)"
+        )
+        parser.add_argument(
+            "--eta", type=int, default=2,
+            help="keep 1/eta of candidates per round (halving)",
+        )
+        parser.add_argument(
+            "--rounds", type=int, default=None, help="halving round count"
+        )
+        parser.add_argument(
+            "--reps", type=int, default=1,
+            help="repetitions per probe (threshold mode)",
+        )
+        parser.add_argument(
+            "--refine", choices=["ga"], default=None,
+            help="append a GA refinement stage after halving",
+        )
+    else:
+        parser.add_argument(
+            "--baseline",
+            default="{}",
+            metavar="JSON",
+            help='baseline knob overrides, e.g. \'{"k": 16}\'',
+        )
+        parser.add_argument(
+            "--deltas",
+            required=True,
+            metavar="JSON",
+            help=(
+                "named deltas, e.g. '{\"no-steal\": {\"k\": 0}, "
+                '"half-m": {"m": 8}}\' (scheduler params, m/num_workers, '
+                "speed/augmentation, workload.<field>)"
+            ),
+        )
+        parser.add_argument(
+            "--reps", type=int, default=1, help="repetitions per config"
+        )
+        parser.add_argument(
+            "--markdown",
+            action="store_true",
+            help="print the report as a markdown table",
+        )
+    args = parser.parse_args(argv[1:])
+
+    import os
+
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    telemetry = None
+    if args.telemetry is not None:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry(args.telemetry)
+    cache = args.cache_dir  # None lets the harness resolve REPRO_CACHE
+
+    from repro.errors import SearchInfeasibleError, SweepConfigError
+
+    workload = _build_workload(parser, args.workload, args.m)
+    factory = _build_scheduler(parser, args.scheduler, args.fixed)
+    try:
+        if command == "search":
+            import repro
+
+            space = _parse_json_arg(parser, "--space", args.space, dict)
+            result = repro.search(
+                factory,
+                space,
+                workload,
+                m=args.m,
+                speed=args.speed,
+                budget=args.budget,
+                objective=args.objective,
+                r0=args.r0,
+                eta=args.eta,
+                rounds=args.rounds,
+                reps=args.reps,
+                seed=args.seed,
+                refine=args.refine,
+                cache=cache,
+                telemetry=telemetry,
+            )
+            print(
+                json.dumps(result.as_dict(), indent=2)
+                if args.json
+                else result.summary()
+            )
+        else:
+            import repro
+
+            baseline = _parse_json_arg(
+                parser, "--baseline", args.baseline, dict
+            )
+            deltas = _parse_json_arg(parser, "--deltas", args.deltas, dict)
+            report = repro.ablate(
+                factory,
+                baseline,
+                deltas,
+                workload,
+                m=args.m,
+                speed=args.speed,
+                objective=args.objective,
+                reps=args.reps,
+                seed=args.seed,
+                cache=cache,
+                telemetry=telemetry,
+            )
+            if args.json:
+                print(json.dumps(report.as_dict(), indent=2))
+            elif args.markdown:
+                print(report.to_markdown())
+            else:
+                print(report.summary())
+    except SearchInfeasibleError as exc:
+        print(f"search infeasible: {exc}", file=sys.stderr)
+        return EXIT_SEARCH_INFEASIBLE
+    except (SweepConfigError, TypeError) as exc:
+        parser.error(str(exc))
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"(telemetry written to {telemetry.path})")
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] in MAINTENANCE_COMMANDS:
         return _maintenance_main(list(argv))
+    if argv and argv[0] in ADAPTIVE_COMMANDS:
+        return _adaptive_main(list(argv))
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures (see DESIGN.md).",

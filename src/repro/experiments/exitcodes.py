@@ -1,0 +1,55 @@
+"""Process exit codes for ``python -m repro.experiments`` (ISSUE 9).
+
+One constant module instead of numbers scattered across subcommands, so
+scripted pipelines branch on names with a single import::
+
+    from repro.experiments.exitcodes import EXIT_SEARCH_INFEASIBLE
+
+The convention, shared by **every** subcommand:
+
+==========================  =====  =============================================
+constant                    value  meaning
+==========================  =====  =============================================
+``EXIT_OK``                 0      the command succeeded
+``EXIT_FAILURE``            1      the command ran but its check failed (a
+                                   failing ``verify`` shape, a telemetry audit
+                                   problem)
+``EXIT_MERGE_CONFLICT``     2      ``merge-cache`` found the same cell key with
+                                   different content in two shard caches (see
+                                   :class:`repro.errors.CacheMergeConflictError`)
+``EXIT_SEARCH_INFEASIBLE``  3      ``search --budget`` proved no candidate meets
+                                   the budget (see
+                                   :class:`repro.errors.SearchInfeasibleError`);
+                                   the closest attempt is printed to stderr
+==========================  =====  =============================================
+
+Caveat on 2: ``argparse`` also exits with 2 on *usage* errors (its
+hard-wired convention), so code 2 from ``merge-cache`` specifically
+means "content conflict" only when the command got past argument
+parsing -- the conflict path prints ``merge conflict:`` to stderr,
+usage errors print the usage string.  New failure modes get fresh codes
+(3+) precisely so they never collide with either meaning of 2.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_MERGE_CONFLICT",
+    "EXIT_SEARCH_INFEASIBLE",
+]
+
+#: The command succeeded.
+EXIT_OK = 0
+
+#: The command ran but its check failed (verify shapes, telemetry audit).
+EXIT_FAILURE = 1
+
+#: ``merge-cache``: same cell key, different content (never silently
+#: picks a winner).  Also argparse's usage-error code -- see module
+#: docstring.
+EXIT_MERGE_CONFLICT = 2
+
+#: ``search --budget``: no candidate meets the budget.
+EXIT_SEARCH_INFEASIBLE = 3

@@ -29,7 +29,7 @@ from repro.experiments.config import (
     SCALE_STANDARD,
 )
 from repro.experiments.report import render_histogram, render_series
-from repro.experiments.runner import run_figure2_cells
+from repro.experiments.runner import _run_figure2_cells
 from repro.sim.rng import derive_seed
 from repro.theory import bounds
 from repro.workloads.adversarial import (
@@ -101,7 +101,7 @@ def figure2(
     coordinates, so the fan-out never changes the numbers.
     """
     series: Dict[str, List[float]] = {}
-    cells = run_figure2_cells(
+    cells = _run_figure2_cells(
         cfg,
         cfg.qps_values,
         scale,

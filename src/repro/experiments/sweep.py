@@ -8,13 +8,23 @@ paired workloads and derived seeds, returning a structured table.
 
 Example -- re-deriving the paper's k sweep in three lines::
 
-    sweep = grid_sweep(
-        lambda k: WorkStealingScheduler(k=k, steals_per_tick=64),
+    sweep = repro.sweep(
+        WorkStealingScheduler,
         {"k": [0, 4, 16, 64]},
         WorkloadSpec(BingDistribution(), 1200, 1500),
         m=16, reps=3, seed=0,
     )
     print(sweep.render())
+
+Entry points: :func:`repro.sweep` is the public facade (ISSUE 4); the
+module-level ``grid_sweep`` name survives as a warn-once deprecated
+shim over the private :func:`_grid_sweep` executor (ISSUE 9), exactly
+like the ``run_work_stealing`` shim of ISSUE 3.  The executor also
+powers the adaptive layers: :mod:`repro.experiments.search` evaluates
+arbitrary subsets of a grid via ``cells=`` (global cell identity, so
+search evaluations are byte-identical to exhaustive-sweep cells), and
+:mod:`repro.experiments.ablate` runs single-configuration "grids"
+through the same cached path.
 
 Execution pipeline (ISSUE 2): each repetition's instance is built (or
 loaded from the content-addressed cache) **once** in the parent -- not
@@ -86,12 +96,19 @@ class SweepResult:
     ``shard`` is the ``"i/n"`` label when the sweep ran one shard of a
     partitioned grid (``cells`` then holds only that shard's grid
     points, still in global cross-product order), else None.
+
+    ``n_cold`` / ``n_cached`` account for how the (cell, repetition)
+    tasks were satisfied: computed fresh vs served from the cell cache.
+    The adaptive-search driver (:mod:`repro.experiments.search`) builds
+    its cache-reuse claims on these counters.
     """
 
     param_names: List[str]
     metric_names: List[str]
     cells: List[SweepCell]
     shard: Optional[str] = None
+    n_cold: int = 0
+    n_cached: int = 0
 
     def best(self, metric: str = "max_flow") -> SweepCell:
         """The cell minimizing ``metric``."""
@@ -276,7 +293,7 @@ def _materialize_rep_instance(
     return jobset, flat, False
 
 
-def grid_sweep(
+def _grid_sweep(
     scheduler_factory: Callable[..., Scheduler],
     grid: Dict[str, Sequence[Any]],
     jobset_factory: Callable[[int], JobSet],
@@ -292,6 +309,8 @@ def grid_sweep(
     cell_timeout: Optional[float] = None,
     retries: Optional[int] = None,
     shard: Union[tuple, str, None] = None,
+    cells: Optional[Sequence[int]] = None,
+    allow_empty_grid: bool = False,
 ) -> SweepResult:
     """Run the full parameter cross product with paired comparisons.
 
@@ -384,6 +403,22 @@ def grid_sweep(
         coordinate range, owned cell keys, host metadata) under
         ``<cache>/manifests/`` *before* running, so even a killed shard
         leaves provenance for the merge step.
+    cells:
+        Run only these *global* cross-product cell indices (any subset,
+        any order; evaluated and returned in ascending global order).
+        This is the arbitrary-subset generalization of ``shard``:
+        per-cell run seeds and cache keys still derive from a cell's
+        global position, so evaluating a subset produces cells (and
+        cache files) byte-identical to the ones an exhaustive sweep of
+        the full grid would produce at the same coordinates.  The
+        adaptive-search driver (:mod:`repro.experiments.search`) relies
+        on this to make refinement rounds nearly free under ``resume``.
+        Mutually exclusive with ``shard``.
+    allow_empty_grid:
+        Internal: permit ``grid={}`` -- one cell, no parameters
+        (``scheduler_factory()`` called with no arguments).  The
+        ablation harness uses it for configurations whose knobs all
+        live outside the scheduler (machine size, speed, workload).
 
     Returns
     -------
@@ -395,8 +430,14 @@ def grid_sweep(
         raise SweepConfigError(f"need m >= 1, got {m}")
     if reps < 1:
         raise SweepConfigError(f"need reps >= 1, got {reps}")
-    if not grid:
+    if not grid and not allow_empty_grid:
         raise SweepConfigError("grid must have at least one dimension")
+    if cells is not None and shard is not None:
+        raise SweepConfigError(
+            "cells= and shard= are mutually exclusive: shard partitions "
+            "the grid into contiguous slices, cells= names an explicit "
+            "subset -- pass one"
+        )
     unknown = [name for name in metrics if name not in METRICS]
     if unknown:
         raise SweepConfigError(
@@ -497,6 +538,20 @@ def grid_sweep(
         from repro.experiments.shard import shard_cells
 
         cell_indices = list(shard_cells(len(combos), spec))
+    elif cells is not None:
+        cell_indices = sorted({int(c) for c in cells})
+        if len(cell_indices) != len(list(cells)):
+            raise SweepConfigError(
+                f"cells= contains duplicate indices: {sorted(cells)}"
+            )
+        if not cell_indices:
+            raise SweepConfigError("cells= must name at least one cell")
+        if cell_indices[0] < 0 or cell_indices[-1] >= len(combos):
+            raise SweepConfigError(
+                f"cells= indices must lie in [0, {len(combos) - 1}] "
+                f"(the grid has {len(combos)} cells), got "
+                f"{cell_indices[0]}..{cell_indices[-1]}"
+            )
     else:
         cell_indices = list(range(len(combos)))
 
@@ -689,7 +744,7 @@ def grid_sweep(
     # order as the serial loop, keeping means bit-identical.  Task
     # positions are local to this run's cell list (the shard's slice,
     # or the whole grid), while cell identity stays global.
-    cells: List[SweepCell] = []
+    out_cells: List[SweepCell] = []
     for local_idx, cell_idx in enumerate(cell_indices):
         combo = combos[cell_idx]
         sums = {name: 0.0 for name in metric_names}
@@ -697,7 +752,7 @@ def grid_sweep(
             values = rep_metrics[local_idx * reps + rep]
             for name in metric_names:
                 sums[name] += values[name]
-        cells.append(
+        out_cells.append(
             SweepCell(
                 params=dict(zip(param_names, combo)),
                 metrics={name: sums[name] / reps for name in metric_names},
@@ -721,6 +776,7 @@ def grid_sweep(
                 "metrics": metric_names,
                 "factory": factory_token or repr(scheduler_factory),
                 "shard": str(spec) if spec is not None else None,
+                "cells": cell_indices if cells is not None else None,
             },
             seed=seed,
             rep_seeds=[derive_seed(seed, 9000, rep) for rep in range(reps)],
@@ -752,6 +808,24 @@ def grid_sweep(
     return SweepResult(
         param_names=param_names,
         metric_names=metric_names,
-        cells=cells,
+        cells=out_cells,
         shard=str(spec) if spec is not None else None,
+        n_cold=len(cold_indices),
+        n_cached=len(cached_results),
     )
+
+
+def grid_sweep(*args: Any, **kwargs: Any) -> SweepResult:
+    """Deprecated public alias of the grid-sweep executor.
+
+    Call :func:`repro.sweep` instead: the facade accepts every scheduler
+    form (class, configured prototype instance, engine name, raw
+    factory), normalizes the keyword aliases (``num_workers``≡``m``,
+    ``augmentation``≡``speed``), and dispatches here unchanged --
+    results are bit-identical.  This shim warns once per process
+    (:mod:`repro._deprecation`) and forwards verbatim.
+    """
+    from repro._deprecation import warn_once
+
+    warn_once("repro.experiments.grid_sweep", "repro.sweep")
+    return _grid_sweep(*args, **kwargs)

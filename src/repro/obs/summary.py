@@ -129,6 +129,53 @@ def summarize_events(events: Sequence[Event]) -> str:
             f"{'recovered':<28}{'yes' if recovered else 'NO':>10}"
         )
 
+    # -- adaptive experimentation (ISSUE 9) -------------------------------
+    searches = [e for e in events if e.get("event") == "search.start"]
+    ablations = [e for e in events if e.get("event") == "ablate.start"]
+    if searches or ablations:
+        lines.append("")
+        lines.append(f"{'adaptive experimentation':<28}{'count':>10}")
+        lines.append("-" * 40)
+        if searches:
+            lines.append(f"{'searches':<28}{len(searches):>10}")
+            stage_counts: Dict[str, int] = {}
+            for e in events:
+                if e.get("event") == "search.round":
+                    stage = str(e.get("stage", "?"))
+                    stage_counts[stage] = stage_counts.get(stage, 0) + 1
+            for stage in sorted(stage_counts):
+                lines.append(
+                    f"{'rounds (' + stage + ')':<28}"
+                    f"{stage_counts[stage]:>10}"
+                )
+            lines.append(
+                f"{'prunes':<28}{counts.get('search.prune', 0):>10}"
+            )
+            for e in events:
+                if e.get("event") == "search.done":
+                    value = e.get("best_value")
+                    lines.append(
+                        f"{'incumbent (' + str(e.get('mode', '?')) + ')':<28}"
+                        f"{_fmt(float(value), 10) if isinstance(value, (int, float)) else '-':>10}"
+                    )
+        if ablations:
+            lines.append(f"{'ablations':<28}{len(ablations):>10}")
+            lines.append(
+                f"{'deltas':<28}{counts.get('ablate.delta', 0):>10}"
+            )
+            for e in events:
+                if e.get("event") == "ablate.done" and e.get("top"):
+                    impact = e.get("top_impact")
+                    impact_s = (
+                        f"{impact:+.3f}"
+                        if isinstance(impact, (int, float))
+                        else "-"
+                    )
+                    lines.append(
+                        f"{'top delta':<28}{str(e['top']):>10}  "
+                        f"(impact {impact_s})"
+                    )
+
     # -- cell wall times --------------------------------------------------
     walls = _wall_times(events)
     if walls:
@@ -202,6 +249,12 @@ def audit_events(events: Sequence[Event]) -> List[str]:
       it);
     * merge accounting: any ``merge.conflict`` is a violation -- shard
       caches disagreed on a content key, so the merge aborted;
+    * adaptive-search accounting (ISSUE 9): every ``search.prune``
+      keeps at least one candidate and never exceeds the number of
+      ``search.round`` events, every ``search.start`` is matched by a
+      ``search.done`` (a missing one means the search died mid-flight),
+      and ``ablate.delta`` events agree with the counts their
+      ``ablate.start`` announced;
     * lifecycle sanity: at most one ``telemetry.close`` per
       ``telemetry.open``, and event timestamps are monotone.
     """
@@ -295,6 +348,54 @@ def audit_events(events: Sequence[Event]) -> List[str]:
         problems.append(
             f"{counts['merge.conflict']} merge.conflict event(s): shard "
             f"caches disagree on a cell -- the merge aborted"
+        )
+
+    # Adaptive-search accounting (ISSUE 9).  Prunes are emitted at most
+    # once per evaluated round (bisection's feasibility gate prunes
+    # nothing), and a pruning decision that keeps zero candidates would
+    # leave the search with no incumbent to return.
+    n_rounds = counts.get("search.round", 0)
+    n_prunes = counts.get("search.prune", 0)
+    if n_prunes > n_rounds:
+        problems.append(
+            f"{n_prunes} search.prune events but only {n_rounds} "
+            f"search.round events"
+        )
+    for i, e in enumerate(events):
+        if e.get("event") != "search.prune":
+            continue
+        kept, dropped = e.get("kept"), e.get("dropped")
+        if isinstance(kept, int) and kept < 1:
+            problems.append(
+                f"event {i}: search.prune kept {kept} candidates "
+                f"(a search must keep at least one)"
+            )
+        if isinstance(dropped, int) and dropped < 0:
+            problems.append(
+                f"event {i}: search.prune dropped is negative ({dropped})"
+            )
+    if counts.get("search.start", 0) != counts.get("search.done", 0):
+        problems.append(
+            f"{counts.get('search.start', 0)} search.start but "
+            f"{counts.get('search.done', 0)} search.done events: a "
+            f"search did not run to completion"
+        )
+    if counts.get("ablate.start", 0) != counts.get("ablate.done", 0):
+        problems.append(
+            f"{counts.get('ablate.start', 0)} ablate.start but "
+            f"{counts.get('ablate.done', 0)} ablate.done events: an "
+            f"ablation did not run to completion"
+        )
+    announced_deltas = sum(
+        int(e.get("n_deltas", 0))
+        for e in events
+        if e.get("event") == "ablate.start"
+    )
+    if announced_deltas and announced_deltas != counts.get("ablate.delta", 0):
+        problems.append(
+            f"ablate.start announced {announced_deltas} deltas but "
+            f"{counts.get('ablate.delta', 0)} ablate.delta events were "
+            f"emitted"
         )
 
     # Lifecycle sanity.

@@ -1,0 +1,275 @@
+"""Declarative ablation harness (ISSUE 9): baseline + deltas -> report.
+
+The properties under test: every configuration is a paired single-cell
+sweep (identical rep seeds, so a no-op delta has *exactly* zero
+impact), impacts are variant minus baseline per metric, the report
+ranks by absolute objective impact, renders to text / markdown / JSON,
+and reruns against the same cache directory are served entirely warm.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.core.fifo import FifoScheduler
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.errors import SweepConfigError
+from repro.experiments.ablate import AblationReport, ablate
+from repro.obs.summary import audit_events, summarize_events
+from repro.obs.telemetry import Telemetry, read_events
+from repro.workloads.distributions import BingDistribution
+from repro.workloads.generator import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    BingDistribution(), qps=400.0, n_jobs=40, m=4, target_chunks=8
+)
+
+DELTAS = {
+    "no-steal": {"k": 0},
+    "half-machines": {"m": 2},
+    "50%-faster": {"speed": 1.5},
+    "double-load": {"workload.qps": 800.0},
+}
+
+
+def make_ws(k=16, steals_per_tick=1):  # top-level: picklable + keyable
+    return WorkStealingScheduler(k=k, steals_per_tick=steals_per_tick)
+
+
+class TestReport:
+    def test_impacts_are_variant_minus_baseline(self, tmp_path):
+        report = ablate(
+            make_ws, {"k": 16}, DELTAS, SPEC, m=4, reps=2, seed=1,
+            cache=tmp_path, max_workers=1,
+        )
+        assert isinstance(report, AblationReport)
+        assert set(d.name for d in report.deltas) == set(DELTAS)
+        base = report.baseline_metrics["max_flow"]
+        for d in report.deltas:
+            assert d.impact["max_flow"] == pytest.approx(
+                d.metrics["max_flow"] - base
+            )
+            rel = d.rel_impact["max_flow"]
+            assert rel == pytest.approx(d.impact["max_flow"] / base)
+
+    def test_resolved_knobs_recorded(self, tmp_path):
+        report = ablate(
+            make_ws, {"k": 16}, DELTAS, SPEC, m=4, reps=1, seed=1,
+            cache=tmp_path, max_workers=1,
+        )
+        assert report.baseline_params == {"k": 16}
+        assert report.baseline_m == 4
+        assert report.baseline_speed == 1.0
+        assert report["half-machines"].m == 2
+        assert report["half-machines"].params == {"k": 16}
+        assert report["50%-faster"].speed == 1.5
+        assert report["no-steal"].params == {"k": 0}
+
+    def test_noop_delta_has_exactly_zero_impact(self, tmp_path):
+        """Paired rep seeds: a delta equal to the baseline moves nothing."""
+        report = ablate(
+            make_ws, {"k": 16}, {"same": {"k": 16}}, SPEC, m=4, reps=3,
+            seed=2, cache=tmp_path, max_workers=1,
+        )
+        assert report["same"].impact["max_flow"] == 0.0
+        assert report["same"].metrics == report.baseline_metrics
+
+    def test_ranked_by_absolute_impact(self, tmp_path):
+        report = ablate(
+            make_ws, {"k": 16}, DELTAS, SPEC, m=4, reps=1, seed=1,
+            cache=tmp_path, max_workers=1,
+        )
+        magnitudes = [
+            abs(d.impact["max_flow"]) for d in report.ranked()
+        ]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_getitem_unknown_name(self, tmp_path):
+        report = ablate(
+            make_ws, {}, {"no-steal": {"k": 0}}, SPEC, m=4, seed=1,
+            cache=tmp_path, max_workers=1,
+        )
+        with pytest.raises(KeyError):
+            report["nope"]
+
+    def test_renderings(self, tmp_path):
+        report = ablate(
+            make_ws, {"k": 16}, DELTAS, SPEC, m=4, reps=1, seed=1,
+            cache=tmp_path, max_workers=1,
+        )
+        text = report.summary()
+        assert "ablation report" in text
+        assert "baseline" in text
+        for name in DELTAS:
+            assert name in text
+        md = report.to_markdown()
+        assert "| delta | overrides |" in md
+        assert md.count("|") >= 5 * (1 + len(DELTAS))
+        blob = json.loads(json.dumps(report.as_dict()))
+        assert blob["objective"] == "max_flow"
+        assert len(blob["deltas"]) == len(DELTAS)
+        assert blob["baseline"]["m"] == 4
+
+    def test_rerun_served_from_cache(self, tmp_path):
+        first = ablate(
+            make_ws, {"k": 16}, DELTAS, SPEC, m=4, reps=2, seed=1,
+            cache=tmp_path, max_workers=1,
+        )
+        second = ablate(
+            make_ws, {"k": 16}, DELTAS, SPEC, m=4, reps=2, seed=1,
+            cache=tmp_path, max_workers=1,
+        )
+        assert first.n_cold > 0
+        assert second.n_cold == 0
+        assert second.n_cached == first.n_cold + first.n_cached
+        assert second.baseline_metrics == first.baseline_metrics
+        for a, b in zip(first.ranked(), second.ranked()):
+            assert a.metrics == b.metrics
+
+
+class TestKnobVocabulary:
+    def test_scheduler_swap_delta(self, tmp_path):
+        report = ablate(
+            make_ws, {}, {"fifo": {"scheduler": lambda: FifoScheduler()}},
+            SPEC, m=4, seed=1, cache=tmp_path, max_workers=1,
+        )
+        assert "fifo" in {d.name for d in report.deltas}
+
+    def test_scheduler_delta_must_be_callable(self):
+        with pytest.raises(SweepConfigError, match="callable"):
+            ablate(
+                make_ws, {}, {"bad": {"scheduler": "not-a-factory"}},
+                SPEC, m=4,
+            )
+
+    def test_workload_field_rewrite(self, tmp_path):
+        report = ablate(
+            make_ws, {}, {"heavy": {"workload.qps": 1200.0}}, SPEC, m=4,
+            seed=1, cache=tmp_path, max_workers=1,
+        )
+        assert report["heavy"].overrides == {"workload.qps": 1200.0}
+
+    def test_workload_unknown_field(self):
+        with pytest.raises(SweepConfigError, match="unknown workload field"):
+            ablate(make_ws, {}, {"bad": {"workload.zzz": 1}}, SPEC, m=4)
+
+    def test_workload_rewrite_needs_dataclass(self):
+        def raw_factory(rep_seed):
+            return SPEC(rep_seed)
+
+        with pytest.raises(SweepConfigError, match="dataclass workload"):
+            ablate(
+                make_ws, {}, {"bad": {"workload.qps": 1.0}}, raw_factory,
+                m=4,
+            )
+
+    def test_alias_disagreement_rejected(self):
+        with pytest.raises(SweepConfigError, match="aliases but disagree"):
+            ablate(
+                make_ws, {}, {"bad": {"m": 2, "num_workers": 3}}, SPEC,
+                m=4,
+            )
+        with pytest.raises(SweepConfigError, match="aliases but disagree"):
+            ablate(
+                make_ws, {},
+                {"bad": {"speed": 1.1, "augmentation": 1.2}}, SPEC, m=4,
+            )
+
+    def test_alias_agreement_accepted(self, tmp_path):
+        report = ablate(
+            make_ws, {}, {"ok": {"m": 2, "num_workers": 2}}, SPEC, m=4,
+            seed=1, cache=tmp_path, max_workers=1,
+        )
+        assert report["ok"].m == 2
+
+    def test_bad_knob_values(self):
+        with pytest.raises(SweepConfigError, match="positive int"):
+            ablate(make_ws, {}, {"bad": {"m": 0}}, SPEC, m=4)
+        with pytest.raises(SweepConfigError, match="positive number"):
+            ablate(make_ws, {}, {"bad": {"speed": -1.0}}, SPEC, m=4)
+        with pytest.raises(SweepConfigError, match="non-empty strings"):
+            ablate(make_ws, {}, {"bad": {"": 1}}, SPEC, m=4)
+
+
+class TestValidation:
+    def test_shapes(self):
+        with pytest.raises(SweepConfigError, match="non-empty mapping"):
+            ablate(make_ws, {}, {}, SPEC, m=4)
+        with pytest.raises(SweepConfigError, match="must be a mapping"):
+            ablate(make_ws, [("k", 0)], {"d": {"k": 0}}, SPEC, m=4)
+        with pytest.raises(SweepConfigError, match="non-empty strings"):
+            ablate(make_ws, {}, {"": {"k": 0}}, SPEC, m=4)
+        with pytest.raises(SweepConfigError, match="at least one knob"):
+            ablate(make_ws, {}, {"empty": {}}, SPEC, m=4)
+
+    def test_knob_ranges(self):
+        deltas = {"d": {"k": 0}}
+        with pytest.raises(SweepConfigError, match="m >= 1"):
+            ablate(make_ws, {}, deltas, SPEC, m=0)
+        with pytest.raises(SweepConfigError, match="reps >= 1"):
+            ablate(make_ws, {}, deltas, SPEC, m=4, reps=0)
+        with pytest.raises(SweepConfigError, match="unknown objective"):
+            ablate(
+                make_ws, {}, deltas, SPEC, m=4, objective="throughput"
+            )
+
+
+class TestFacade:
+    def test_facade_matches_core(self, tmp_path):
+        direct = ablate(
+            make_ws, {"k": 16}, {"no-steal": {"k": 0}}, SPEC, m=4,
+            reps=2, seed=3, cache=tmp_path / "a", max_workers=1,
+        )
+        via_facade = repro.ablate(
+            make_ws,
+            {"k": 16},
+            {"no-steal": {"k": 0}},
+            SPEC,
+            num_workers=4,  # alias for m
+            reps=2,
+            seed=3,
+            cache=tmp_path / "b",
+            max_workers=1,
+        )
+        assert via_facade.baseline_metrics == direct.baseline_metrics
+        assert (
+            via_facade["no-steal"].metrics == direct["no-steal"].metrics
+        )
+
+    def test_facade_normalizes_scheduler_forms_in_deltas(self, tmp_path):
+        report = repro.ablate(
+            WorkStealingScheduler(k=16),
+            {},
+            {"fifo": {"scheduler": FifoScheduler()}},
+            SPEC,
+            m=4,
+            seed=1,
+            cache=tmp_path,
+            max_workers=1,
+        )
+        assert report["fifo"].impact["max_flow"] is not None
+
+    def test_facade_requires_machine_size(self):
+        with pytest.raises(TypeError, match="machine size"):
+            repro.ablate(make_ws, {}, {"d": {"k": 0}}, SPEC)
+
+
+class TestTelemetry:
+    def test_event_vocabulary_and_audit(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        telemetry = Telemetry(log)
+        ablate(
+            make_ws, {"k": 16}, DELTAS, SPEC, m=4, reps=1, seed=1,
+            cache=tmp_path / "cache", max_workers=1, telemetry=telemetry,
+        )
+        telemetry.close()
+        events = read_events(log)
+        kinds = [e["event"] for e in events]
+        assert kinds.count("ablate.start") == 1
+        assert kinds.count("ablate.delta") == len(DELTAS)
+        assert kinds.count("ablate.done") == 1
+        assert audit_events(events) == []
+        text = summarize_events(events)
+        assert "ablations" in text
+        assert "top delta" in text

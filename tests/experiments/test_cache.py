@@ -24,8 +24,8 @@ from repro.experiments.cache import (
     resume_enabled_by_env,
 )
 from repro.experiments.config import ExperimentScale, Figure2Config
-from repro.experiments.runner import run_figure2_cells
-from repro.experiments.sweep import grid_sweep
+from repro.experiments.runner import _run_figure2_cells as run_figure2_cells
+from repro.experiments.sweep import _grid_sweep as grid_sweep
 from repro.workloads.distributions import BingDistribution
 from repro.workloads.generator import WorkloadSpec
 

@@ -131,7 +131,7 @@ class TestMaintenanceCli:
     @staticmethod
     def _shard_caches(tmp_path, n=2):
         from repro.core.work_stealing import WorkStealingScheduler
-        from repro.experiments.sweep import grid_sweep
+        from repro.experiments.sweep import _grid_sweep as grid_sweep
         from repro.workloads.distributions import ExponentialDistribution
         from repro.workloads.generator import WorkloadSpec
 

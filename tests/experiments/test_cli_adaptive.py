@@ -1,0 +1,213 @@
+"""The ``search`` / ``ablate`` subcommands and the unified exit codes.
+
+Runs the CLI in-process (``main(argv)``), always against a tmp cache
+directory; ``REPRO_JOBS=1`` keeps every sweep serial so the tests stay
+fast and deterministic.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import exitcodes
+from repro.experiments.__main__ import main
+
+WORKLOAD = '{"qps": 400, "n_jobs": 40, "target_chunks": 8}'
+
+
+@pytest.fixture(autouse=True)
+def _serial(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "1")
+
+
+class TestExitCodes:
+    def test_values_are_pinned(self):
+        assert exitcodes.EXIT_OK == 0
+        assert exitcodes.EXIT_FAILURE == 1
+        assert exitcodes.EXIT_MERGE_CONFLICT == 2
+        assert exitcodes.EXIT_SEARCH_INFEASIBLE == 3
+
+    def test_main_module_reexports_merge_conflict(self):
+        """The pre-ISSUE-9 import site must keep working."""
+        from repro.experiments.__main__ import EXIT_MERGE_CONFLICT
+
+        assert EXIT_MERGE_CONFLICT is exitcodes.EXIT_MERGE_CONFLICT
+
+    def test_all_lists_every_constant(self):
+        for name in exitcodes.__all__:
+            assert isinstance(getattr(exitcodes, name), int)
+
+
+class TestSearchCommand:
+    def test_halving_summary(self, tmp_path, capsys):
+        rc = main([
+            "search",
+            "--space", '{"k": [0, 4, 16]}',
+            "--workload", WORKLOAD,
+            "--m", "4",
+            "--seed", "1",
+            "--cache-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == exitcodes.EXIT_OK
+        assert "adaptive search (halving)" in out
+        assert "incumbent:" in out
+
+    def test_halving_json(self, tmp_path, capsys):
+        rc = main([
+            "search",
+            "--space", '{"k": [0, 4]}',
+            "--workload", WORKLOAD,
+            "--m", "4",
+            "--seed", "1",
+            "--cache-dir", str(tmp_path),
+            "--json",
+        ])
+        out = capsys.readouterr().out
+        assert rc == exitcodes.EXIT_OK
+        blob = json.loads(out)
+        assert blob["mode"] == "halving"
+        assert blob["best"]["params"] in ({"k": 0}, {"k": 4})
+
+    def test_threshold_feasible(self, tmp_path, capsys):
+        rc = main([
+            "search",
+            "--fixed", '{"k": 16}',
+            "--space", '{"speed": [1.0, 1.5, 2.0]}',
+            "--budget", "1e9",
+            "--workload", WORKLOAD,
+            "--m", "4",
+            "--cache-dir", str(tmp_path),
+            "--json",
+        ])
+        out = capsys.readouterr().out
+        assert rc == exitcodes.EXIT_OK
+        blob = json.loads(out)
+        assert blob["mode"] == "threshold"
+        assert blob["feasible"] is True
+        assert blob["best"]["params"] == {"speed": 1.0}
+
+    def test_threshold_infeasible_exits_3(self, tmp_path, capsys):
+        rc = main([
+            "search",
+            "--fixed", '{"k": 16}',
+            "--space", '{"speed": [1.0, 2.0]}',
+            "--budget", "0.0",
+            "--workload", WORKLOAD,
+            "--m", "4",
+            "--cache-dir", str(tmp_path),
+        ])
+        captured = capsys.readouterr()
+        assert rc == exitcodes.EXIT_SEARCH_INFEASIBLE
+        assert "search infeasible:" in captured.err
+
+    def test_telemetry_flag_writes_ledger(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        rc = main([
+            "search",
+            "--space", '{"k": [0, 4]}',
+            "--workload", WORKLOAD,
+            "--m", "4",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--telemetry", str(log),
+        ])
+        out = capsys.readouterr().out
+        assert rc == exitcodes.EXIT_OK
+        assert "(telemetry written to" in out
+        from repro.obs.telemetry import read_events
+
+        kinds = [e["event"] for e in read_events(log)]
+        assert "search.start" in kinds
+        assert "search.done" in kinds
+
+    def test_usage_errors_exit_2(self, tmp_path):
+        # Invalid JSON in --space.
+        with pytest.raises(SystemExit) as exc_info:
+            main([
+                "search", "--space", "not json",
+                "--workload", WORKLOAD, "--m", "4",
+            ])
+        assert exc_info.value.code == 2
+        # Harness-level config error (budget with two axes).
+        with pytest.raises(SystemExit) as exc_info:
+            main([
+                "search",
+                "--space", '{"k": [0, 4], "steals_per_tick": [1, 2]}',
+                "--budget", "10",
+                "--workload", WORKLOAD,
+                "--m", "4",
+                "--cache-dir", str(tmp_path),
+            ])
+        assert exc_info.value.code == 2
+
+    def test_workload_validation(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main([
+                "search", "--space", '{"k": [0]}',
+                "--workload", '{"qps": 400}', "--m", "4",
+            ])
+        assert exc_info.value.code == 2  # missing n_jobs
+        with pytest.raises(SystemExit) as exc_info:
+            main([
+                "search", "--space", '{"k": [0]}',
+                "--workload",
+                '{"distribution": "zipf", "qps": 400, "n_jobs": 10}',
+                "--m", "4",
+            ])
+        assert exc_info.value.code == 2  # unknown distribution
+
+
+class TestAblateCommand:
+    DELTAS = '{"no-steal": {"k": 0}, "half-m": {"m": 2}}'
+
+    def test_summary(self, tmp_path, capsys):
+        rc = main([
+            "ablate",
+            "--fixed", '{"k": 16}',
+            "--deltas", self.DELTAS,
+            "--workload", WORKLOAD,
+            "--m", "4",
+            "--seed", "1",
+            "--cache-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == exitcodes.EXIT_OK
+        assert "ablation report" in out
+        assert "no-steal" in out and "half-m" in out
+
+    def test_markdown(self, tmp_path, capsys):
+        rc = main([
+            "ablate",
+            "--deltas", self.DELTAS,
+            "--workload", WORKLOAD,
+            "--m", "4",
+            "--cache-dir", str(tmp_path),
+            "--markdown",
+        ])
+        out = capsys.readouterr().out
+        assert rc == exitcodes.EXIT_OK
+        assert "# Ablation report" in out
+        assert "| delta | overrides |" in out
+
+    def test_json(self, tmp_path, capsys):
+        rc = main([
+            "ablate",
+            "--deltas", self.DELTAS,
+            "--workload", WORKLOAD,
+            "--m", "4",
+            "--cache-dir", str(tmp_path),
+            "--json",
+        ])
+        out = capsys.readouterr().out
+        assert rc == exitcodes.EXIT_OK
+        blob = json.loads(out)
+        assert {d["name"] for d in blob["deltas"]} == {"no-steal", "half-m"}
+
+    def test_bad_deltas_exit_2(self, tmp_path):
+        with pytest.raises(SystemExit) as exc_info:
+            main([
+                "ablate", "--deltas", '{"bad": {}}',
+                "--workload", WORKLOAD, "--m", "4",
+                "--cache-dir", str(tmp_path),
+            ])
+        assert exc_info.value.code == 2

@@ -1,0 +1,126 @@
+"""ISSUE 9 deprecation shims: ``grid_sweep`` / ``run_figure2_cells``.
+
+Both package names survive as warn-once shims over the private
+implementations.  Tier-1 CI runs with ``-W error::DeprecationWarning``,
+so these tests (a) opt back into plain warning recording around each
+shim call, (b) pin the exactly-once-per-process behavior via the
+``_WARNED`` registry, and (c) pin bit-identity: the shim returns the
+private function's numbers unchanged.
+"""
+
+import warnings
+
+import pytest
+
+from repro import _deprecation
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.experiments.config import ExperimentScale, Figure2Config
+from repro.experiments.runner import _run_figure2_cells, run_figure2_cells
+from repro.experiments.sweep import _grid_sweep, grid_sweep
+from repro.workloads.distributions import BingDistribution
+from repro.workloads.generator import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    BingDistribution(), qps=400.0, n_jobs=20, m=2, target_chunks=8
+)
+
+CFG = Figure2Config(
+    name="tiny-bing",
+    distribution_factory=BingDistribution,
+    qps_values=(600.0,),
+    m=2,
+    k=4,
+    steals_per_tick=16,
+    target_chunks=8,
+)
+SCALE = ExperimentScale(n_jobs=20, reps=1)
+
+
+def make_ws(k):  # top-level: picklable
+    return WorkStealingScheduler(k=k)
+
+
+@pytest.fixture
+def fresh_warn_registry():
+    """Each test sees a process that has not warned yet."""
+    saved = set(_deprecation._WARNED)
+    _deprecation._WARNED.clear()
+    yield
+    _deprecation._WARNED.clear()
+    _deprecation._WARNED.update(saved)
+
+
+class TestGridSweepShim:
+    def test_warns_once_with_replacement_pointer(self, fresh_warn_registry):
+        with pytest.warns(DeprecationWarning, match="repro.sweep"):
+            first = grid_sweep(
+                make_ws, {"k": [0]}, SPEC, m=2, seed=4, max_workers=1
+            )
+        # Second call: same process, no second warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            second = grid_sweep(
+                make_ws, {"k": [0]}, SPEC, m=2, seed=4, max_workers=1
+            )
+        assert first.cells[0].metrics == second.cells[0].metrics
+
+    def test_bit_identical_to_private_function(self, fresh_warn_registry):
+        with pytest.warns(DeprecationWarning):
+            shimmed = grid_sweep(
+                make_ws, {"k": [0, 4]}, SPEC, m=2, seed=4, max_workers=1
+            )
+        direct = _grid_sweep(
+            make_ws, {"k": [0, 4]}, SPEC, m=2, seed=4, max_workers=1
+        )
+        assert [c.metrics for c in shimmed.cells] == [
+            c.metrics for c in direct.cells
+        ]
+        assert [c.params for c in shimmed.cells] == [
+            c.params for c in direct.cells
+        ]
+
+
+class TestRunFigure2CellsShim:
+    def test_warns_once(self, fresh_warn_registry):
+        with pytest.warns(DeprecationWarning, match="run_figure2_cells"):
+            run_figure2_cells(
+                CFG, CFG.qps_values, SCALE, seed=5, max_workers=1
+            )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_figure2_cells(
+                CFG, CFG.qps_values, SCALE, seed=5, max_workers=1
+            )
+
+    def test_bit_identical_to_private_function(self, fresh_warn_registry):
+        with pytest.warns(DeprecationWarning):
+            shimmed = run_figure2_cells(
+                CFG, CFG.qps_values, SCALE, seed=5, max_workers=1
+            )
+        direct = _run_figure2_cells(
+            CFG, CFG.qps_values, SCALE, seed=5, max_workers=1
+        )
+        assert shimmed == direct
+
+
+class TestInternalCallersStayWarningClean:
+    """No internal path may route through a shim (CI runs -W error)."""
+
+    def test_facades_and_figures_are_clean(self, fresh_warn_registry,
+                                           tmp_path):
+        import repro
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.sweep(
+                WorkStealingScheduler(), {"k": [0]}, SPEC, m=2, seed=4,
+                max_workers=1,
+            )
+            repro.search(
+                WorkStealingScheduler(), {"k": [0, 4]}, SPEC, m=2,
+                seed=4, cache=tmp_path, max_workers=1,
+            )
+            repro.ablate(
+                WorkStealingScheduler(), {}, {"no-steal": {"k": 0}},
+                SPEC, m=2, seed=4, cache=tmp_path, max_workers=1,
+            )

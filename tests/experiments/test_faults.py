@@ -38,7 +38,7 @@ from repro.experiments.parallel import (
     backoff_schedule,
     _backoff_delay,
 )
-from repro.experiments.sweep import grid_sweep
+from repro.experiments.sweep import _grid_sweep as grid_sweep
 from repro.obs import Telemetry, audit_events
 from repro.testing.faults import (
     FAULTS_DIR_ENV,

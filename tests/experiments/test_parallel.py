@@ -15,8 +15,9 @@ import pytest
 from repro.core.work_stealing import WorkStealingScheduler
 from repro.experiments.config import ExperimentScale, Figure2Config
 from repro.experiments.parallel import default_workers, parallel_map
-from repro.experiments.runner import run_figure2_cell, run_figure2_cells
-from repro.experiments.sweep import grid_sweep
+from repro.experiments.runner import run_figure2_cell
+from repro.experiments.runner import _run_figure2_cells as run_figure2_cells
+from repro.experiments.sweep import _grid_sweep as grid_sweep
 from repro.workloads.distributions import BingDistribution
 from repro.workloads.generator import WorkloadSpec
 

@@ -1,0 +1,420 @@
+"""Adaptive search (ISSUE 9): halving, GA refinement, threshold bisection.
+
+The contract under test is the one the module docstring promises:
+every candidate evaluation is a cached, *byte-identical* sweep cell
+(global cell identity), so the search finds the exhaustive sweep's
+optimum while evaluating a fraction of its (cell, rep) tasks cold, a
+rerun against the same cache is nearly all hits, and the same seed
+reproduces the same pruning decisions and incumbent trajectory.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.errors import SearchInfeasibleError, SweepConfigError
+from repro.experiments.search import (
+    SearchResult,
+    successive_halving,
+    threshold_search,
+)
+from repro.experiments.sweep import _grid_sweep as grid_sweep
+from repro.obs.summary import audit_events, summarize_events
+from repro.obs.telemetry import Telemetry, read_events
+from repro.workloads.distributions import BingDistribution
+from repro.workloads.generator import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    BingDistribution(), qps=400.0, n_jobs=40, m=4, target_chunks=8
+)
+
+#: The ISSUE's pinned 32-cell acceptance grid.
+GRID32 = {"k": [0, 1, 2, 4, 8, 16, 32, 64], "steals_per_tick": [1, 2, 4, 8]}
+
+
+def make_ws(k=4, steals_per_tick=1):  # top-level: picklable + keyable
+    return WorkStealingScheduler(k=k, steals_per_tick=steals_per_tick)
+
+
+def make_k16():  # zero-arg factory for speed-axis (empty-grid) probes
+    return WorkStealingScheduler(k=16)
+
+
+class TestAcceptance:
+    """The ISSUE 9 acceptance criteria, verbatim, on the pinned grid."""
+
+    def test_matches_exhaustive_under_cold_budget(self, tmp_path):
+        res = successive_halving(
+            make_ws, GRID32, SPEC, m=4, r0=1, eta=4, rounds=3, seed=11,
+            cache=tmp_path / "search", max_workers=1,
+        )
+        exhaustive = grid_sweep(
+            make_ws, GRID32, SPEC, m=4, reps=16, seed=11,
+            cache=tmp_path / "exhaustive", resume=True, max_workers=1,
+            metrics=["max_flow"],
+        )
+        # Same optimum as the exhaustive sweep...
+        best_ex = exhaustive.best("max_flow")
+        assert res.best.params == best_ex.params
+        # ...whose winning cell is byte-identical (same global index,
+        # same floats) to the exhaustive cell at the final rep count...
+        assert res.best.metrics == best_ex.metrics
+        assert res.best.metrics == exhaustive.cells[res.best_index].metrics
+        # ...while evaluating at most 60% of its (cell, rep) tasks cold.
+        n_exhaustive_tasks = 32 * 16
+        assert res.n_cold <= 0.6 * n_exhaustive_tasks
+        assert res.n_cold + res.n_cached == res.n_evaluations
+
+    def test_repeat_run_is_mostly_cache_hits(self, tmp_path):
+        kwargs = dict(
+            m=4, r0=1, eta=4, rounds=3, seed=11, cache=tmp_path,
+            max_workers=1,
+        )
+        first = successive_halving(make_ws, GRID32, SPEC, **kwargs)
+        second = successive_halving(make_ws, GRID32, SPEC, **kwargs)
+        assert second.n_cached / second.n_evaluations >= 0.9
+        # Identical search, identical answer: the cache changed *when*
+        # numbers were computed, never *what* they are.
+        assert second.trajectory == first.trajectory
+        assert second.best.params == first.best.params
+        assert second.best.metrics == first.best.metrics
+        assert [r.survivors for r in second.rounds] == [
+            r.survivors for r in first.rounds
+        ]
+
+
+class TestCacheReuseProperty:
+    """Satellite 3: the two-round cache-reuse property.
+
+    Round 2 of an ``eta=2`` halving re-evaluates survivors at double
+    the repetitions; the first half of each survivor's repetitions was
+    already computed in round 1, so >= 50% of round 2's tasks must be
+    cell-cache hits -- and every cell must be byte-identical to an
+    unsharded exhaustive sweep of the same coordinates.
+    """
+
+    GRID = {"k": [0, 2, 8, 32]}
+
+    def test_round2_hits_at_least_half(self, tmp_path):
+        res = successive_halving(
+            make_ws, self.GRID, SPEC, m=4, r0=1, eta=2, rounds=2, seed=3,
+            cache=tmp_path, max_workers=1,
+        )
+        assert len(res.rounds) == 2
+        r2 = res.rounds[1]
+        assert r2.reps == 2
+        assert r2.n_cached / (r2.n_cold + r2.n_cached) >= 0.5
+
+    def test_cells_byte_identical_to_exhaustive(self, tmp_path):
+        res = successive_halving(
+            make_ws, self.GRID, SPEC, m=4, r0=1, eta=2, rounds=2, seed=3,
+            cache=tmp_path / "search", max_workers=1,
+        )
+        exhaustive = grid_sweep(
+            make_ws, self.GRID, SPEC, m=4, reps=2, seed=3,
+            cache=tmp_path / "exhaustive", resume=True, max_workers=1,
+            metrics=["max_flow"],
+        )
+        # Survivors hold *global* cross-product indices, so they index
+        # exhaustive.cells directly; the incumbent cell must be the
+        # exhaustive cell at that index, floats and all.
+        assert res.best_index in res.rounds[1].survivors
+        assert res.best.metrics == exhaustive.cells[res.best_index].metrics
+        assert res.best.params == exhaustive.cells[res.best_index].params
+        # Round 2's incumbent value is the minimum over its survivors
+        # of the exhaustive sweep's objective at the same coordinates.
+        assert res.rounds[1].best_value == min(
+            exhaustive.cells[i].metrics["max_flow"]
+            for i in res.rounds[0].survivors
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self, tmp_path):
+        a = successive_halving(
+            make_ws, GRID32, SPEC, m=4, r0=1, eta=4, rounds=2, seed=7,
+            cache=tmp_path / "a", max_workers=1,
+        )
+        b = successive_halving(
+            make_ws, GRID32, SPEC, m=4, r0=1, eta=4, rounds=2, seed=7,
+            cache=tmp_path / "b", max_workers=1,
+        )
+        assert a.trajectory == b.trajectory
+        assert a.best_index == b.best_index
+        assert a.best.metrics == b.best.metrics
+        assert [r.survivors for r in a.rounds] == [
+            r.survivors for r in b.rounds
+        ]
+
+    def test_ga_refinement_deterministic(self, tmp_path):
+        kwargs = dict(
+            m=4, r0=1, eta=2, rounds=2, seed=5, refine="ga",
+            refine_generations=2, max_workers=1,
+        )
+        a = successive_halving(
+            make_ws, GRID32, SPEC, cache=tmp_path / "a", **kwargs
+        )
+        b = successive_halving(
+            make_ws, GRID32, SPEC, cache=tmp_path / "b", **kwargs
+        )
+        assert a.mode == "halving+ga"
+        assert a.trajectory == b.trajectory
+        assert a.best_index == b.best_index
+
+
+class TestGaRefine:
+    def test_ga_never_loses_the_halving_incumbent(self, tmp_path):
+        plain = successive_halving(
+            make_ws, GRID32, SPEC, m=4, r0=1, eta=2, rounds=2, seed=9,
+            cache=tmp_path, max_workers=1,
+        )
+        refined = successive_halving(
+            make_ws, GRID32, SPEC, m=4, r0=1, eta=2, rounds=2, seed=9,
+            refine="ga", refine_generations=2, cache=tmp_path,
+            max_workers=1,
+        )
+        # Elitist selection: the halving incumbent survives every GA
+        # generation unless something strictly better displaces it.
+        assert (
+            refined.best.metrics["max_flow"]
+            <= plain.best.metrics["max_flow"]
+        )
+        assert [r.stage for r in refined.rounds] == [
+            "halving", "halving", "ga", "ga",
+        ]
+        # GA individuals are grid points: every survivor is a legal
+        # global index.
+        for r in refined.rounds:
+            assert all(0 <= i < 32 for i in r.survivors)
+
+
+class TestSearchResult:
+    def test_as_dict_json_round_trips(self, tmp_path):
+        res = successive_halving(
+            make_ws, {"k": [0, 4]}, SPEC, m=2, seed=1, cache=tmp_path,
+            max_workers=1,
+        )
+        blob = json.loads(json.dumps(res.as_dict()))
+        assert blob["mode"] == "halving"
+        assert blob["best"]["params"] in ({"k": 0}, {"k": 4})
+        assert blob["trajectory"] == res.trajectory
+
+    def test_summary_renders(self, tmp_path):
+        res = successive_halving(
+            make_ws, {"k": [0, 4]}, SPEC, m=2, seed=1, cache=tmp_path,
+            max_workers=1,
+        )
+        text = res.summary()
+        assert "adaptive search (halving)" in text
+        assert "incumbent:" in text
+        assert "max_flow" in text
+
+    def test_cold_fraction_empty_guard(self):
+        res = SearchResult(
+            mode="halving", objective="max_flow", param_names=["k"],
+            n_cells=0, best=None, best_index=0,
+        )
+        assert res.cold_fraction == 0.0
+
+
+class TestThreshold:
+    SPEEDS = [1.0, 1.25, 1.5, 1.75, 2.0]
+
+    def test_minimum_speed_matches_exhaustive_probing(self, tmp_path):
+        """The paper's minimum-epsilon question over the speed axis."""
+        # Gold answer: probe every candidate exhaustively.
+        values = {}
+        for s in self.SPEEDS:
+            sweep = grid_sweep(
+                make_k16, {}, SPEC, m=4, reps=2, seed=2, speed=s,
+                cache=tmp_path, resume=True, max_workers=1,
+                allow_empty_grid=True, metrics=["max_flow"],
+            )
+            values[s] = sweep.cells[0].metrics["max_flow"]
+        assert sorted(values, key=values.get) == sorted(
+            values, reverse=True
+        ), "speed axis must be monotone for this workload"
+        budget = (values[1.25] + values[1.5]) / 2  # between two candidates
+        gold = min(s for s in self.SPEEDS if values[s] <= budget)
+
+        res = threshold_search(
+            make_k16, "speed", self.SPEEDS, SPEC, m=4, budget=budget,
+            reps=2, seed=2, cache=tmp_path, max_workers=1,
+        )
+        assert res.feasible is True
+        assert res.best.params == {"speed": gold}
+        # Probes are the same cached cells the exhaustive probing made.
+        assert res.best.metrics["max_flow"] == values[gold]
+        assert res.n_cached > 0
+        # O(log n) probing: never more than 1 gate + ceil(log2(n)) probes.
+        assert len(res.rounds) <= 1 + 3
+
+    def test_infeasible_raises_with_evidence(self, tmp_path):
+        with pytest.raises(SearchInfeasibleError) as exc_info:
+            threshold_search(
+                make_k16, "speed", [1.0, 2.0], SPEC, m=4, budget=0.0,
+                seed=0, cache=tmp_path, max_workers=1,
+            )
+        err = exc_info.value
+        assert err.objective == "max_flow"
+        assert err.budget == 0.0
+        assert err.best_params == {"speed": 2.0}
+        assert err.best_value > 0.0
+        assert "relax the budget" in str(err)
+
+    def test_scheduler_knob_axis_trivially_feasible(self, tmp_path):
+        """A huge budget accepts the smallest candidate via pure bisection."""
+        res = threshold_search(
+            make_ws, "k", [0, 4, 16, 64], SPEC, m=4, budget=1e9,
+            seed=0, cache=tmp_path, max_workers=1,
+        )
+        assert res.best_index == 0
+        assert res.best.params == {"k": 0}
+        assert res.budget == 1e9
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(SweepConfigError, match="at least one"):
+            threshold_search(make_ws, "k", [], SPEC, m=4, budget=1.0)
+        with pytest.raises(SweepConfigError, match="strictly increasing"):
+            threshold_search(
+                make_ws, "k", [4, 4, 8], SPEC, m=4, budget=1.0
+            )
+        with pytest.raises(SweepConfigError, match="finite"):
+            threshold_search(
+                make_ws, "k", [0, 4], SPEC, m=4, budget=float("inf")
+            )
+        with pytest.raises(SweepConfigError, match="ARE the speed axis"):
+            threshold_search(
+                make_ws, "speed", [1.0, 2.0], SPEC, m=4, budget=10.0,
+                speed=1.5,
+            )
+        with pytest.raises(SweepConfigError, match="positive numbers"):
+            threshold_search(
+                make_ws, "augmentation", [-1.0, 2.0], SPEC, m=4,
+                budget=10.0,
+            )
+
+
+class TestHalvingValidation:
+    def test_bad_space(self):
+        with pytest.raises(SweepConfigError, match="non-empty dict"):
+            successive_halving(make_ws, {}, SPEC, m=4)
+        with pytest.raises(SweepConfigError, match="at least one"):
+            successive_halving(make_ws, {"k": []}, SPEC, m=4)
+        with pytest.raises(SweepConfigError, match="duplicate"):
+            successive_halving(make_ws, {"k": [4, 4]}, SPEC, m=4)
+
+    def test_bad_knobs(self):
+        space = {"k": [0, 4]}
+        with pytest.raises(SweepConfigError, match="unknown objective"):
+            successive_halving(
+                make_ws, space, SPEC, m=4, objective="throughput"
+            )
+        with pytest.raises(SweepConfigError, match="m >= 1"):
+            successive_halving(make_ws, space, SPEC, m=0)
+        with pytest.raises(SweepConfigError, match="r0 >= 1"):
+            successive_halving(make_ws, space, SPEC, m=4, r0=0)
+        with pytest.raises(SweepConfigError, match="eta >= 2"):
+            successive_halving(make_ws, space, SPEC, m=4, eta=1)
+        with pytest.raises(SweepConfigError, match="rounds >= 1"):
+            successive_halving(make_ws, space, SPEC, m=4, rounds=0)
+        with pytest.raises(SweepConfigError, match="unknown refine"):
+            successive_halving(
+                make_ws, space, SPEC, m=4, refine="annealing"
+            )
+        with pytest.raises(SweepConfigError, match="refine_generations"):
+            successive_halving(
+                make_ws, space, SPEC, m=4, refine="ga",
+                refine_generations=0,
+            )
+
+
+class TestFacade:
+    def test_search_facade_halving_with_aliases(self, tmp_path):
+        direct = successive_halving(
+            lambda k: WorkStealingScheduler(k=k), {"k": [0, 4, 16]}, SPEC,
+            m=4, seed=1, cache=tmp_path / "a", max_workers=1,
+        )
+        via_facade = repro.search(
+            WorkStealingScheduler(),
+            {"k": [0, 4, 16]},
+            SPEC,
+            num_workers=4,  # alias for m
+            seed=1,
+            cache=tmp_path / "b",
+            max_workers=1,
+        )
+        assert via_facade.best.params == direct.best.params
+        assert via_facade.trajectory == direct.trajectory
+
+    def test_search_facade_threshold_speed_alias(self, tmp_path):
+        res = repro.search(
+            WorkStealingScheduler(k=16),
+            {"augmentation": [1.0, 1.5, 2.0]},
+            SPEC,
+            m=4,
+            budget=1e9,
+            seed=0,
+            cache=tmp_path,
+            max_workers=1,
+        )
+        assert res.mode == "threshold"
+        assert res.best.params == {"augmentation": 1.0}
+
+    def test_budget_needs_single_axis(self):
+        with pytest.raises(SweepConfigError, match="exactly one"):
+            repro.search(
+                WorkStealingScheduler(),
+                {"k": [0, 4], "steals_per_tick": [1, 2]},
+                SPEC,
+                m=4,
+                budget=100.0,
+            )
+
+    def test_reps_reserved_for_threshold_mode(self):
+        with pytest.raises(SweepConfigError, match="r0/eta"):
+            repro.search(
+                WorkStealingScheduler(), {"k": [0, 4]}, SPEC, m=4, reps=3
+            )
+
+    def test_machine_size_required(self):
+        with pytest.raises(TypeError, match="machine size"):
+            repro.search(WorkStealingScheduler(), {"k": [0, 4]}, SPEC)
+
+
+class TestTelemetry:
+    def test_event_vocabulary_and_audit(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        telemetry = Telemetry(log)
+        successive_halving(
+            make_ws, {"k": [0, 2, 8, 32]}, SPEC, m=4, r0=1, eta=2,
+            rounds=2, seed=3, cache=tmp_path / "cache", max_workers=1,
+            telemetry=telemetry,
+        )
+        telemetry.close()
+        events = read_events(log)
+        kinds = [e["event"] for e in events]
+        assert kinds.count("search.start") == 1
+        assert kinds.count("search.done") == 1
+        assert kinds.count("search.round") == 2
+        assert kinds.count("search.prune") == 2
+        assert audit_events(events) == []
+        text = summarize_events(events)
+        assert "adaptive experimentation" in text
+        assert "incumbent" in text
+
+    def test_threshold_events_audit_clean(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        telemetry = Telemetry(log)
+        threshold_search(
+            make_ws, "k", [0, 4, 16, 64], SPEC, m=4, budget=1e9, seed=0,
+            cache=tmp_path / "cache", max_workers=1, telemetry=telemetry,
+        )
+        telemetry.close()
+        events = read_events(log)
+        kinds = [e["event"] for e in events]
+        assert kinds.count("search.start") == 1
+        assert kinds.count("search.done") == 1
+        assert audit_events(events) == []

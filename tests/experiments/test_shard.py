@@ -32,7 +32,7 @@ from repro.experiments.shard import (
     parse_shard,
     shard_cells,
 )
-from repro.experiments.sweep import grid_sweep
+from repro.experiments.sweep import _grid_sweep as grid_sweep
 from repro.workloads.distributions import BingDistribution
 from repro.workloads.generator import WorkloadSpec
 

@@ -5,7 +5,8 @@ import pytest
 from repro.core.work_stealing import WorkStealingScheduler
 from repro.dag.builders import single_node
 from repro.dag.job import jobs_from_dags
-from repro.experiments.sweep import METRICS, SweepResult, grid_sweep
+from repro.experiments.sweep import METRICS, SweepResult
+from repro.experiments.sweep import _grid_sweep as grid_sweep
 from repro.sim.rng import make_rng
 
 

@@ -220,7 +220,7 @@ class TestTelemetryIdentity:
 class TestSweepTelemetryEndToEnd:
     def test_grid_sweep_log_audits_clean_and_matches_stats(self, tmp_path):
         from repro.experiments.cache import SweepCache
-        from repro.experiments.sweep import grid_sweep
+        from repro.experiments.sweep import _grid_sweep as grid_sweep
         from repro.workloads.generator import WorkloadSpec
         from repro.workloads.distributions import ExponentialDistribution
 
@@ -292,7 +292,7 @@ class TestSweepTelemetryEndToEnd:
 
     def test_figure2_cells_telemetry(self, tmp_path):
         from repro.experiments.config import FIG2A, ExperimentScale
-        from repro.experiments.runner import run_figure2_cells
+        from repro.experiments.runner import _run_figure2_cells as run_figure2_cells
 
         log = tmp_path / "events.jsonl"
         scale = ExperimentScale(n_jobs=12, reps=1)

@@ -24,7 +24,7 @@ from repro.api import _EngineScheduler, _InstanceFactory, _as_factory
 from repro.core.work_stealing import WorkStealingScheduler
 from repro.errors import SweepConfigError
 from repro.experiments.cache import SweepCache
-from repro.experiments.sweep import grid_sweep
+from repro.experiments.sweep import _grid_sweep as grid_sweep
 from repro.obs import Telemetry
 from repro.workloads.distributions import ExponentialDistribution
 from repro.workloads.generator import WorkloadSpec
@@ -198,7 +198,7 @@ class TestKnobThreading:
     def test_exported_and_documented(self):
         assert "sweep" in repro.__all__
         assert repro.sweep is not None
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
 
 class TestSharding:

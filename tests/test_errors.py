@@ -123,7 +123,7 @@ class TestPayloads:
 class TestRaisedByTheExecutionLayers:
     def test_grid_sweep_config_errors_are_typed(self, tiny_spec):
         from repro.core.work_stealing import WorkStealingScheduler
-        from repro.experiments.sweep import grid_sweep
+        from repro.experiments.sweep import _grid_sweep as grid_sweep
 
         with pytest.raises(SweepConfigError):
             grid_sweep(WorkStealingScheduler, {}, tiny_spec, m=4)
@@ -148,7 +148,7 @@ class TestRaisedByTheExecutionLayers:
         self, tiny_spec
     ):
         from repro.core.work_stealing import WorkStealingScheduler
-        from repro.experiments.sweep import grid_sweep
+        from repro.experiments.sweep import _grid_sweep as grid_sweep
 
         with pytest.raises(ValueError):
             grid_sweep(WorkStealingScheduler, {}, tiny_spec, m=4)

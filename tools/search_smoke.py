@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Two-process adaptive-search smoke: the CI teeth behind ISSUE 9.
+
+Determinism of ``repro.search`` is a *cross-process* claim -- same
+seed, same pruning decisions, same incumbent trajectory, bit-for-bit,
+with nothing shared (not even the cell cache).  A unit test cannot pin
+that, because one process's Python hashing, import order, or RNG state
+could mask a dependency on process state.  This smoke:
+
+1. runs the same successive-halving search (pinned grid, pinned seed)
+   in two **separate subprocesses**, each with its own fresh cache
+   directory and its own telemetry ledger;
+2. asserts the two processes report identical incumbent trajectories,
+   identical per-round survivor sets, and identical best cells (params
+   and metric floats);
+3. re-runs the search in a third subprocess against process 0's cache
+   directory and asserts it is served >= 90% from cache with the same
+   trajectory (the resume claim);
+4. audits every telemetry ledger (``repro.obs.audit_events``) and
+   checks it is free of ``fault.giveup`` events; with ``--ledger-out``
+   the process-0 ledger is copied out for an external
+   ``tools/bench_gate.py --telemetry`` gate.
+
+Exit 0 = all claims hold.  Usage::
+
+    python tools/search_smoke.py
+    python tools/search_smoke.py --ledger-out search_events.jsonl
+    python tools/search_smoke.py --n-jobs 60 --keep   # keep scratch dir
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: One search run in a fresh interpreter.  Parameters arrive as a JSON
+#: blob in argv[1] so the children cannot drift from the parent.
+CHILD_SCRIPT = """
+import json, sys
+import repro
+from repro.core.work_stealing import WorkStealingScheduler
+from repro.obs import Telemetry
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import BingDistribution
+
+cfg = json.loads(sys.argv[1])
+spec = WorkloadSpec(
+    BingDistribution(), qps=cfg["qps"], n_jobs=cfg["n_jobs"],
+    m=cfg["m"], target_chunks=8,
+)
+with Telemetry(cfg["log"], label=cfg["label"]) as tel:
+    result = repro.search(
+        WorkStealingScheduler(), cfg["space"], spec, m=cfg["m"],
+        r0=cfg["r0"], eta=cfg["eta"], rounds=cfg["rounds"],
+        seed=cfg["seed"], cache=cfg["cache"], max_workers=1,
+        telemetry=tel,
+    )
+print(json.dumps({
+    "trajectory": result.trajectory,
+    "survivors": [list(r.survivors) for r in result.rounds],
+    "best_index": result.best_index,
+    "best_params": dict(result.best.params),
+    "best_metrics": dict(result.best.metrics),
+    "n_evaluations": result.n_evaluations,
+    "n_cold": result.n_cold,
+    "n_cached": result.n_cached,
+}))
+"""
+
+
+def run_child(cfg: dict, env: dict) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD_SCRIPT, json.dumps(cfg)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"search child {cfg['label']} exited {proc.returncode}:\n"
+            f"{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-jobs", type=int, default=40)
+    parser.add_argument("--qps", type=float, default=400.0)
+    parser.add_argument("--m", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--ledger-out",
+        type=str,
+        default=None,
+        help="copy process 0's telemetry ledger here (for bench_gate)",
+    )
+    parser.add_argument(
+        "--keep", action="store_true", help="keep the scratch directory"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import audit_events, read_events
+
+    scratch = Path(tempfile.mkdtemp(prefix="search_smoke_"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    base_cfg = {
+        "space": {"k": [0, 1, 2, 4, 8, 16, 32, 64],
+                  "steals_per_tick": [1, 2, 4, 8]},
+        "n_jobs": args.n_jobs,
+        "qps": args.qps,
+        "m": args.m,
+        "r0": 1,
+        "eta": 4,
+        "rounds": 3,
+        "seed": args.seed,
+    }
+    try:
+        # -- 1: the same search, two isolated interpreters -------------
+        t0 = time.perf_counter()
+        results = []
+        for i in range(2):
+            cfg = dict(
+                base_cfg,
+                label=f"search-proc{i}",
+                cache=str(scratch / f"cache{i}"),
+                log=str(scratch / f"proc{i}.jsonl"),
+            )
+            results.append(run_child(cfg, env))
+        wall_pair = time.perf_counter() - t0
+
+        # -- 2: bit-identical trajectories and incumbents --------------
+        a, b = results
+        for key in ("trajectory", "survivors", "best_index",
+                    "best_params", "best_metrics"):
+            if a[key] != b[key]:
+                print(f"FAIL: processes disagree on {key}:\n"
+                      f"  proc0: {a[key]}\n  proc1: {b[key]}",
+                      file=sys.stderr)
+                return 1
+
+        # -- 3: resume: rerun against process 0's cache -----------------
+        t0 = time.perf_counter()
+        cfg = dict(
+            base_cfg,
+            label="search-resume",
+            cache=str(scratch / "cache0"),
+            log=str(scratch / "resume.jsonl"),
+        )
+        resumed = run_child(cfg, env)
+        wall_resume = time.perf_counter() - t0
+        if resumed["trajectory"] != a["trajectory"]:
+            print("FAIL: resumed search changed the trajectory",
+                  file=sys.stderr)
+            return 1
+        hit_rate = resumed["n_cached"] / max(1, resumed["n_evaluations"])
+        if hit_rate < 0.9:
+            print(f"FAIL: resumed search only {hit_rate:.0%} cache hits "
+                  f"(need >= 90%)", file=sys.stderr)
+            return 1
+
+        # -- 4: every ledger audited and free of giveups ----------------
+        for name in ("proc0.jsonl", "proc1.jsonl", "resume.jsonl"):
+            events = read_events(scratch / name)
+            problems = audit_events(events)
+            if problems:
+                print(f"FAIL: ledger {name} failed audit:", file=sys.stderr)
+                for p in problems:
+                    print(f"  - {p}", file=sys.stderr)
+                return 1
+            giveups = [e for e in events if e.get("event") == "fault.giveup"]
+            if giveups:
+                print(f"FAIL: ledger {name} records {len(giveups)} "
+                      f"fault.giveup event(s)", file=sys.stderr)
+                return 1
+        if args.ledger_out:
+            shutil.copyfile(scratch / "proc0.jsonl", args.ledger_out)
+
+        print(
+            f"OK: 2 isolated search processes agree bit-for-bit "
+            f"(trajectory {a['trajectory']}, incumbent {a['best_params']}) "
+            f"in {wall_pair:.1f}s; resume {hit_rate:.0%} cached "
+            f"({wall_resume:.1f}s); 3 ledgers audited, no giveups"
+            + (f"; ledger copied to {args.ledger_out}"
+               if args.ledger_out else "")
+        )
+        return 0
+    finally:
+        if args.keep:
+            print(f"(scratch kept at {scratch})")
+        else:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
