@@ -25,7 +25,10 @@ from repro.experiments.parallel import (
     attach_jobset,
     shared_memory_available,
 )
-from repro.experiments.sweep import grid_sweep
+# _grid_sweep is the non-deprecated executor behind repro.sweep; the
+# public grid_sweep shim warns (DeprecationWarning, an error under the
+# repo's filterwarnings) and would abort the bench run.
+from repro.experiments.sweep import _grid_sweep as grid_sweep
 from repro.workloads.distributions import BingDistribution
 from repro.workloads.generator import WorkloadSpec
 

@@ -15,8 +15,11 @@ with inconsistently named knobs (``m`` vs ``num_workers``, ``speed`` vs
   it), ``"flat"`` (the vectorized flat-CSR kernel of
   :mod:`repro.sim.flat_engine` -- bit-identical to the reference and
   additionally accepts a :class:`~repro.dag.flat.FlatInstance`
-  directly) or ``"speedup-fifo"`` / ``"speedup-equi"`` (the
-  speedup-curves engines, which take a
+  directly), ``"batch"`` (the rep-batched arena kernel of
+  :mod:`repro.sim.batch_engine` -- same semantics and knobs as
+  ``"flat"``; :func:`repro.sim.batch_engine.run_batch` amortizes the
+  dispatch cost over many replicates at once) or ``"speedup-fifo"`` /
+  ``"speedup-equi"`` (the speedup-curves engines, which take a
   :class:`~repro.speedup.model.SpeedupJobSet`).
 
 The old module-level entrypoints survive as thin shims that emit one
@@ -51,7 +54,7 @@ from repro.sim.result import ScheduleResult
 from repro.sim.rng import SeedLike
 
 #: Engine-name strings accepted by :func:`run`.
-ENGINE_NAMES = ("work-stealing", "flat", "speedup-fifo", "speedup-equi")
+ENGINE_NAMES = ("work-stealing", "flat", "batch", "speedup-fifo", "speedup-equi")
 
 #: The valid instance/stream combinations, quoted by configuration
 #: errors so the fix is visible in the message itself.
@@ -216,6 +219,18 @@ def run(
                     jobset, m=size, speed=s, seed=seed, **engine_kwargs
                 )
 
+        elif scheduler == "batch":
+            from repro.sim.batch_engine import run_batch
+
+            def dispatch() -> ScheduleResult:
+                return run_batch(
+                    [jobset],
+                    m=size,
+                    speed=s,
+                    seeds=[seed],
+                    **engine_kwargs,
+                )[0]
+
         elif scheduler in ("speedup-fifo", "speedup-equi"):
             from repro.speedup.engine import (
                 _run_speedup_equi,
@@ -264,6 +279,24 @@ def run(
         seed=seed,
         n_jobs=_n_jobs(jobset),
     )
+    if engine in ("flat", "batch"):
+        # Surface configs that silently fall off the flat kernel onto
+        # the ~8x-slower reference engine (the engine itself also emits
+        # a one-time RuntimeWarning; this event records every run).
+        from repro.sim.flat_engine import _slow_path_reasons
+
+        reasons = _slow_path_reasons(
+            engine_kwargs.get("victim_policy", "uniform"),
+            bool(engine_kwargs.get("steal_half", False)),
+            engine_kwargs.get("admission", "fifo"),
+            engine_kwargs.get("trace"),
+        )
+        if reasons:
+            telemetry.emit(
+                "dispatch.slow_path",
+                engine=engine,
+                reasons=list(reasons),
+            )
     t0 = time.perf_counter()
     result = dispatch()
     telemetry.emit(
@@ -381,7 +414,7 @@ class _EngineScheduler(Scheduler):
                 f"unknown engine name {engine!r}; "
                 f"expected one of {ENGINE_NAMES} or a Scheduler"
             )
-        if engine not in ("work-stealing", "flat") and engine_kwargs:
+        if engine not in ("work-stealing", "flat", "batch") and engine_kwargs:
             raise TypeError(
                 f"{engine!r} accepts no extra engine arguments; "
                 f"got {sorted(engine_kwargs)}"
@@ -401,7 +434,7 @@ class _EngineScheduler(Scheduler):
         attached CSR arrays directly (no ``to_jobset()`` round trip in
         pool workers).
         """
-        return self.engine == "flat"
+        return self.engine in ("flat", "batch")
 
     def run(
         self,
@@ -411,10 +444,14 @@ class _EngineScheduler(Scheduler):
         seed: SeedLike = None,
         trace: Optional[Any] = None,
     ) -> ScheduleResult:
-        if self.engine in ("work-stealing", "flat"):
+        if self.engine in ("work-stealing", "flat", "batch"):
             if self.engine == "work-stealing":
                 from repro.sim.engine import _run_work_stealing as target
             else:
+                # A batch of one replicate has nothing to amortize: the
+                # "batch" engine evaluates single cells on the flat
+                # kernel (bit-identical); the sweep dispatch layer does
+                # the actual cross-rep batching (see _grid_sweep).
                 from repro.sim.flat_engine import _run_flat as target
 
             kwargs = dict(self.engine_kwargs)
@@ -549,11 +586,12 @@ def sweep(
           a copy with the grid parameters assigned over it (they must
           name existing attributes);
         * an *engine name* (``"work-stealing"``, ``"flat"``,
-          ``"speedup-fifo"``, ``"speedup-equi"``) -- grid parameters
-          forward to the engine (the deterministic speedup engines
-          accept none and ignore seeds).  ``"flat"`` additionally runs
-          pool workers straight on the attached shared-memory CSR
-          arrays, skipping the per-worker object-graph rebuild;
+          ``"batch"``, ``"speedup-fifo"``, ``"speedup-equi"``) -- grid
+          parameters forward to the engine (the deterministic speedup
+          engines accept none and ignore seeds).  ``"flat"`` and
+          ``"batch"`` additionally run pool workers straight on the
+          attached shared-memory CSR arrays, skipping the per-worker
+          object-graph rebuild;
         * any other *callable* -- passed through unchanged, i.e. the
           raw :func:`~repro.experiments.sweep.grid_sweep` contract.
     grid:

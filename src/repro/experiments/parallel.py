@@ -161,9 +161,15 @@ _FALLBACK_WARNED: set = set()
 def default_workers() -> int:
     """Worker-process count: ``REPRO_JOBS`` env override, else CPU count.
 
-    A malformed or non-positive ``REPRO_JOBS`` falls back to the CPU
-    count rather than erroring: an experiment run should never die on a
-    stale environment variable.
+    The fallback is ``os.cpu_count()`` -- the machine's *logical* CPU
+    count, SMT threads included, not the physical core count and not
+    the process affinity mask (``BENCH_engine.json``'s host block
+    records all three side by side).  On an SMT host that oversubscribes
+    the physical cores roughly 2x, which is usually right for these
+    simulation workloads; set ``REPRO_JOBS`` explicitly to pin a
+    different width.  A malformed or non-positive ``REPRO_JOBS`` falls
+    back to the CPU count rather than erroring: an experiment run
+    should never die on a stale environment variable.
     """
     env = os.environ.get("REPRO_JOBS")
     if env is not None:

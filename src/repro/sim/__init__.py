@@ -28,6 +28,14 @@ re-bases the flat kernel onto a sliding window over a lazy arrival
 stream: bounded memory, online metrics, durable checkpoint/restore
 (:mod:`repro.sim.checkpoint`) -- same max flow time, bit for bit.
 
+:mod:`repro.sim.batch_engine` (:func:`~repro.sim.batch_engine.run_batch`,
+``repro.run(..., engine="batch")``) evaluates R replicate instances in
+one block-structured arena behind an optional on-demand-compiled C
+kernel -- bit-identical per rep to R serial flat runs (same schedules,
+stats, and RNG post-state); the sweep layer batches eligible multi-rep
+cells through it automatically (``REPRO_BATCH`` / ``REPRO_CEXT``
+override).
+
 Shared pieces: :class:`~repro.sim.result.ScheduleResult` (the output of
 every engine), :class:`~repro.sim.jobstate.JobExecution` (mutable per-job
 execution state), :class:`~repro.sim.deque.WorkStealingDeque`,
@@ -66,6 +74,7 @@ from repro.sim.checkpoint import (
     save_checkpoint,
 )
 from repro.sim.sampling import SystemSample, SystemSampler
+from repro.sim.batch_engine import batch_options, run_batch
 from repro.sim.stream_engine import StreamResult
 from repro.sim.timeline import job_symbol, render_timeline, worker_utilization
 
@@ -81,6 +90,8 @@ __all__ = [
     "SystemSample",
     "SystemSampler",
     "StreamResult",
+    "run_batch",
+    "batch_options",
     "save_checkpoint",
     "load_checkpoint",
     "list_checkpoints",

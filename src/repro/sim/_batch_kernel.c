@@ -1,0 +1,472 @@
+/* Rep-batched work-stealing tick kernel (engine="batch").
+ *
+ * One replicate of the batched arena, executed start to finish.  This is
+ * a line-for-line transcription of the native-scope path of
+ * repro/sim/flat_engine.py::_run_flat (phase A completion cascades,
+ * phase B admission / burn / live-attempt branches, the three
+ * fast-forwards, sub-tick execution when steals_per_tick > 1) over the
+ * block-structured SoA arena built by repro.sim.batch_engine.  Keep the
+ * two in sync: the Python kernel defines the semantics, bit for bit --
+ * same completions, same stats counters, same RNG draw cadence -- and
+ * tests/sim/test_batch_engine.py enforces the identity.
+ *
+ * Arena addressing: node- and job-indexed arrays use *global* (arena)
+ * ids; the caller passes job-indexed pointers pre-offset to this rep's
+ * segment (jro, arr_ticks) and worker-indexed pointers offset by
+ * rep * m.  Victim draws come from a 4096-slot block per rep, refilled
+ * by calling back into Python (refill_fn) so the PCG64 stream is drawn
+ * by the *same* numpy Generator calls as the serial flat kernel --
+ * exact post-state identity, not just equal victim sequences.
+ *
+ * Returns 0 on success, 1 when max_ticks is exceeded (the caller raises
+ * the same RuntimeError as the flat kernel).
+ */
+
+#include <stdint.h>
+
+#define BLOCK 4096
+#define IDLE_AT (((int64_t)1) << 62)
+
+typedef void (*refill_fn)(int64_t rep);
+
+typedef struct {
+    /* immutable tables (global arena ids) */
+    const int64_t *works;
+    const int64_t *eo;
+    const int64_t *et;
+    const int64_t *chain;
+    const int64_t *job_of;
+    /* mutable run state */
+    int64_t *preds;
+    int64_t *unfin;
+    double *completions;
+    int64_t *cur;
+    int64_t *fin;
+    int64_t *dq_head;
+    int64_t *dq_tail;
+    int64_t *dq_next;
+    int64_t *dq_prev;
+    int64_t *rdy;
+    double speed;
+    int64_t m;
+    /* scalars mirrored from the Python kernel's locals */
+    int64_t n_busy;
+    int64_t completed;
+    int64_t nf;
+    int64_t ne_count; /* |ne|: workers with a non-empty deque */
+} St;
+
+/* deques[i].append((node, ready)) */
+static void dq_push(St *s, int64_t i, int64_t node, int64_t ready)
+{
+    int64_t tail = s->dq_tail[i];
+    s->rdy[node] = ready;
+    s->dq_next[node] = -1;
+    s->dq_prev[node] = tail;
+    if (tail < 0) {
+        s->dq_head[i] = node;
+        s->ne_count++;
+    } else {
+        s->dq_next[tail] = node;
+    }
+    s->dq_tail[i] = node;
+}
+
+/* deques[i].pop() -- LIFO, own-deque continuation */
+static int64_t dq_pop_back(St *s, int64_t i)
+{
+    int64_t node = s->dq_tail[i];
+    int64_t prev = s->dq_prev[node];
+    s->dq_tail[i] = prev;
+    if (prev < 0) {
+        s->dq_head[i] = -1;
+        s->ne_count--;
+    } else {
+        s->dq_next[prev] = -1;
+    }
+    return node;
+}
+
+/* deques[victim].popleft() -- FIFO, steal */
+static int64_t dq_pop_front(St *s, int64_t i)
+{
+    int64_t node = s->dq_head[i];
+    int64_t next = s->dq_next[node];
+    s->dq_head[i] = next;
+    if (next < 0) {
+        s->dq_tail[i] = -1;
+        s->ne_count--;
+    } else {
+        s->dq_prev[next] = -1;
+    }
+    return node;
+}
+
+/* _complete(i, end_tick): finish worker i's current node at the end of
+ * end_tick.  Lowers nf when it assigns an earlier finish (phase A
+ * recomputes nf wholesale afterwards, so reusing this in phase A is
+ * exact). */
+static void complete_node(St *s, int64_t i, int64_t end_tick)
+{
+    int64_t g = s->cur[i];
+    int64_t j = s->job_of[g];
+    int64_t u = s->unfin[j] - 1;
+    int64_t cn, lo, hi, f;
+    s->unfin[j] = u;
+    cn = s->chain[g];
+    if (cn >= 0) {
+        s->cur[i] = cn;
+        f = end_tick + s->works[cn];
+        s->fin[i] = f;
+        if (f < s->nf)
+            s->nf = f;
+        return;
+    }
+    lo = s->eo[g];
+    hi = s->eo[g + 1];
+    if (u == 0) {
+        s->completions[j] = (double)(end_tick + 1) / s->speed;
+        s->completed++;
+    }
+    if (lo != hi) {
+        if (hi - lo == 1) {
+            int64_t s2 = s->et[lo];
+            int64_t pc = s->preds[s2] - 1;
+            s->preds[s2] = pc;
+            if (pc == 0) {
+                s->cur[i] = s2;
+                f = end_tick + s->works[s2];
+                s->fin[i] = f;
+                if (f < s->nf)
+                    s->nf = f;
+                return;
+            }
+        } else {
+            int64_t first = -1;
+            int64_t x;
+            for (x = lo; x < hi; x++) {
+                int64_t s2 = s->et[x];
+                int64_t pc = s->preds[s2] - 1;
+                s->preds[s2] = pc;
+                if (pc == 0) {
+                    if (first < 0)
+                        first = s2;
+                    else
+                        /* extras: enabled siblings, ready next tick */
+                        dq_push(s, i, s2, end_tick + 1);
+                }
+            }
+            if (first >= 0) {
+                s->cur[i] = first;
+                f = end_tick + s->works[first];
+                s->fin[i] = f;
+                if (f < s->nf)
+                    s->nf = f;
+                return;
+            }
+        }
+    }
+    if (s->dq_head[i] >= 0) {
+        int64_t g2 = dq_pop_back(s, i);
+        s->cur[i] = g2;
+        f = end_tick + s->works[g2];
+        s->fin[i] = f;
+        if (f < s->nf)
+            s->nf = f;
+    } else {
+        s->cur[i] = -1;
+        s->fin[i] = IDLE_AT;
+        s->n_busy--;
+    }
+}
+
+/* io[] layout (out): 0 steal_attempts, 1 failed_steals, 2 idle_steps,
+ * 3 admission_wait_ticks, 4 ff_skipped_ticks, 5 max_queue_depth,
+ * 6 elapsed_ticks, 7 completed. */
+int64_t repro_batch_run_rep(
+    const int64_t *works, const int64_t *eo, const int64_t *et,
+    const int64_t *chain, const int64_t *job_of,
+    const int64_t *jro,      /* job-indexed, pre-offset: jro[0..n] */
+    const int64_t *roots,    /* global root-node list */
+    const int64_t *arr_ticks,/* job-indexed, pre-offset: arr_ticks[0..n-1] */
+    int64_t *preds, int64_t *unfin, double *completions,
+    int64_t *cur, int64_t *fin, int64_t *fails, int64_t *idles,
+    int64_t *dq_head, int64_t *dq_tail,
+    int64_t *dq_next, int64_t *dq_prev, int64_t *rdy,
+    int64_t *raw,            /* this rep's 4096-draw victim block */
+    int64_t n, int64_t m, int64_t k, int64_t sigma,
+    int64_t max_ticks, double speed,
+    int64_t *io, refill_fn refill, int64_t rep)
+{
+    St st;
+    int64_t st_att = 0, st_fail = 0, st_idle = 0;
+    int64_t st_admwait = 0, st_ff = 0, st_maxq = 0;
+    int64_t q_head = 0;  /* global FIFO queue == job ids [q_head, next_arr) */
+    int64_t next_arr = 0;
+    int64_t next_at = arr_ticks[0];
+    int64_t t = next_at; /* nothing can happen before the first arrival */
+    int64_t p = 0;       /* next unconsumed draw in the current block */
+    int64_t i;
+
+    st.works = works;
+    st.eo = eo;
+    st.et = et;
+    st.chain = chain;
+    st.job_of = job_of;
+    st.preds = preds;
+    st.unfin = unfin;
+    st.completions = completions;
+    st.cur = cur;
+    st.fin = fin;
+    st.dq_head = dq_head;
+    st.dq_tail = dq_tail;
+    st.dq_next = dq_next;
+    st.dq_prev = dq_prev;
+    st.rdy = rdy;
+    st.speed = speed;
+    st.m = m;
+    st.n_busy = 0;
+    st.completed = 0;
+    st.nf = IDLE_AT;
+    st.ne_count = 0;
+
+    while (st.completed < n) {
+        /* ---- release arrivals due at or before the current tick ---- */
+        if (next_at <= t) {
+            int64_t ql;
+            while (next_arr < n && arr_ticks[next_arr] <= t)
+                next_arr++;
+            next_at = (next_arr < n) ? arr_ticks[next_arr] : max_ticks + 1;
+            ql = next_arr - q_head;
+            if (ql > st_maxq)
+                st_maxq = ql;
+        }
+
+        if (t >= max_ticks) {
+            io[0] = st_att; io[1] = st_fail; io[2] = st_idle;
+            io[3] = st_admwait; io[4] = st_ff; io[5] = st_maxq;
+            io[6] = t; io[7] = st.completed;
+            return 1;
+        }
+
+        /* ---- fast-forward: whole system empty ---- */
+        if (st.n_busy == 0 && q_head == next_arr) {
+            int64_t gap = next_at - t;
+            for (i = 0; i < m; i++) {
+                int64_t f = fails[i] + gap * sigma;
+                fails[i] = (f < k) ? f : k;
+            }
+            st_idle += gap * m;
+            st_ff += gap;
+            t += gap;
+            continue;
+        }
+
+        /* ---- fast-forward: every worker busy ---- */
+        if (st.n_busy == m) {
+            int64_t blind = st.nf - t;
+            if (blind > 0) {
+                st_ff += blind;
+                t += blind;
+                continue;
+            }
+            /* blind == 0: the completion tick; fall through. */
+        } else if (st.ne_count == 0 && st.n_busy > 0 && q_head == next_arr) {
+            /* ---- fast-forward: nothing stealable, nothing admissible */
+            int64_t delta = st.nf - t + 1;
+            int64_t blind;
+            if (next_arr < n && next_at - t < delta)
+                delta = next_at - t;
+            blind = delta - 1;
+            if (blind >= 1) {
+                int64_t n_idle = m - st.n_busy;
+                for (i = 0; i < m; i++) {
+                    if (cur[i] < 0) {
+                        int64_t f = fails[i] + blind * sigma;
+                        fails[i] = (f < k) ? f : k;
+                    }
+                }
+                st_att += blind * n_idle * sigma;
+                st_fail += blind * n_idle * sigma;
+                st_ff += blind;
+                t += blind;
+                continue;
+            }
+            /* delta == 1: fall through to the general tick. */
+        }
+
+        /* ---- general tick ------------------------------------------ */
+        /* Snapshot workers idle at the start of the tick, BEFORE phase
+         * A: workers idled by a completion cascade must not act until
+         * the next tick (the reference's idle_at_start). */
+        {
+            int64_t n_snap = 0;
+            int64_t s_i;
+
+            for (i = 0; i < m; i++)
+                if (cur[i] < 0)
+                    idles[n_snap++] = i;
+
+            /* Phase A: completion cascades, only on ticks where some
+             * busy worker finishes.  complete_node may lower nf
+             * mid-phase; the wholesale recompute below makes the final
+             * nf exactly min(fin), matching the Python kernel. */
+            if (st.nf == t) {
+                int64_t nfi = IDLE_AT;
+                for (i = 0; i < m; i++)
+                    if (fin[i] == t)
+                        complete_node(&st, i, t);
+                for (i = 0; i < m; i++)
+                    if (fin[i] < nfi)
+                        nfi = fin[i];
+                st.nf = nfi;
+            }
+
+            /* Phase B: idle workers acquire work. */
+            for (s_i = 0; s_i < n_snap; s_i++) {
+                int64_t budget = sigma;
+                i = idles[s_i];
+                while (budget > 0) {
+                    int64_t fi = fails[i];
+                    if (fi >= k && q_head != next_arr) {
+                        /* Admit the head-of-line job. */
+                        int64_t jb = q_head++;
+                        int64_t ro = jro[jb];
+                        int64_t rhi = jro[jb + 1];
+                        int64_t r0 = roots[ro];
+                        int64_t f;
+                        cur[i] = r0;
+                        fails[i] = 0;
+                        st.n_busy++;
+                        st_admwait += t - arr_ticks[jb];
+                        if (rhi - ro > 1) {
+                            int64_t x;
+                            for (x = ro + 1; x < rhi; x++)
+                                dq_push(&st, i, roots[x], t);
+                        }
+                        if (sigma > 1) {
+                            /* Sub-tick admission: one unit this tick. */
+                            if (works[r0] == 1) {
+                                complete_node(&st, i, t);
+                            } else {
+                                f = t + works[r0] - 1;
+                                fin[i] = f;
+                                if (f < st.nf)
+                                    st.nf = f;
+                            }
+                        } else {
+                            f = t + works[r0];
+                            fin[i] = f;
+                            if (f < st.nf)
+                                st.nf = f;
+                        }
+                        break; /* admission consumes the rest of the tick */
+                    }
+                    if (st.ne_count == 0) {
+                        /* Nothing stealable: burn just enough to unlock
+                         * admission when the queue is non-empty, else
+                         * the whole budget -- no draws. */
+                        int64_t burned, f2;
+                        if (q_head != next_arr && k - fi <= budget)
+                            burned = k - fi;
+                        else
+                            burned = budget;
+                        f2 = fi + burned;
+                        fails[i] = (f2 < k) ? f2 : k;
+                        st_att += burned;
+                        st_fail += burned;
+                        budget -= burned;
+                        if (budget > 0)
+                            continue; /* unlocked admission */
+                        break;
+                    }
+                    /* Live steal attempts against the draw block. */
+                    {
+                        int64_t allowed = budget;
+                        int64_t got = -1;
+                        int64_t v, victim, g2, g2rdy, f;
+                        if (q_head != next_arr) {
+                            int64_t d = k - fi;
+                            if (d < allowed)
+                                allowed = d;
+                        }
+                        for (;;) {
+                            int64_t stop, jdx, n_failed;
+                            if (p == BLOCK) {
+                                /* Same lazy refill cadence as
+                                 * UniformVictim: Python draws the next
+                                 * 4096 values into this rep's block. */
+                                refill(rep);
+                                p = 0;
+                            }
+                            stop = p + allowed;
+                            if (stop > BLOCK)
+                                stop = BLOCK;
+                            got = -1;
+                            for (jdx = p; jdx < stop; jdx++) {
+                                v = raw[jdx];
+                                if (v >= i)
+                                    v++;
+                                if (dq_head[v] >= 0) {
+                                    got = jdx;
+                                    break;
+                                }
+                            }
+                            if (got >= 0) {
+                                n_failed = got - p;
+                                fails[i] += n_failed;
+                                st_att += n_failed + 1;
+                                st_fail += n_failed;
+                                budget -= n_failed + 1;
+                                p = got + 1;
+                                break;
+                            }
+                            n_failed = stop - p;
+                            fails[i] += n_failed;
+                            st_att += n_failed;
+                            st_fail += n_failed;
+                            budget -= n_failed;
+                            allowed -= n_failed;
+                            p = stop;
+                            if (allowed == 0)
+                                break;
+                        }
+                        if (got < 0)
+                            continue; /* budget spent or admission unlocked */
+                        v = raw[got];
+                        victim = (v >= i) ? v + 1 : v;
+                        g2 = dq_pop_front(&st, victim);
+                        g2rdy = rdy[g2];
+                        cur[i] = g2;
+                        fails[i] = 0;
+                        st.n_busy++;
+                        /* Same-tick execution only if the stolen node
+                         * was ready at the start of this tick. */
+                        if (sigma > 1 && g2rdy <= t) {
+                            if (works[g2] == 1) {
+                                complete_node(&st, i, t);
+                            } else {
+                                f = t + works[g2] - 1;
+                                fin[i] = f;
+                                if (f < st.nf)
+                                    st.nf = f;
+                            }
+                        } else {
+                            f = t + works[g2];
+                            fin[i] = f;
+                            if (f < st.nf)
+                                st.nf = f;
+                        }
+                        break; /* the steal consumes the rest of the tick */
+                    }
+                }
+            }
+        }
+        t += 1;
+    }
+
+    io[0] = st_att; io[1] = st_fail; io[2] = st_idle;
+    io[3] = st_admwait; io[4] = st_ff; io[5] = st_maxq;
+    io[6] = t; io[7] = st.completed;
+    return 0;
+}

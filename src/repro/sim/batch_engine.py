@@ -1,0 +1,531 @@
+"""Rep-batched execution: one kernel arena for R replicates (ISSUE 10).
+
+Every experiment layer above the simulator -- figure sweeps,
+:func:`repro.sweep`, successive-halving rounds in :func:`repro.search`,
+ablation deltas -- evaluates *many replicate instances of the same
+cell*.  The flat kernel (:mod:`repro.sim.flat_engine`) processes one
+instance per call, paying the Python tick-loop cost R times over.  This
+module batches the replicates instead:
+
+* :func:`run_batch` concatenates R :class:`~repro.dag.flat.FlatInstance`
+  replicates into one block-structured SoA arena -- node/job/edge
+  arrays rebased onto a shared id space in a single vectorized pass,
+  worker state at rep-offset ``r * m``, one 4096-slot victim-draw block
+  per rep -- and executes each replicate's tick loop in the compiled C
+  kernel (:mod:`repro.sim._cext`).  Per-rep clocks are fully
+  independent: each replicate fast-forwards on its own schedule, and
+  the arena exists so the *fixed* per-run Python cost (table builds,
+  dispatch, allocation) is paid once for the whole batch.
+* **RNG fidelity.**  Each replicate owns a Generator seeded exactly as
+  the serial run would seed it.  The C kernel never generates a random
+  number: when a draw block is exhausted it calls back into Python,
+  which refills the block with the same ``rng.integers(0, m - 1,
+  size=4096)`` call (same cadence) the flat kernel would make -- so the
+  post-run ``PCG64`` state is bit-identical to serial execution, not
+  merely the victim sequence.
+* **Bit-identity.**  Results are identical per rep to running
+  ``engine="flat"`` R times: same completions, same
+  :class:`~repro.sim.result.SimulationStats`, same RNG post-state
+  (``tests/sim/test_batch_engine.py`` fuzzes this).  Configurations
+  outside the kernel's native scope -- non-uniform victim policies,
+  ``steal_half``, weighted admission, ``trace``, samplers,
+  ``_fast_forward=False``, unsorted hand-built arrivals -- fall back to
+  the per-replicate flat kernel (which itself delegates to the
+  reference engine where needed), as does any host without a C
+  compiler or with ``REPRO_CEXT=0``.
+* :func:`batch_options` is the eligibility probe the sweep layer uses
+  to decide whether a scheduler's (cell, rep) tasks may be fused into
+  one batched task (see :mod:`repro.experiments.sweep`).
+
+Telemetry: with a sink attached, :func:`run_batch` emits
+``batch.start`` (plan: rep count, kernel path), per-replicate
+``batch.flush`` (wall time as each rep's results materialize) and
+``batch.done``.  Telemetry never changes results.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import time
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.dag.flat import FlatInstance, flatten_jobset
+from repro.dag.job import JobSet
+from repro.sim._cext import BLOCK, REFILL_CFUNC, resolve_batch_kernel
+from repro.sim.engine import _scheduler_label
+from repro.sim.flat_engine import _IDLE_AT, _run_flat
+from repro.sim.result import ScheduleResult, SimulationStats
+from repro.sim.rng import SeedLike, make_rng
+
+__all__ = ["run_batch", "batch_options"]
+
+
+class _BatchTables:
+    """Immutable union tables for one tuple of replicate instances.
+
+    Everything is derived in one vectorized numpy pass over the
+    concatenation of the replicates' CSR arrays, on a shared global id
+    space (node ids offset by ``node_off[r]``, edge targets rebased, a
+    job's roots contiguous in the global ascending root list).  Cached
+    on the first instance of the tuple, so a sweep evaluating many grid
+    points over the same R replicates builds the arena once.
+    """
+
+    __slots__ = (
+        "flats",
+        "node_off",
+        "job_off",
+        "works",
+        "eo",
+        "et",
+        "chain",
+        "job_of",
+        "jro",
+        "roots",
+        "preds_master",
+        "unfin_master",
+        "total_works",
+        "n_jobs",
+        "sorted_ok",
+        "arr_cache",
+    )
+
+    def __init__(self, flats: Sequence[FlatInstance]) -> None:
+        reps = len(flats)
+        n_nodes = np.array([f.n_nodes for f in flats], dtype=np.int64)
+        n_jobs = np.array([f.n_jobs for f in flats], dtype=np.int64)
+        n_edges = np.array([f.n_edges for f in flats], dtype=np.int64)
+        node_off = np.zeros(reps + 1, dtype=np.int64)
+        job_off = np.zeros(reps + 1, dtype=np.int64)
+        edge_off = np.zeros(reps + 1, dtype=np.int64)
+        np.cumsum(n_nodes, out=node_off[1:])
+        np.cumsum(n_jobs, out=job_off[1:])
+        np.cumsum(n_edges, out=edge_off[1:])
+        total_nodes = int(node_off[-1])
+        total_jobs = int(job_off[-1])
+        total_edges = int(edge_off[-1])
+
+        works = np.concatenate(
+            [f.node_works for f in flats] or [np.zeros(0, np.int64)]
+        ).astype(np.int64, copy=False)
+        eo = np.empty(total_nodes + 1, dtype=np.int64)
+        eo[-1] = total_edges
+        for r, f in enumerate(flats):
+            eo[node_off[r] : node_off[r + 1]] = (
+                f.edge_offsets[:-1] + edge_off[r]
+            )
+        et = np.empty(total_edges, dtype=np.int64)
+        for r, f in enumerate(flats):
+            et[edge_off[r] : edge_off[r + 1]] = f.edge_targets + node_off[r]
+        jno = np.empty(total_jobs + 1, dtype=np.int64)
+        jno[-1] = total_nodes
+        for r, f in enumerate(flats):
+            jno[job_off[r] : job_off[r + 1]] = (
+                f.job_node_offsets[:-1] + node_off[r]
+            )
+
+        # Derived tables, one vectorized pass over the union -- the
+        # exact computation _KernelTables does per instance.
+        indeg = np.bincount(et, minlength=total_nodes).astype(
+            np.int64, copy=False
+        )
+        outdeg = np.diff(eo)
+        chain = np.full(total_nodes, -1, dtype=np.int64)
+        cand = np.flatnonzero(outdeg == 1)
+        if cand.size:
+            tgt = et[eo[cand]]
+            ok = indeg[tgt] == 1
+            chain[cand[ok]] = tgt[ok]
+        roots = np.flatnonzero(indeg == 0).astype(np.int64, copy=False)
+        job_sizes = np.diff(jno)
+
+        self.flats = tuple(flats)
+        self.node_off = node_off
+        self.job_off = job_off
+        self.works = np.ascontiguousarray(works)
+        self.eo = eo
+        self.et = et
+        self.chain = chain
+        self.job_of = np.repeat(
+            np.arange(total_jobs, dtype=np.int64), job_sizes
+        )
+        self.jro = np.searchsorted(roots, jno).astype(np.int64, copy=False)
+        self.roots = roots
+        self.preds_master = indeg
+        self.unfin_master = job_sizes.astype(np.int64, copy=False)
+        self.total_works = [int(f.node_works.sum()) for f in flats]
+        self.n_jobs = [int(x) for x in n_jobs]
+        # The flat kernel's delegation predicate, per replicate: a
+        # hand-built FlatInstance with unsorted arrivals only has
+        # reference-engine semantics.
+        self.sorted_ok = [
+            bool(np.all(f.arrivals[1:] >= f.arrivals[:-1])) for f in flats
+        ]
+        #: speed -> global arrival-tick array (same rounding as the
+        #: flat kernel's per-instance arr_ticks).
+        self.arr_cache: Dict[float, np.ndarray] = {}
+
+    def arr_ticks(self, speed: float) -> np.ndarray:
+        ticks = self.arr_cache.get(speed)
+        if ticks is None:
+            arr = np.concatenate(
+                [np.asarray(f.arrivals, dtype=np.float64) for f in self.flats]
+                or [np.zeros(0, np.float64)]
+            )
+            ticks = np.ceil(arr * speed - 1e-9).astype(np.int64)
+            self.arr_cache[speed] = ticks
+        return ticks
+
+
+def _batch_tables(flats: Sequence[FlatInstance]) -> _BatchTables:
+    """Cached :class:`_BatchTables` for this exact replicate tuple.
+
+    Attached to the first instance (like the flat kernel's per-instance
+    table cache); the entry holds strong references to every member, so
+    the id-tuple key cannot alias a recycled object.
+    """
+    key = tuple(id(f) for f in flats)
+    anchor = flats[0]
+    cached = getattr(anchor, "_batch_tables_cache", None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    tables = _BatchTables(flats)
+    object.__setattr__(anchor, "_batch_tables_cache", (key, tables))
+    return tables
+
+
+def _ptr(arr: np.ndarray, offset: int = 0) -> ctypes.c_void_p:
+    """A C pointer to ``arr[offset]`` (8-byte elements only)."""
+    return ctypes.c_void_p(arr.ctypes.data + 8 * int(offset))
+
+
+def _empty_result(
+    flat: FlatInstance,
+    label: str,
+    m: int,
+    speed: float,
+    recorded_seed: Any,
+) -> ScheduleResult:
+    """The n == 0 early return, mirroring the flat kernel exactly."""
+    return ScheduleResult(
+        scheduler=label,
+        m=m,
+        speed=speed,
+        arrivals=np.asarray(flat.arrivals, dtype=np.float64),
+        completions=np.zeros(0, dtype=np.float64),
+        weights=np.asarray(flat.weights, dtype=np.float64),
+        stats=SimulationStats(
+            steal_attempts=0,
+            failed_steals=0,
+            admissions=0,
+            admission_wait_ticks=0,
+            ff_skipped_ticks=0,
+            max_queue_depth=0,
+        ),
+        seed=recorded_seed,
+    )
+
+
+def run_batch(
+    instances: Sequence[Union[FlatInstance, JobSet]],
+    m: int,
+    speed: float = 1.0,
+    k: int = 0,
+    seeds: Optional[Sequence[SeedLike]] = None,
+    trace: Optional[Any] = None,
+    max_ticks: Optional[int] = None,
+    steals_per_tick: int = 1,
+    victim_policy: str = "uniform",
+    steal_half: bool = False,
+    admission: str = "fifo",
+    sampler: Optional[Any] = None,
+    telemetry: Optional[Any] = None,
+    _fast_forward: bool = True,
+) -> List[ScheduleResult]:
+    """Run steal-k-first work stealing on R replicates in one arena.
+
+    ``instances[r]`` is evaluated with seed ``seeds[r]`` (``seeds`` may
+    be omitted for fresh-entropy runs, else must have one entry per
+    instance; Generators are honored and advanced exactly as the serial
+    flat kernel would advance them).  All other parameters are shared
+    across the batch and have the semantics of
+    :func:`repro.sim.flat_engine._run_flat`.  Returns one
+    :class:`ScheduleResult` per instance, in order, **bit-identical**
+    to ``[_run_flat(instances[r], ..., seed=seeds[r]) for r]``.
+    """
+    # Argument validation mirrors the flat/reference engines verbatim.
+    if m < 1:
+        raise ValueError(f"need at least one worker, got m={m}")
+    if speed <= 0:
+        raise ValueError(f"speed must be positive, got {speed}")
+    if k < 0:
+        raise ValueError(f"steal-k-first requires k >= 0, got {k}")
+    if steals_per_tick < 1:
+        raise ValueError(
+            f"steals_per_tick must be >= 1, got {steals_per_tick}"
+        )
+    if admission not in ("fifo", "weight"):
+        raise ValueError(
+            f"unknown admission policy {admission!r}; expected 'fifo' or 'weight'"
+        )
+    reps = len(instances)
+    if seeds is None:
+        seeds = [None] * reps
+    elif len(seeds) != reps:
+        raise ValueError(
+            f"need one seed per instance: got {len(seeds)} seeds for "
+            f"{reps} instances"
+        )
+    if reps == 0:
+        return []
+    sigma = int(steals_per_tick)
+
+    flats: List[FlatInstance] = [
+        inst if isinstance(inst, FlatInstance) else flatten_jobset(inst)
+        for inst in instances
+    ]
+
+    kernel = resolve_batch_kernel()
+    native = (
+        kernel is not None
+        and victim_policy == "uniform"
+        and not steal_half
+        and admission == "fifo"
+        and trace is None
+        and sampler is None
+        and _fast_forward
+    )
+
+    def fallback(r: int) -> ScheduleResult:
+        return _run_flat(
+            flats[r],
+            m,
+            speed=speed,
+            k=k,
+            seed=seeds[r],
+            trace=trace,
+            max_ticks=max_ticks,
+            steals_per_tick=steals_per_tick,
+            victim_policy=victim_policy,
+            steal_half=steal_half,
+            admission=admission,
+            sampler=sampler,
+            _fast_forward=_fast_forward,
+        )
+
+    t_start = time.perf_counter()
+    if telemetry is not None:
+        telemetry.emit(
+            "batch.start",
+            n_reps=reps,
+            m=m,
+            k=k,
+            steals_per_tick=sigma,
+            kernel="cext" if native else "flat-fallback",
+        )
+
+    if not native:
+        out: List[ScheduleResult] = []
+        for r in range(reps):
+            t0 = time.perf_counter()
+            out.append(fallback(r))
+            if telemetry is not None:
+                telemetry.emit(
+                    "batch.flush",
+                    rep=r,
+                    wall_s=round(time.perf_counter() - t0, 6),
+                )
+        if telemetry is not None:
+            telemetry.emit(
+                "batch.done",
+                n_reps=reps,
+                wall_s=round(time.perf_counter() - t_start, 6),
+                kernel="flat-fallback",
+            )
+        return out
+
+    tables = _batch_tables(flats)
+    label = _scheduler_label(k, victim_policy, steal_half, admission)
+    arr_ticks = tables.arr_ticks(speed)
+    node_off = tables.node_off
+    job_off = tables.job_off
+    total_nodes = int(node_off[-1])
+    total_jobs = int(job_off[-1])
+
+    # Mutable run state, allocated fresh per call (the immutable tables
+    # above are the cached part).  Worker state is rep-blocked at
+    # r * m; node/job state is indexed by global arena ids.
+    preds = tables.preds_master.copy()
+    unfin = tables.unfin_master.copy()
+    completions = np.zeros(total_jobs, dtype=np.float64)
+    cur = np.full(reps * m, -1, dtype=np.int64)
+    fin = np.full(reps * m, _IDLE_AT, dtype=np.int64)
+    fails = np.zeros(reps * m, dtype=np.int64)
+    idles = np.empty(reps * m, dtype=np.int64)
+    dq_head = np.full(reps * m, -1, dtype=np.int64)
+    dq_tail = np.full(reps * m, -1, dtype=np.int64)
+    dq_next = np.empty(max(1, total_nodes), dtype=np.int64)
+    dq_prev = np.empty(max(1, total_nodes), dtype=np.int64)
+    rdy = np.empty(max(1, total_nodes), dtype=np.int64)
+    raw = np.zeros((reps, BLOCK), dtype=np.int64)
+    io = np.zeros((reps, 8), dtype=np.int64)
+
+    results: List[Optional[ScheduleResult]] = [None] * reps
+    for r in range(reps):
+        t0 = time.perf_counter()
+        n_r = tables.n_jobs[r]
+        recorded_seed = (
+            None if isinstance(seeds[r], np.random.Generator) else seeds[r]
+        )
+        if n_r == 0:
+            results[r] = _empty_result(
+                flats[r], label, m, speed, recorded_seed
+            )
+        elif not tables.sorted_ok[r]:
+            # Unsorted hand-built arrivals: only the reference engine
+            # defines the semantics; the flat kernel delegates, and so
+            # do we -- per replicate, identically.
+            results[r] = fallback(r)
+        else:
+            rng = make_rng(seeds[r])
+            row = raw[r]
+            if m > 1:
+                # Same up-front first block as UniformVictim / the flat
+                # kernel; refills happen lazily from C via the callback.
+                row[:] = rng.integers(0, m - 1, size=BLOCK)
+
+            def _refill(rep: int, _rng=rng, _row=row) -> None:
+                _row[:] = _rng.integers(0, m - 1, size=BLOCK)
+
+            cb = REFILL_CFUNC(_refill)
+            if max_ticks is None:
+                # Same loose feasibility bound as the serial engines,
+                # from this replicate's own totals.
+                last_arr = int(arr_ticks[job_off[r + 1] - 1])
+                rep_max_ticks = int(
+                    tables.total_works[r] + (k + 2) * n_r + last_arr
+                    + 64 * m + 64
+                ) * 4
+            else:
+                rep_max_ticks = max_ticks
+            rc = kernel(
+                _ptr(tables.works),
+                _ptr(tables.eo),
+                _ptr(tables.et),
+                _ptr(tables.chain),
+                _ptr(tables.job_of),
+                _ptr(tables.jro, job_off[r]),
+                _ptr(tables.roots),
+                _ptr(arr_ticks, job_off[r]),
+                _ptr(preds),
+                _ptr(unfin),
+                _ptr(completions),
+                _ptr(cur, r * m),
+                _ptr(fin, r * m),
+                _ptr(fails, r * m),
+                _ptr(idles, r * m),
+                _ptr(dq_head, r * m),
+                _ptr(dq_tail, r * m),
+                _ptr(dq_next),
+                _ptr(dq_prev),
+                _ptr(rdy),
+                _ptr(row),
+                n_r,
+                m,
+                int(k),
+                sigma,
+                rep_max_ticks,
+                float(speed),
+                _ptr(io, r * 8),
+                cb,
+                r,
+            )
+            if rc != 0:
+                raise RuntimeError(
+                    f"work-stealing run exceeded max_ticks={rep_max_ticks} "
+                    f"({int(io[r, 7])}/{n_r} jobs complete) -- instance "
+                    f"may be overloaded"
+                )
+            stats = SimulationStats()
+            stats.busy_steps = tables.total_works[r]
+            stats.steal_attempts = int(io[r, 0])
+            stats.failed_steals = int(io[r, 1])
+            stats.admissions = n_r
+            stats.idle_steps = int(io[r, 2])
+            stats.elapsed_ticks = int(io[r, 6])
+            stats.admission_wait_ticks = int(io[r, 3])
+            stats.ff_skipped_ticks = int(io[r, 4])
+            stats.max_queue_depth = int(io[r, 5])
+            results[r] = ScheduleResult(
+                scheduler=label,
+                m=m,
+                speed=speed,
+                arrivals=np.asarray(flats[r].arrivals, dtype=np.float64),
+                completions=completions[job_off[r] : job_off[r + 1]],
+                weights=np.asarray(flats[r].weights, dtype=np.float64),
+                stats=stats,
+                seed=recorded_seed,
+            )
+        if telemetry is not None:
+            telemetry.emit(
+                "batch.flush",
+                rep=r,
+                wall_s=round(time.perf_counter() - t0, 6),
+            )
+    if telemetry is not None:
+        telemetry.emit(
+            "batch.done",
+            n_reps=reps,
+            wall_s=round(time.perf_counter() - t_start, 6),
+            kernel="cext",
+        )
+    return results  # type: ignore[return-value]
+
+
+def batch_options(scheduler: Any) -> Optional[Dict[str, Any]]:
+    """Engine kwargs for :func:`run_batch` if ``scheduler`` is batchable.
+
+    The sweep layer calls this on one probe instance per grid point to
+    decide whether that cell's (rep) tasks may be fused into a single
+    batched task.  Batchable means the scheduler is a plain engine
+    adapter (``repro.run``'s ``work-stealing`` / ``flat`` / ``batch``
+    engines) or an unmodified
+    :class:`~repro.core.work_stealing.WorkStealingScheduler`, with every
+    knob inside the batch kernel's native scope -- for those, all three
+    execution paths (reference, flat, batch) are pinned bit-identical,
+    so fusing reps cannot change any number.  Returns ``None`` for
+    anything else (custom schedulers, subclasses overriding ``run``,
+    weighted admission, non-uniform victim policies, ``steal_half``,
+    traces, samplers).
+    """
+    engine = getattr(scheduler, "engine", None)
+    if engine in ("work-stealing", "flat", "batch"):
+        kwargs = dict(getattr(scheduler, "engine_kwargs", None) or {})
+    else:
+        from repro.core.work_stealing import WorkStealingScheduler
+
+        if (
+            isinstance(scheduler, WorkStealingScheduler)
+            and type(scheduler).run is WorkStealingScheduler.run
+        ):
+            kwargs = {
+                "k": scheduler.k,
+                "steals_per_tick": scheduler.steals_per_tick,
+                "victim_policy": scheduler.victim_policy,
+                "steal_half": scheduler.steal_half,
+                "admission": scheduler.admission,
+            }
+        else:
+            return None
+    if (
+        kwargs.get("victim_policy", "uniform") != "uniform"
+        or kwargs.get("steal_half", False)
+        or kwargs.get("admission", "fifo") != "fifo"
+        or kwargs.get("trace") is not None
+        or kwargs.get("sampler") is not None
+        or not kwargs.get("_fast_forward", True)
+    ):
+        return None
+    return kwargs

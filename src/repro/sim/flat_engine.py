@@ -158,6 +158,63 @@ def _resolve_numba_scan() -> Any:
 
 
 # ----------------------------------------------------------------------
+# Slow-path visibility (ISSUE 10 satellite)
+# ----------------------------------------------------------------------
+
+_SLOW_PATH_WARNED = False
+
+
+def _slow_path_reasons(
+    victim_policy: str,
+    steal_half: bool,
+    admission: str,
+    trace: Any,
+) -> tuple:
+    """The configuration knobs forcing delegation to the reference engine.
+
+    Only *configuration* choices are listed (the things a caller can
+    change); data-shape fallbacks such as unsorted hand-built arrivals
+    are not counted -- they are a property of the instance, not of the
+    config.
+    """
+    reasons = []
+    if victim_policy != "uniform":
+        reasons.append(f"victim_policy={victim_policy!r}")
+    if steal_half:
+        reasons.append("steal_half=True")
+    if admission != "fifo":
+        reasons.append(f"admission={admission!r}")
+    if trace is not None:
+        reasons.append("trace=<TraceRecorder>")
+    return tuple(reasons)
+
+
+def _warn_slow_path(reasons: tuple) -> None:
+    """One-time RuntimeWarning when a config falls off the flat kernel.
+
+    The reference engine is ~8x slower than the flat kernel; before
+    this warning the fallback was silent and a sweep that looked
+    mysteriously slow gave no hint why.  Warned once per process (like
+    the REPRO_NUMBA resolution warning); the paired
+    ``dispatch.slow_path`` telemetry event (emitted by the
+    :func:`repro.run` facade and the sweep dispatcher) records every
+    occurrence for machine consumption.
+    """
+    global _SLOW_PATH_WARNED
+    if _SLOW_PATH_WARNED or not reasons:
+        return
+    _SLOW_PATH_WARNED = True
+    warnings.warn(
+        f"this configuration ({', '.join(reasons)}) is outside the flat "
+        f"kernel's native scope and falls back to the ~8x-slower "
+        f"reference engine; results are identical, only slower "
+        f"(this warning is shown once per process)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+# ----------------------------------------------------------------------
 # Derived CSR tables (cached per FlatInstance)
 # ----------------------------------------------------------------------
 
@@ -351,6 +408,9 @@ def _run_flat(
         or trace is not None
         or not arrivals_sorted
     ):
+        _warn_slow_path(
+            _slow_path_reasons(victim_policy, steal_half, admission, trace)
+        )
         return _run_work_stealing(
             jobset if jobset is not None else to_jobset(flat),
             m,

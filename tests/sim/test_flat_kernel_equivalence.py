@@ -178,8 +178,11 @@ def test_brute_force_mode():
     dict(steal_half=True, k=1, steals_per_tick=8),
     dict(admission="weight", k=3, steals_per_tick=2),
 ])
-def test_delegating_configurations(kwargs):
+def test_delegating_configurations(kwargs, monkeypatch):
     """Out-of-scope knobs route to the reference engine and stay identical."""
+    # The delegation is deliberate here; silence the one-time slow-path
+    # warning (its own behaviour is pinned by tests/sim/test_batch_engine.py).
+    monkeypatch.setattr(flat_engine, "_SLOW_PATH_WARNED", True)
     jobset = random_instance(7)
     run_both(jobset, m=4, seed=8, **kwargs)
 

@@ -47,8 +47,9 @@ BENCH_FILES = [
     "benchmarks/test_workload_generation.py",
     "benchmarks/test_sweep_dispatch.py",
     "benchmarks/test_streaming_throughput.py",
+    "benchmarks/test_batch_throughput.py",
 ]
-SCHEMA = "repro-bench-engine/2"
+SCHEMA = "repro-bench-engine/3"
 
 #: Cross-benchmark ratios worth tracking by name: ratio of the first
 #: benchmark's ops/sec over the second's (higher is better).
@@ -101,6 +102,15 @@ DERIVED_RATIOS = {
         "test_stream_engine_throughput",
         "test_flat_materialized_throughput",
     ),
+    # Rep-batched arena execution (ISSUE 10) vs R serial engine="flat"
+    # calls over the same replicates, seeds and knobs (bit-identical per
+    # rep).  The multi-rep cell-evaluation speedup the sweep layer gets
+    # from fusing a cell's repetitions; bench_gate.py
+    # --min-derived batch_vs_flat:1.5 enforces the floor.
+    "batch_vs_flat": (
+        "test_batch_engine_multi_rep",
+        "test_flat_engine_multi_rep",
+    ),
 }
 
 
@@ -135,6 +145,38 @@ def logical_cores() -> int:
         return len(os.sched_getaffinity(0))
     except (AttributeError, OSError):  # macOS / restricted platforms
         return os.cpu_count() or 1
+
+
+def physical_cores() -> Optional[int]:
+    """Distinct physical cores, or None when the OS hides the topology.
+
+    Both ``cpu_count`` and ``logical_cores`` are *logical* CPU counts
+    (SMT threads included) -- on a 1-core container without SMT they
+    coincide, which is how older reports came to record the same number
+    under two names.  This counts distinct ``(physical id, core id)``
+    pairs from ``/proc/cpuinfo``; platforms that do not expose the
+    topology get None rather than a guess.
+    """
+    try:
+        text = Path("/proc/cpuinfo").read_text()
+    except OSError:
+        return None
+    pairs = set()
+    phys = core = None
+    for line in text.splitlines():
+        if not line.strip():
+            phys = core = None
+            continue
+        key, _, value = line.partition(":")
+        key = key.strip()
+        if key == "physical id":
+            phys = value.strip()
+        elif key == "core id":
+            core = value.strip()
+        if phys is not None and core is not None:
+            pairs.add((phys, core))
+            phys = core = None
+    return len(pairs) or None
 
 
 def run_benchmarks(quick: bool) -> dict:
@@ -290,8 +332,21 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "machine": platform.machine(),
+            # Logical CPUs the machine reports (os.cpu_count(), SMT
+            # threads included).  This is the value REPRO_JOBS defaults
+            # against: repro.experiments.parallel.default_workers uses
+            # REPRO_JOBS if set, else os.cpu_count().
             "cpu_count": os.cpu_count(),
+            # Logical CPUs this *process* may run on (scheduler
+            # affinity mask); smaller than cpu_count under container
+            # CPU quotas or taskset pinning.
             "logical_cores": logical_cores(),
+            # Distinct physical cores, None when the OS hides the
+            # topology.  cpu_count and logical_cores are both logical
+            # counts and legitimately coincide on an unpinned non-SMT
+            # host -- this field is what distinguishes SMT from real
+            # parallel hardware.
+            "physical_cores": physical_cores(),
             "repro_jobs": os.environ.get("REPRO_JOBS"),
             "jobs": effective_jobs(),
         },
